@@ -1,0 +1,205 @@
+// Benchmarks regenerating every figure and table of the paper (one
+// benchmark per artifact; see DESIGN.md's per-experiment index).
+// Each benchmark executes the corresponding experiment end to end —
+// workload generation, simulation and table rendering — so
+// `go test -bench=. -benchmem` doubles as the full reproduction run.
+package starmesh_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"starmesh"
+	"starmesh/internal/core"
+	"starmesh/internal/experiments"
+	"starmesh/internal/exptab"
+	"starmesh/internal/mesh"
+	"starmesh/internal/meshsim"
+	"starmesh/internal/perm"
+	"starmesh/internal/sorting"
+	"starmesh/internal/starsim"
+	"starmesh/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2StarTopology(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFig3MeshTopology(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig4Example(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkTable1Exchanges(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkFig7Mapping(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkLemma1(b *testing.B)            { benchExperiment(b, "lemma1") }
+func BenchmarkLemma2(b *testing.B)            { benchExperiment(b, "lemma2") }
+func BenchmarkTheorem4Dilation(b *testing.B)  { benchExperiment(b, "dilation") }
+func BenchmarkTheorem6UnitRoute(b *testing.B) { benchExperiment(b, "unitroute") }
+func BenchmarkStarProperties(b *testing.B)    { benchExperiment(b, "properties") }
+func BenchmarkBroadcast(b *testing.B)         { benchExperiment(b, "broadcast") }
+func BenchmarkFaultTolerance(b *testing.B)    { benchExperiment(b, "faults") }
+func BenchmarkAtallahSimulation(b *testing.B) { benchExperiment(b, "atallah") }
+func BenchmarkTheorem9(b *testing.B)          { benchExperiment(b, "theorem9") }
+func BenchmarkSortOnStar(b *testing.B)        { benchExperiment(b, "sorting") }
+func BenchmarkAppendixSweep(b *testing.B)     { benchExperiment(b, "appendix") }
+func BenchmarkAblationEmbeddings(b *testing.B) {
+	benchExperiment(b, "ablation")
+}
+func BenchmarkScheduleAblation(b *testing.B) { benchExperiment(b, "schedule") }
+func BenchmarkEmbedRect(b *testing.B)        { benchExperiment(b, "embedrect") }
+func BenchmarkCollectives(b *testing.B)      { benchExperiment(b, "collectives") }
+func BenchmarkPermRouting(b *testing.B)      { benchExperiment(b, "permroute") }
+func BenchmarkSurfaceAreas(b *testing.B)     { benchExperiment(b, "surface") }
+
+// --- Microbenchmarks of the core operations -----------------------
+
+func BenchmarkConvertDSPerOp(b *testing.B) {
+	pts := workload.MeshPoints(10, 64, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = core.ConvertDS(pts[i%len(pts)])
+	}
+}
+
+func BenchmarkConvertSDPerOp(b *testing.B) {
+	ps := workload.Perms(10, 64, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = core.ConvertSD(ps[i%len(ps)])
+	}
+}
+
+func BenchmarkMeshNeighborClosedForm(b *testing.B) {
+	ps := workload.Perms(10, 64, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = core.Neighbor(ps[i%len(ps)], 7, +1)
+	}
+}
+
+func BenchmarkStarDistanceClosedForm(b *testing.B) {
+	ps := workload.Perms(12, 64, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = starmesh.StarDistance(ps[i%len(ps)], ps[(i+1)%len(ps)])
+	}
+}
+
+func BenchmarkUnitRouteStarN6(b *testing.B) {
+	m := starsim.New(6)
+	m.AddReg("A")
+	m.AddReg("B")
+	m.Set("A", func(pe int) int64 { return int64(pe) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MeshUnitRoute("A", "B", 1+i%5, +1)
+	}
+}
+
+func BenchmarkUnitRouteMeshN6(b *testing.B) {
+	m := meshsim.New(mesh.D(6))
+	m.AddReg("A")
+	m.AddReg("B")
+	m.Set("A", func(pe int) int64 { return int64(pe) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.UnitRoute("A", "B", i%5, +1)
+	}
+}
+
+func BenchmarkSnakeSortStarN4End2End(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	meshID := make([]int, 24)
+	for pe := range meshID {
+		meshID[pe] = core.UnmapID(4, pe)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sm := starsim.New(4)
+		sm.AddReg("K")
+		sm.Set("K", func(pe int) int64 { return int64(rng.Intn(1 << 16)) })
+		if !sorting.SnakeSortStar(sm, "K", meshID).Sorted {
+			b.Fatal("not sorted")
+		}
+	}
+}
+
+func BenchmarkEmbeddingConstructionN7(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = core.NewEmbedding(7)
+	}
+}
+
+func BenchmarkRankUnrank(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := perm.Unrank(10, int64(i)%perm.Factorial(10))
+		_ = p.Rank()
+	}
+}
+
+// Keep exptab linked for table-rendering benches.
+var _ = exptab.New
+
+func BenchmarkMultiDimShear(b *testing.B) { benchExperiment(b, "mdshear") }
+func BenchmarkUtilization(b *testing.B)   { benchExperiment(b, "utilization") }
+
+// Scaling sub-benchmarks: the O(n²) conversions and O(n) neighbor
+// rule across star sizes.
+func BenchmarkConvertScaling(b *testing.B) {
+	for _, n := range []int{6, 8, 10, 12, 16, 20} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := workload.MeshPoints(n, 16, int64(n))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := core.ConvertDS(pts[i%len(pts)])
+				_ = core.ConvertSD(p)
+			}
+		})
+	}
+}
+
+func BenchmarkStarMachineScaling(b *testing.B) {
+	for _, n := range []int{4, 5, 6, 7} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := starsim.New(n)
+			m.AddReg("A")
+			m.AddReg("B")
+			m.Set("A", func(pe int) int64 { return int64(pe) })
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.MeshUnitRoute("A", "B", 1+i%(n-1), +1)
+			}
+		})
+	}
+}
+
+func BenchmarkBroadcastScaling(b *testing.B) {
+	for _, n := range []int{4, 5, 6} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := starmesh.NewStar(n)
+			for i := 0; i < b.N; i++ {
+				_ = g.BroadcastRounds(0)
+			}
+		})
+	}
+}
+
+func BenchmarkVirtualization(b *testing.B) { benchExperiment(b, "virtual") }

@@ -1,0 +1,47 @@
+// Command experiments regenerates the paper's figures and tables and
+// the measurement experiments indexed in DESIGN.md.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig7
+//	experiments -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"starmesh/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	run := flag.String("run", "all", "experiment id to run, or 'all'")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-11s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	if *run == "all" {
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, ok := experiments.Get(*run)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try -list)\n", *run)
+		os.Exit(2)
+	}
+	fmt.Printf("== %s (%s) ==\n", e.Name, e.ID)
+	if err := e.Run(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

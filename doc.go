@@ -1,0 +1,29 @@
+// Package starmesh is a library reproduction of "Embedding Meshes on
+// the Star Graph" (Ranka, Wang, Yeh; Syracuse CIS-89-9, SC 1990).
+//
+// The star graph S_n connects n! processors, each labeled by a
+// permutation of n symbols, with an edge whenever two labels differ
+// by exchanging the front symbol with another position. The paper
+// shows that the (n-1)-dimensional mesh D_n of shape 2×3×…×n embeds
+// into S_n with expansion 1 and dilation 3, and that one SIMD mesh
+// unit route runs in at most 3 star unit routes without conflicts —
+// so mesh algorithms transfer to the star graph at a constant
+// factor.
+//
+// The root package is the public facade. It exposes:
+//
+//   - the node conversion algorithms of Figures 5 and 6
+//     (MapMeshNode, UnmapStarNode),
+//   - the closed-form mesh-neighbor and path constructions of
+//     Lemmas 2-3 (MeshNeighbor, EdgePath),
+//   - the assembled embedding with quality metrics (NewEmbedding),
+//   - the star graph itself (NewStar) with exact distances, optimal
+//     routing, diameter and broadcast, and
+//   - SIMD machine simulators for both the mesh and the star
+//     (NewMeshMachine, NewStarMachine) that count unit routes, the
+//     paper's complexity measure.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure and table;
+// cmd/experiments regenerates all of them.
+package starmesh

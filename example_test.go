@@ -1,0 +1,79 @@
+package starmesh_test
+
+import (
+	"fmt"
+
+	"starmesh"
+)
+
+// The paper's §3.2 worked example: mesh node (3,0,1) maps to star
+// node (0 3 1 2).
+func ExampleMapMeshNode() {
+	p := starmesh.MapMeshNode([]int{1, 0, 3}) // pt[k-1] = d_k
+	fmt.Println(p)
+	// Output: (0 3 1 2)
+}
+
+// The inverse worked example: star node (0 2 1 3) maps back to mesh
+// node (3,1,1).
+func ExampleUnmapStarNode() {
+	p, _ := starmesh.NewPerm([]int{3, 1, 2, 0}) // displays as (0 2 1 3)
+	pt := starmesh.UnmapStarNode(p)
+	fmt.Printf("(d3,d2,d1) = (%d,%d,%d)\n", pt[2], pt[1], pt[0])
+	// Output: (d3,d2,d1) = (3,1,1)
+}
+
+// Lemma 3's worked example: the mesh neighbors of (2 3 4 0 1) along
+// dimension 3.
+func ExampleMeshNeighbor() {
+	p, _ := starmesh.NewPerm([]int{1, 0, 4, 3, 2}) // displays as (2 3 4 0 1)
+	plus, _ := starmesh.MeshNeighbor(p, 3, +1)
+	minus, _ := starmesh.MeshNeighbor(p, 3, -1)
+	fmt.Println(plus)
+	fmt.Println(minus)
+	// Output:
+	// (2 1 4 0 3)
+	// (2 4 3 0 1)
+}
+
+// The dilation-3 path realizing a mesh edge (Lemma 2).
+func ExampleEdgePath() {
+	p, _ := starmesh.NewPerm([]int{1, 0, 4, 3, 2})
+	path, _ := starmesh.EdgePath(p, 3, +1)
+	for _, node := range path {
+		fmt.Println(node)
+	}
+	// Output:
+	// (2 3 4 0 1)
+	// (3 2 4 0 1)
+	// (1 2 4 0 3)
+	// (2 1 4 0 3)
+}
+
+// Theorem 4: the embedding has expansion 1 and dilation 3.
+func ExampleNewEmbedding() {
+	e := starmesh.NewEmbedding(5)
+	m := e.Metrics()
+	fmt.Printf("expansion %.0f dilation %d\n", m.Expansion, m.Dilation)
+	// Output: expansion 1 dilation 3
+}
+
+// Theorem 6: a mesh unit route needs at most 3 star unit routes and
+// never blocks.
+func ExampleStarMachine_meshUnitRoute() {
+	sm := starmesh.NewStarMachine(5)
+	sm.AddReg("A")
+	sm.AddReg("B")
+	sm.Set("A", func(pe int) int64 { return int64(pe) })
+	routes, conflicts := sm.MeshUnitRoute("A", "B", 2, +1)
+	fmt.Printf("routes %d conflicts %d\n", routes, conflicts)
+	// Output: routes 3 conflicts 0
+}
+
+// Exact distances come from the cycle formula, not search.
+func ExampleStarDistance() {
+	a, _ := starmesh.NewPerm([]int{0, 1, 2, 3}) // identity (3 2 1 0)
+	b, _ := starmesh.NewPerm([]int{1, 0, 2, 3}) // symbols 0,1 swapped
+	fmt.Println(starmesh.StarDistance(a, b))
+	// Output: 3
+}

@@ -1,0 +1,65 @@
+package atallah
+
+import (
+	"starmesh/internal/core"
+	"starmesh/internal/embed"
+	"starmesh/internal/perm"
+	"starmesh/internal/star"
+)
+
+// EmbedRect composes the appendix's grouped realization with the
+// paper's embedding: the d-dimensional rectangular mesh
+// R = l_1×…×l_d (from Factorize(n,d)) embeds into S_n with expansion
+// 1 and dilation 3, because a ±1 move in any grouped dimension is a
+// single D_n step (snake property) and every D_n step maps to a
+// Lemma-2 path of length ≤ 3.
+//
+// This is the paper's appendix made into a first-class embedding: it
+// lets star-graph programs use any d-dimensional mesh view of the
+// machine, not just the native (n-1)-dimensional one.
+func EmbedRect(n, d int) *embed.Embedding {
+	g := NewGrouped(Factorize(n, d))
+	s := star.New(n)
+	dn := g.Dn
+	vm := make([]int, g.R.Order())
+	coords := make([]int, 0, dn.Dims())
+	for rID := 0; rID < g.R.Order(); rID++ {
+		dnID := g.ToDn(rID)
+		coords = dn.Coords(coords[:0], dnID)
+		vm[rID] = s.ID(core.ConvertDS(coords))
+	}
+	e := &embed.Embedding{
+		Guest:     g.R,
+		Host:      s,
+		VertexMap: vm,
+		Dist: func(hu, hv int) int {
+			return star.Distance(s.Node(hu), s.Node(hv))
+		},
+	}
+	e.Path = func(u, v int) []int {
+		du, dv := g.ToDn(u), g.ToDn(v)
+		// Snake property: du and dv differ in exactly one D_n
+		// dimension by ±1.
+		dim, dir := -1, 0
+		for j := 0; j < dn.Dims(); j++ {
+			cu, cv := dn.Coord(du, j), dn.Coord(dv, j)
+			if cu != cv {
+				dim, dir = j+1, cv-cu
+			}
+		}
+		if dim == -1 || (dir != 1 && dir != -1) {
+			return nil
+		}
+		p := perm.Unrank(n, int64(vm[u]))
+		path, ok := core.Path(p, dim, dir)
+		if !ok {
+			return nil
+		}
+		ids := make([]int, len(path))
+		for i, q := range path {
+			ids[i] = s.ID(q)
+		}
+		return ids
+	}
+	return e
+}

@@ -1,0 +1,44 @@
+package atallah
+
+import (
+	"testing"
+)
+
+func TestEmbedRectDilation3(t *testing.T) {
+	for _, c := range [][2]int{{4, 2}, {5, 2}, {5, 3}, {6, 2}, {6, 3}} {
+		e := EmbedRect(c[0], c[1])
+		if e.Expansion() != 1 {
+			t.Fatalf("n=%d d=%d: expansion %v", c[0], c[1], e.Expansion())
+		}
+		if dil := e.DilationOnly(); dil != 3 {
+			t.Fatalf("n=%d d=%d: dilation %d, want 3", c[0], c[1], dil)
+		}
+	}
+}
+
+func TestEmbedRectValidates(t *testing.T) {
+	for _, c := range [][2]int{{4, 2}, {5, 2}, {5, 3}} {
+		if err := EmbedRect(c[0], c[1]).Validate(); err != nil {
+			t.Fatalf("n=%d d=%d: %v", c[0], c[1], err)
+		}
+	}
+}
+
+func TestEmbedRectMeasuredPaths(t *testing.T) {
+	e := EmbedRect(5, 2)
+	m := e.Measure()
+	if m.Dilation != 3 || m.Expansion != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	// Guest edge count of the 15x8 mesh: 14*8 + 15*7 = 217.
+	if m.GuestEdges != 14*8+15*7 {
+		t.Fatalf("guest edges = %d", m.GuestEdges)
+	}
+}
+
+func BenchmarkEmbedRect(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EmbedRect(6, 3)
+	}
+}

@@ -1,0 +1,99 @@
+// Package core implements the paper's primary contribution (§3):
+// the expansion-1, dilation-3 embedding of the (n-1)-dimensional
+// mesh D_n = 2×3×…×n into the star graph S_n.
+//
+//   - ConvertDS is the CONVERT-D-S algorithm of Figure 5 (mesh node →
+//     star node), driven by the exchange sequences of Table 1.
+//   - ConvertSD is the CONVERT-S-D inverse of Figure 6.
+//   - NeighborPlus / NeighborMinus are the closed-form πk± neighbor
+//     characterizations of Lemma 3.
+//   - PathPlus / PathMinus construct the length-≤3 host paths of
+//     Lemma 2, in the order (g_k, g_partner, g_k) whose first and
+//     third hops are the dimension's own position — the property
+//     behind the non-blocking unit-route schedule of Lemma 5 /
+//     Theorem 6 (see package starsim).
+//
+// Mesh coordinates follow package mesh: a node of D_n is pt[0..n-2]
+// with pt[k-1] = d_k, 0 ≤ d_k ≤ k. Star nodes follow package perm:
+// π[i] is the symbol at position i, front = position n-1.
+package core
+
+import (
+	"fmt"
+
+	"starmesh/internal/perm"
+)
+
+// ConvertDS maps a mesh node of D_n onto a star node of S_n
+// (Figure 5). pt must have length n-1 with 0 ≤ pt[k-1] ≤ k. The mesh
+// origin (0,…,0) maps to the identity node (n-1 n-2 … 1 0). O(n²).
+func ConvertDS(pt []int) perm.Perm {
+	n := len(pt) + 1
+	pi := perm.Identity(n)
+	pos := make([]int, n) // pos[s] = position of symbol s in pi
+	for s := range pos {
+		pos[s] = s
+	}
+	swapSymbols := func(a, b int) {
+		pa, pb := pos[a], pos[b]
+		pi[pa], pi[pb] = b, a
+		pos[a], pos[b] = pb, pa
+	}
+	for k := 1; k <= n-1; k++ {
+		dk := pt[k-1]
+		if dk < 0 || dk > k {
+			panic(fmt.Sprintf("core: d_%d = %d out of range [0,%d]", k, dk, k))
+		}
+		// Row k of Table 1: exchanges (k-1 k)(k-2 k-1)…; performing
+		// the first d_k of them.
+		for j := 1; j <= dk; j++ {
+			swapSymbols(k-j, k-j+1)
+		}
+	}
+	return pi
+}
+
+// ConvertSD inverts ConvertDS (Figure 6), recovering the mesh node
+// from a star node. O(n²).
+func ConvertSD(p perm.Perm) []int {
+	n := len(p)
+	q := append([]int(nil), p...)
+	pt := make([]int, n-1)
+	for i := n - 1; i >= 1; i-- {
+		if i > q[i] {
+			d := i - q[i]
+			pt[i-1] = d
+			// Symbols larger than q[i] among the remaining positions
+			// shift down by one when the reverse exchanges pull
+			// symbol i home (see the worked example in §3.2).
+			for j := i - 1; j >= 0; j-- {
+				if q[j] > q[i] {
+					q[j]--
+				}
+			}
+		} else {
+			pt[i-1] = 0
+		}
+	}
+	return pt
+}
+
+// ExchangeRow returns row i of Table 1: the full exchange sequence
+// (i-1 i)(i-2 i-1)…(1 2)(0 1) along dimension i, most-significant
+// exchange first. ConvertDS performs the first d_i entries... note
+// that Figure 5 applies them in that same order (j = 1 → (i-1 i)).
+func ExchangeRow(i int) [][2]int {
+	row := make([][2]int, 0, i)
+	for j := 1; j <= i; j++ {
+		row = append(row, [2]int{i - j, i - j + 1})
+	}
+	return row
+}
+
+// MeshDims returns n-1, the dimensionality of D_n.
+func MeshDims(n int) int { return n - 1 }
+
+// HasDilation1 reports the Lemma 1 criterion: a dilation-1 embedding
+// of D_n on S_n can only exist when the maximum mesh degree 2n-3
+// does not exceed the star degree n-1, i.e. n ≤ 2.
+func HasDilation1(n int) bool { return 2*n-3 <= n-1 }

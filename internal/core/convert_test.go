@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"starmesh/internal/mesh"
+	"starmesh/internal/perm"
+)
+
+func TestConvertWorkedExampleDS(t *testing.T) {
+	// §3.2: "node (3,0,1) is mapped to node (0 3 1 2)".
+	got := ConvertDS([]int{1, 0, 3}) // pt[0]=d_1=1, pt[1]=d_2=0, pt[2]=d_3=3
+	if got.String() != "(0 3 1 2)" {
+		t.Fatalf("ConvertDS((3,0,1)) = %v, want (0 3 1 2)", got)
+	}
+}
+
+func TestConvertWorkedExampleSD(t *testing.T) {
+	// §3.2: "node (0 2 1 3) is mapped to node (3,1,1)".
+	p := perm.MustNew([]int{3, 1, 2, 0}) // displays as (0 2 1 3)
+	if p.String() != "(0 2 1 3)" {
+		t.Fatalf("setup wrong: %v", p)
+	}
+	got := ConvertSD(p)
+	want := []int{1, 1, 3} // (d_3,d_2,d_1) = (3,1,1)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ConvertSD((0 2 1 3)) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOriginMapsToIdentity(t *testing.T) {
+	// "Assume that node (0,0,…,0) gets mapped to (n-1 n-2 … 2 1 0)."
+	for n := 2; n <= 9; n++ {
+		if !ConvertDS(make([]int, n-1)).IsIdentity() {
+			t.Fatalf("n=%d: origin does not map to identity", n)
+		}
+	}
+}
+
+func TestFigure7Golden(t *testing.T) {
+	if len(Figure7) != 24 {
+		t.Fatalf("Figure 7 must have 24 rows")
+	}
+	seen := map[string]bool{}
+	for _, row := range Figure7 {
+		pt := []int{row.Mesh[2], row.Mesh[1], row.Mesh[0]} // (d3,d2,d1) → pt[k-1]=d_k
+		got := ConvertDS(pt)
+		if got.String() != row.Star {
+			t.Errorf("ConvertDS(%v) = %v, want %s", row.Mesh, got, row.Star)
+		}
+		if seen[row.Star] {
+			t.Errorf("duplicate star node %s in Figure 7", row.Star)
+		}
+		seen[row.Star] = true
+		// And the inverse recovers the mesh node.
+		back := ConvertSD(got)
+		for i := range pt {
+			if back[i] != pt[i] {
+				t.Errorf("ConvertSD(%v) = %v, want %v", got, back, pt)
+			}
+		}
+	}
+}
+
+func TestRoundTripExhaustive(t *testing.T) {
+	// ConvertSD ∘ ConvertDS = id over all of D_n, and the images are
+	// exactly all of S_n (bijectivity = expansion 1), for n ≤ 7.
+	for n := 2; n <= 7; n++ {
+		m := mesh.D(n)
+		seen := make([]bool, perm.Factorial(n))
+		coords := make([]int, 0, n-1)
+		for id := 0; id < m.Order(); id++ {
+			coords = m.Coords(coords[:0], id)
+			p := ConvertDS(coords)
+			r := p.Rank()
+			if seen[r] {
+				t.Fatalf("n=%d: ConvertDS not injective at %v", n, coords)
+			}
+			seen[r] = true
+			back := ConvertSD(p)
+			for j := range coords {
+				if back[j] != coords[j] {
+					t.Fatalf("n=%d: roundtrip failed: %v -> %v -> %v", n, coords, p, back)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripQuickLargeN(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(5) // n in 8..12
+		pt := make([]int, n-1)
+		for k := 1; k <= n-1; k++ {
+			pt[k-1] = rng.Intn(k + 1)
+		}
+		p := ConvertDS(pt)
+		if !p.Valid() {
+			return false
+		}
+		back := ConvertSD(p)
+		for i := range pt {
+			if back[i] != pt[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseDirectionQuick(t *testing.T) {
+	// ConvertDS ∘ ConvertSD = id over random star nodes.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		p := perm.Random(n, rng)
+		return ConvertDS(ConvertSD(p)).Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvertSDRangeInvariant(t *testing.T) {
+	// Every output coordinate must satisfy 0 ≤ d_k ≤ k.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(9)
+		pt := ConvertSD(perm.Random(n, rng))
+		if len(pt) != n-1 {
+			t.Fatalf("wrong arity")
+		}
+		for k := 1; k <= n-1; k++ {
+			if pt[k-1] < 0 || pt[k-1] > k {
+				t.Fatalf("d_%d = %d out of range", k, pt[k-1])
+			}
+		}
+	}
+}
+
+func TestConvertDSPanicsOnBadCoordinate(t *testing.T) {
+	for _, pt := range [][]int{{2}, {-1}, {0, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ConvertDS(%v) did not panic", pt)
+				}
+			}()
+			ConvertDS(pt)
+		}()
+	}
+}
+
+func TestExchangeRowMatchesTable1(t *testing.T) {
+	// Table 1 row 1: (0 1). Row 2: (1 2)(0 1).
+	// Row n-1: (n-2 n-1)(n-3 n-2)…(1 2)(0 1).
+	r1 := ExchangeRow(1)
+	if len(r1) != 1 || r1[0] != [2]int{0, 1} {
+		t.Fatalf("row 1 = %v", r1)
+	}
+	r2 := ExchangeRow(2)
+	if len(r2) != 2 || r2[0] != [2]int{1, 2} || r2[1] != [2]int{0, 1} {
+		t.Fatalf("row 2 = %v", r2)
+	}
+	r5 := ExchangeRow(5)
+	want := [][2]int{{4, 5}, {3, 4}, {2, 3}, {1, 2}, {0, 1}}
+	for i := range want {
+		if r5[i] != want[i] {
+			t.Fatalf("row 5 = %v", r5)
+		}
+	}
+}
+
+func TestExchangeRowDrivesConvertDS(t *testing.T) {
+	// Replaying the first d_k exchanges of each Table-1 row on the
+	// identity must reproduce ConvertDS.
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		pt := make([]int, n-1)
+		for k := 1; k <= n-1; k++ {
+			pt[k-1] = rng.Intn(k + 1)
+		}
+		p := perm.Identity(n)
+		for k := 1; k <= n-1; k++ {
+			for j, ex := range ExchangeRow(k) {
+				if j >= pt[k-1] {
+					break
+				}
+				p = p.SwapSymbols(ex[0], ex[1])
+			}
+		}
+		if !p.Equal(ConvertDS(pt)) {
+			t.Fatalf("table replay mismatch for %v", pt)
+		}
+	}
+}
+
+func TestHasDilation1Lemma1(t *testing.T) {
+	// Lemma 1: no dilation-1 embedding for n > 2.
+	if !HasDilation1(2) {
+		t.Fatalf("n=2 admits dilation 1")
+	}
+	for n := 3; n <= 64; n++ {
+		if HasDilation1(n) {
+			t.Fatalf("n=%d should not admit dilation 1", n)
+		}
+	}
+}
+
+func TestLemma1ExhaustiveSearchN3(t *testing.T) {
+	// Brute force: no bijection of D_3 (2×3 mesh, 6 nodes) onto S_3
+	// (6-cycle) achieves dilation 1. D_3 has 7 edges but C_6 only 6,
+	// so this must fail; we verify by trying all 720 bijections.
+	m := mesh.D(3)
+	// S_3 adjacency via star edges.
+	adj := make([][]bool, 6)
+	for i := range adj {
+		adj[i] = make([]bool, 6)
+	}
+	perm.All(3, func(p perm.Perm) bool {
+		for _, q := range starNeighbors(p) {
+			adj[p.Rank()][q.Rank()] = true
+		}
+		return true
+	})
+	found := false
+	perm.All(6, func(bij perm.Perm) bool {
+		ok := true
+		var buf []int
+		for u := 0; u < 6 && ok; u++ {
+			buf = m.AppendNeighbors(buf[:0], u)
+			for _, v := range buf {
+				if !adj[bij[u]][bij[v]] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		t.Fatalf("found a dilation-1 embedding of D_3 on S_3, contradicting Lemma 1")
+	}
+}
+
+func starNeighbors(p perm.Perm) []perm.Perm {
+	front := len(p) - 1
+	var out []perm.Perm
+	for i := 0; i < front; i++ {
+		out = append(out, p.SwapPositions(front, i))
+	}
+	return out
+}
+
+func BenchmarkConvertDS(b *testing.B) {
+	pt := []int{1, 2, 0, 4, 3, 6, 2, 8, 5} // n = 10
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ConvertDS(pt)
+	}
+}
+
+func BenchmarkConvertSD(b *testing.B) {
+	p := ConvertDS([]int{1, 2, 0, 4, 3, 6, 2, 8, 5})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ConvertSD(p)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"starmesh/internal/embed"
+	"starmesh/internal/mesh"
+	"starmesh/internal/perm"
+	"starmesh/internal/star"
+)
+
+// NewEmbedding assembles the paper's D_n → S_n embedding as an
+// embed.Embedding over the dense vertex ids of mesh.D(n) and
+// star.New(n): the vertex map is ConvertDS and guest edges map to
+// the Lemma-2 paths. Theorem 4: expansion 1, dilation 3.
+func NewEmbedding(n int) *embed.Embedding {
+	m := mesh.D(n)
+	s := star.New(n)
+	vm := make([]int, m.Order())
+	coords := make([]int, 0, n-1)
+	for id := 0; id < m.Order(); id++ {
+		coords = m.Coords(coords[:0], id)
+		vm[id] = s.ID(ConvertDS(coords))
+	}
+	e := &embed.Embedding{
+		Guest:     m,
+		Host:      s,
+		VertexMap: vm,
+		Dist: func(hu, hv int) int {
+			return star.Distance(s.Node(hu), s.Node(hv))
+		},
+	}
+	e.Path = func(u, v int) []int {
+		// Identify the dimension and direction of the guest edge.
+		cu := m.Coords(nil, u)
+		cv := m.Coords(nil, v)
+		dim, dir := -1, 0
+		for j := range cu {
+			if cu[j] != cv[j] {
+				dim, dir = j+1, cv[j]-cu[j] // paper dimension k = j+1
+			}
+		}
+		if dim == -1 || (dir != 1 && dir != -1) {
+			return nil
+		}
+		p := ConvertDS(cu)
+		path, ok := Path(p, dim, dir)
+		if !ok {
+			return nil
+		}
+		ids := make([]int, len(path))
+		for i, q := range path {
+			ids[i] = s.ID(q)
+		}
+		return ids
+	}
+	return e
+}
+
+// MapID maps a mesh node id of D(n) to a star vertex id.
+func MapID(n, meshID int) int {
+	m := mesh.D(n)
+	return int(ConvertDS(m.Coords(nil, meshID)).Rank())
+}
+
+// UnmapID maps a star vertex id back to its mesh node id.
+func UnmapID(n, starID int) int {
+	m := mesh.D(n)
+	return m.ID(ConvertSD(perm.Unrank(n, int64(starID))))
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"starmesh/internal/mesh"
+	"starmesh/internal/perm"
+)
+
+func TestTheorem4DilationAndExpansion(t *testing.T) {
+	// The embedding has expansion 1 and dilation exactly 3 for n ≥ 3
+	// (2 for n=2... n=2: D_2 is a 2-node path, S_2 a single edge —
+	// dilation 1). Verified via exact star distances on every guest
+	// edge for n ≤ 6.
+	for n := 3; n <= 6; n++ {
+		e := NewEmbedding(n)
+		if e.Expansion() != 1 {
+			t.Fatalf("n=%d expansion = %v", n, e.Expansion())
+		}
+		if d := e.DilationOnly(); d != 3 {
+			t.Fatalf("n=%d dilation = %d, want 3", n, d)
+		}
+	}
+	if d := NewEmbedding(2).DilationOnly(); d != 1 {
+		t.Fatalf("n=2 dilation = %d, want 1", d)
+	}
+}
+
+func TestEmbeddingValidates(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		if err := NewEmbedding(n).Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestEmbeddingMeasuredMetrics(t *testing.T) {
+	// Measured over the Lemma-2 paths: dilation 3; every edge of
+	// dimension n-1 has length 1, all others length 3.
+	e := NewEmbedding(5)
+	m := e.Measure()
+	if m.Dilation != 3 {
+		t.Fatalf("measured dilation = %d", m.Dilation)
+	}
+	if m.Expansion != 1 {
+		t.Fatalf("measured expansion = %v", m.Expansion)
+	}
+	// Guest edge count of D_5 = Σ_j (l_j-1)·(N/l_j) for sizes 2,3,4,5.
+	dn := mesh.D(5)
+	want := 0
+	for j := 0; j < dn.Dims(); j++ {
+		want += (dn.Size(j) - 1) * dn.Order() / dn.Size(j)
+	}
+	if m.GuestEdges != want {
+		t.Fatalf("guest edges = %d, want %d", m.GuestEdges, want)
+	}
+	if m.Congestion < 1 {
+		t.Fatalf("congestion = %d", m.Congestion)
+	}
+}
+
+func TestMapUnmapIDRoundTrip(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		N := mesh.D(n).Order()
+		for id := 0; id < N; id++ {
+			if UnmapID(n, MapID(n, id)) != id {
+				t.Fatalf("n=%d id=%d roundtrip failed", n, id)
+			}
+		}
+	}
+}
+
+func TestSampledDilationLargeN(t *testing.T) {
+	// For n = 8..10, sample random mesh edges and confirm the host
+	// distance is exactly 3 (or 1 on dimension n-1).
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 300; trial++ {
+		n := 8 + rng.Intn(3)
+		pt := make([]int, n-1)
+		for k := 1; k <= n-1; k++ {
+			pt[k-1] = rng.Intn(k + 1)
+		}
+		p := ConvertDS(pt)
+		k := 1 + rng.Intn(n-1)
+		dir := 1 - 2*rng.Intn(2)
+		if Partner(p, k, dir) == -1 {
+			continue
+		}
+		want := 3
+		if k == n-1 {
+			want = 1
+		}
+		if got := EdgeDistance(p, k, dir); got != want {
+			t.Fatalf("n=%d k=%d: edge distance %d, want %d", n, k, got, want)
+		}
+	}
+}
+
+func TestEmbeddingPathOracleMatchesLemma2(t *testing.T) {
+	// The embed.Embedding path oracle returns the same node
+	// sequences as core.Path.
+	n := 4
+	e := NewEmbedding(n)
+	m := mesh.D(n)
+	var buf []int
+	for u := 0; u < m.Order(); u++ {
+		buf = m.AppendNeighbors(buf[:0], u)
+		for _, v := range buf {
+			ids := e.Path(u, v)
+			if ids == nil {
+				t.Fatalf("missing path for edge {%d,%d}", u, v)
+			}
+			if ids[0] != e.VertexMap[u] || ids[len(ids)-1] != e.VertexMap[v] {
+				t.Fatalf("path endpoints wrong for {%d,%d}", u, v)
+			}
+			if len(ids) != 2 && len(ids) != 4 {
+				t.Fatalf("path length %d for {%d,%d}", len(ids), u, v)
+			}
+		}
+	}
+}
+
+func TestEmbeddingCongestionStable(t *testing.T) {
+	// Record the measured congestion for n=3..5 so regressions in
+	// path construction are caught. These are measured values, not
+	// paper claims (the paper bounds congestion only per unit-route
+	// dimension, via Lemma 5).
+	want := map[int]int{3: 3, 4: 5, 5: 6}
+	for n, w := range want {
+		got := NewEmbedding(n).Measure().Congestion
+		if got != w {
+			t.Errorf("n=%d congestion = %d, previously measured %d", n, got, w)
+		}
+	}
+}
+
+func TestFigure7ViaEmbedding(t *testing.T) {
+	// The assembled embedding's vertex map agrees with Figure 7.
+	e := NewEmbedding(4)
+	m := mesh.D(4)
+	for _, row := range Figure7 {
+		pt := []int{row.Mesh[2], row.Mesh[1], row.Mesh[0]}
+		starID := e.VertexMap[m.ID(pt)]
+		if perm.Unrank(4, int64(starID)).String() != row.Star {
+			t.Fatalf("embedding map disagrees with Figure 7 at %v", row.Mesh)
+		}
+	}
+}
+
+func BenchmarkMapID(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MapID(8, i%40320)
+	}
+}
+
+func TestTheorem4DilationN7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Full exhaustive dilation check at n=7 (5040 nodes, ~26k edges)
+	// via the closed-form star distance.
+	e := NewEmbedding(7)
+	if d := e.DilationOnly(); d != 3 {
+		t.Fatalf("n=7 dilation = %d, want 3", d)
+	}
+	if e.Expansion() != 1 {
+		t.Fatalf("n=7 expansion = %v", e.Expansion())
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+// Figure7 is the paper's Figure 7: the complete mapping of V(D_4)
+// onto V(S_4), transcribed verbatim. Mesh nodes are the tuples
+// (d_3,d_2,d_1) and star nodes the displayed permutations
+// (a_3 a_2 a_1 a_0). The golden test TestFigure7Golden checks
+// ConvertDS against every row; cmd/experiments regenerates the
+// table.
+var Figure7 = []struct {
+	Mesh [3]int // (d_3, d_2, d_1)
+	Star string // paper display, e.g. "(3 2 1 0)"
+}{
+	{[3]int{0, 0, 0}, "(3 2 1 0)"},
+	{[3]int{0, 0, 1}, "(3 2 0 1)"},
+	{[3]int{0, 1, 0}, "(3 1 2 0)"},
+	{[3]int{0, 1, 1}, "(3 1 0 2)"},
+	{[3]int{0, 2, 0}, "(3 0 2 1)"},
+	{[3]int{0, 2, 1}, "(3 0 1 2)"},
+	{[3]int{1, 0, 0}, "(2 3 1 0)"},
+	{[3]int{1, 0, 1}, "(2 3 0 1)"},
+	{[3]int{1, 1, 0}, "(2 1 3 0)"},
+	{[3]int{1, 1, 1}, "(2 1 0 3)"},
+	{[3]int{1, 2, 0}, "(2 0 3 1)"},
+	{[3]int{1, 2, 1}, "(2 0 1 3)"},
+	{[3]int{2, 0, 0}, "(1 3 2 0)"},
+	{[3]int{2, 0, 1}, "(1 3 0 2)"},
+	{[3]int{2, 1, 0}, "(1 2 3 0)"},
+	{[3]int{2, 1, 1}, "(1 2 0 3)"},
+	{[3]int{2, 2, 0}, "(1 0 3 2)"},
+	{[3]int{2, 2, 1}, "(1 0 2 3)"},
+	{[3]int{3, 0, 0}, "(0 3 2 1)"},
+	{[3]int{3, 0, 1}, "(0 3 1 2)"},
+	{[3]int{3, 1, 0}, "(0 2 3 1)"},
+	{[3]int{3, 1, 1}, "(0 2 1 3)"},
+	{[3]int{3, 2, 0}, "(0 1 3 2)"},
+	{[3]int{3, 2, 1}, "(0 1 2 3)"},
+}

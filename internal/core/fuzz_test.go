@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"starmesh/internal/perm"
+	"starmesh/internal/star"
+)
+
+// Fuzz targets: `go test` exercises the seed corpus; `go test
+// -fuzz=FuzzConvertRoundTrip ./internal/core` explores further.
+
+// decodeCoords turns fuzz bytes into valid D_n coordinates,
+// n = len(data)+1 clamped to [2, 12].
+func decodeCoords(data []byte) []int {
+	if len(data) == 0 {
+		data = []byte{0}
+	}
+	if len(data) > 11 {
+		data = data[:11]
+	}
+	pt := make([]int, len(data))
+	for k := 1; k <= len(data); k++ {
+		pt[k-1] = int(data[k-1]) % (k + 1)
+	}
+	return pt
+}
+
+func FuzzConvertRoundTrip(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{1, 0, 3})
+	f.Add([]byte{0, 0, 0, 0, 0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pt := decodeCoords(data)
+		p := ConvertDS(pt)
+		if !p.Valid() {
+			t.Fatalf("ConvertDS produced invalid permutation: %v", p)
+		}
+		back := ConvertSD(p)
+		for i := range pt {
+			if back[i] != pt[i] {
+				t.Fatalf("roundtrip failed: %v -> %v -> %v", pt, p, back)
+			}
+		}
+	})
+}
+
+func FuzzNeighborConsistency(f *testing.F) {
+	f.Add([]byte{1, 0, 3}, uint8(2), true)
+	f.Add([]byte{0, 2, 1, 4}, uint8(1), false)
+	f.Fuzz(func(t *testing.T, data []byte, kRaw uint8, plus bool) {
+		pt := decodeCoords(data)
+		n := len(pt) + 1
+		k := 1 + int(kRaw)%(n-1)
+		dir := -1
+		if plus {
+			dir = +1
+		}
+		p := ConvertDS(pt)
+		got, okG := Neighbor(p, k, dir)
+		pt2 := append([]int(nil), pt...)
+		pt2[k-1] += dir
+		okW := pt2[k-1] >= 0 && pt2[k-1] <= k
+		if okG != okW {
+			t.Fatalf("existence mismatch at %v k=%d dir=%d", pt, k, dir)
+		}
+		if !okG {
+			return
+		}
+		want := ConvertDS(pt2)
+		if !got.Equal(want) {
+			t.Fatalf("neighbor mismatch at %v k=%d dir=%d", pt, k, dir)
+		}
+		// Lemma 2: realized distance is 1 (front dim) or 3.
+		d := star.Distance(p, got)
+		if k == n-1 && d != 1 || k < n-1 && d != 3 {
+			t.Fatalf("dilation violated: k=%d d=%d", k, d)
+		}
+	})
+}
+
+func FuzzRankUnrank(f *testing.F) {
+	f.Add(uint16(0), uint8(5))
+	f.Add(uint16(119), uint8(5))
+	f.Fuzz(func(t *testing.T, r uint16, nRaw uint8) {
+		n := 2 + int(nRaw)%9
+		rank := int64(r) % perm.Factorial(n)
+		p := perm.Unrank(n, rank)
+		if p.Rank() != rank {
+			t.Fatalf("rank/unrank mismatch")
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package core
+
+import "starmesh/internal/perm"
+
+// This file implements Lemma 3's closed-form neighbor
+// characterization. Let π correspond to mesh node (d_{n-1},…,d_1).
+// Then the star node of the mesh neighbor along +dimension k is
+// obtained by exchanging symbol a_k = π[k] with
+//
+//	a_l = max{ a_t | a_t < a_k, 0 ≤ t < k }
+//
+// and along -dimension k by exchanging a_k with
+//
+//	a_m = min{ a_t | a_t > a_k, 0 ≤ t < k }.
+//
+// The +neighbor exists iff d_k < k and the -neighbor iff d_k > 0,
+// which coincides exactly with the partner sets being non-empty
+// (verified exhaustively in the tests against ConvertDS/ConvertSD).
+
+// PartnerPlus returns the position of the symbol that moves to
+// position k when d_k increments, or -1 if d_k is already maximal.
+func PartnerPlus(p perm.Perm, k int) int {
+	ak := p[k]
+	best, bestPos := -1, -1
+	for t := 0; t < k; t++ {
+		if p[t] < ak && p[t] > best {
+			best, bestPos = p[t], t
+		}
+	}
+	return bestPos
+}
+
+// PartnerMinus returns the position of the symbol that moves to
+// position k when d_k decrements, or -1 if d_k is already 0.
+func PartnerMinus(p perm.Perm, k int) int {
+	ak := p[k]
+	best, bestPos := -1, -1
+	for t := 0; t < k; t++ {
+		if p[t] > ak && (best == -1 || p[t] < best) {
+			best, bestPos = p[t], t
+		}
+	}
+	return bestPos
+}
+
+// Partner returns PartnerPlus for dir=+1 and PartnerMinus for
+// dir=-1.
+func Partner(p perm.Perm, k, dir int) int {
+	if dir > 0 {
+		return PartnerPlus(p, k)
+	}
+	return PartnerMinus(p, k)
+}
+
+// NeighborPlus returns the star node of the mesh neighbor along
+// +dimension k (πk+ of Definition 2), or ok=false at the mesh
+// boundary d_k = k.
+func NeighborPlus(p perm.Perm, k int) (perm.Perm, bool) {
+	t := PartnerPlus(p, k)
+	if t == -1 {
+		return nil, false
+	}
+	return p.SwapPositions(k, t), true
+}
+
+// NeighborMinus returns πk− (Definition 2), or ok=false at d_k = 0.
+func NeighborMinus(p perm.Perm, k int) (perm.Perm, bool) {
+	t := PartnerMinus(p, k)
+	if t == -1 {
+		return nil, false
+	}
+	return p.SwapPositions(k, t), true
+}
+
+// Neighbor returns the mesh neighbor along dimension k in direction
+// dir (+1 or -1).
+func Neighbor(p perm.Perm, k, dir int) (perm.Perm, bool) {
+	if dir > 0 {
+		return NeighborPlus(p, k)
+	}
+	return NeighborMinus(p, k)
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"starmesh/internal/perm"
+	"starmesh/internal/star"
+)
+
+func TestLemma3WorkedExample(t *testing.T) {
+	// π = (2 3 4 0 1), corresponding to mesh node (2,1,0,1):
+	// π3+ = (2 1 4 0 3) and π3− = (2 4 3 0 1).
+	pi := perm.MustNew([]int{1, 0, 4, 3, 2})
+	if pi.String() != "(2 3 4 0 1)" {
+		t.Fatalf("setup: %v", pi)
+	}
+	pt := ConvertSD(pi)
+	want := []int{1, 0, 1, 2} // (d_4,d_3,d_2,d_1) = (2,1,0,1)
+	for i := range want {
+		if pt[i] != want[i] {
+			t.Fatalf("mesh node = %v, want %v", pt, want)
+		}
+	}
+	plus, ok := NeighborPlus(pi, 3)
+	if !ok || plus.String() != "(2 1 4 0 3)" {
+		t.Fatalf("π3+ = %v (ok=%v), want (2 1 4 0 3)", plus, ok)
+	}
+	minus, ok := NeighborMinus(pi, 3)
+	if !ok || minus.String() != "(2 4 3 0 1)" {
+		t.Fatalf("π3− = %v (ok=%v), want (2 4 3 0 1)", minus, ok)
+	}
+}
+
+func TestLemma3EdgePathWorkedExample(t *testing.T) {
+	// The paper's edge-to-path mapping after Lemma 3:
+	// ((2,1,0,1),(2,2,0,1)) → (2 3 4 0 1)(3 2 4 0 1)(1 2 4 0 3)(2 1 4 0 3)
+	// ((2,1,0,1),(2,0,0,1)) → (2 3 4 0 1)(3 2 4 0 1)(4 2 3 0 1)(2 4 3 0 1)
+	pi := perm.MustNew([]int{1, 0, 4, 3, 2})
+	pathPlus, ok := Path(pi, 3, +1)
+	if !ok {
+		t.Fatalf("plus path missing")
+	}
+	wantPlus := []string{"(2 3 4 0 1)", "(3 2 4 0 1)", "(1 2 4 0 3)", "(2 1 4 0 3)"}
+	for i, w := range wantPlus {
+		if pathPlus[i].String() != w {
+			t.Fatalf("plus path[%d] = %v, want %s", i, pathPlus[i], w)
+		}
+	}
+	pathMinus, ok := Path(pi, 3, -1)
+	if !ok {
+		t.Fatalf("minus path missing")
+	}
+	wantMinus := []string{"(2 3 4 0 1)", "(3 2 4 0 1)", "(4 2 3 0 1)", "(2 4 3 0 1)"}
+	for i, w := range wantMinus {
+		if pathMinus[i].String() != w {
+			t.Fatalf("minus path[%d] = %v, want %s", i, pathMinus[i], w)
+		}
+	}
+}
+
+// meshStepGroundTruth computes πk± the slow way: via the mesh
+// coordinates and ConvertDS.
+func meshStepGroundTruth(p perm.Perm, k, dir int) (perm.Perm, bool) {
+	pt := ConvertSD(p)
+	pt[k-1] += dir
+	if pt[k-1] < 0 || pt[k-1] > k {
+		return nil, false
+	}
+	return ConvertDS(pt), true
+}
+
+func TestLemma3Exhaustive(t *testing.T) {
+	// The closed-form neighbors equal the convert-based ground truth
+	// for every node, dimension and direction, n ≤ 6.
+	for n := 2; n <= 6; n++ {
+		perm.All(n, func(p perm.Perm) bool {
+			for k := 1; k <= n-1; k++ {
+				for _, dir := range []int{+1, -1} {
+					got, okG := Neighbor(p, k, dir)
+					want, okW := meshStepGroundTruth(p, k, dir)
+					if okG != okW {
+						t.Fatalf("n=%d %v k=%d dir=%d: existence mismatch (%v vs %v)", n, p, k, dir, okG, okW)
+					}
+					if okG && !got.Equal(want) {
+						t.Fatalf("n=%d %v k=%d dir=%d: %v != %v", n, p, k, dir, got, want)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestLemma3SampledLargeN(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 400; trial++ {
+		n := 7 + rng.Intn(4)
+		p := perm.Random(n, rng)
+		k := 1 + rng.Intn(n-1)
+		dir := 1 - 2*rng.Intn(2)
+		got, okG := Neighbor(p, k, dir)
+		want, okW := meshStepGroundTruth(p, k, dir)
+		if okG != okW || (okG && !got.Equal(want)) {
+			t.Fatalf("n=%d %v k=%d dir=%d mismatch", n, p, k, dir)
+		}
+	}
+}
+
+func TestNeighborExistenceMatchesBoundary(t *testing.T) {
+	// πk+ exists iff d_k < k; πk− exists iff d_k > 0.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(8)
+		p := perm.Random(n, rng)
+		pt := ConvertSD(p)
+		for k := 1; k <= n-1; k++ {
+			if (PartnerPlus(p, k) != -1) != (pt[k-1] < k) {
+				t.Fatalf("plus existence mismatch at k=%d, d=%v", k, pt)
+			}
+			if (PartnerMinus(p, k) != -1) != (pt[k-1] > 0) {
+				t.Fatalf("minus existence mismatch at k=%d, d=%v", k, pt)
+			}
+		}
+	}
+}
+
+func TestPlusMinusAreInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(8)
+		p := perm.Random(n, rng)
+		k := 1 + rng.Intn(n-1)
+		if plus, ok := NeighborPlus(p, k); ok {
+			back, ok2 := NeighborMinus(plus, k)
+			if !ok2 || !back.Equal(p) {
+				t.Fatalf("minus(plus) != id at %v k=%d", p, k)
+			}
+		}
+		if minus, ok := NeighborMinus(p, k); ok {
+			back, ok2 := NeighborPlus(minus, k)
+			if !ok2 || !back.Equal(p) {
+				t.Fatalf("plus(minus) != id at %v k=%d", p, k)
+			}
+		}
+	}
+}
+
+func TestLemma2PathsAreShortest(t *testing.T) {
+	// Each mesh edge's path has length exactly star.Distance (1 for
+	// dimension n-1, else 3), and consists of star edges.
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(7)
+		p := perm.Random(n, rng)
+		k := 1 + rng.Intn(n-1)
+		dir := 1 - 2*rng.Intn(2)
+		path, ok := Path(p, k, dir)
+		if !ok {
+			continue
+		}
+		dst := path[len(path)-1]
+		d := star.Distance(p, dst)
+		if len(path)-1 != d {
+			t.Fatalf("path length %d != distance %d", len(path)-1, d)
+		}
+		if EdgeDistance(p, k, dir) != d {
+			t.Fatalf("EdgeDistance mismatch")
+		}
+		if k == n-1 && d != 1 {
+			t.Fatalf("front dimension should have distance 1, got %d", d)
+		}
+		if k < n-1 && d != 3 {
+			t.Fatalf("non-front dimension should have distance 3, got %d", d)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if !star.IsEdge(path[i], path[i+1]) {
+				t.Fatalf("path step %d is not a star edge", i)
+			}
+		}
+	}
+}
+
+func TestLemma2ExhaustiveTranspositionDistances(t *testing.T) {
+	// Lemma 2 directly: dist(π, π(i,j)) is 1 if i or j is the front
+	// symbol, else 3 — exhaustive over S_n × pairs for n ≤ 6.
+	for n := 2; n <= 6; n++ {
+		perm.All(n, func(p perm.Perm) bool {
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					q := p.SwapSymbols(i, j)
+					d := star.Distance(p, q)
+					front := p[n-1]
+					want := 3
+					if front == i || front == j {
+						want = 1
+					}
+					if d != want {
+						t.Fatalf("n=%d %v swap(%d,%d): dist=%d want %d", n, p, i, j, d, want)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestEdgeDistanceBoundary(t *testing.T) {
+	// At the mesh boundary EdgeDistance returns 0.
+	p := ConvertDS([]int{0, 0, 0}) // origin: every d_k = 0, no minus neighbors
+	for k := 1; k <= 3; k++ {
+		if EdgeDistance(p, k, -1) != 0 {
+			t.Fatalf("boundary minus distance != 0")
+		}
+	}
+	q := ConvertDS([]int{1, 2, 3}) // all d_k maximal: no plus neighbors
+	for k := 1; k <= 3; k++ {
+		if EdgeDistance(q, k, +1) != 0 {
+			t.Fatalf("boundary plus distance != 0")
+		}
+	}
+}
+
+func TestPathGeneratorsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(6)
+		p := perm.Random(n, rng)
+		k := 1 + rng.Intn(n-1)
+		gens, ok := PathGenerators(p, k, +1)
+		if !ok {
+			continue
+		}
+		if k == n-1 {
+			if len(gens) != 1 {
+				t.Fatalf("front-dim path has %d generators", len(gens))
+			}
+		} else {
+			if len(gens) != 3 || gens[0] != k || gens[2] != k {
+				t.Fatalf("path generators = %v, want [k,·,k] with k=%d", gens, k)
+			}
+			if gens[1] >= k {
+				t.Fatalf("middle generator %d should be below k=%d", gens[1], k)
+			}
+		}
+	}
+}
+
+func TestMeshDims(t *testing.T) {
+	if MeshDims(5) != 4 {
+		t.Fatalf("MeshDims")
+	}
+}
+
+func BenchmarkNeighborPlus(b *testing.B) {
+	p := ConvertDS([]int{1, 2, 0, 4, 3, 6, 2, 8, 5})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = NeighborPlus(p, 7)
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import "starmesh/internal/perm"
+
+// This file constructs the host paths realizing mesh edges
+// (Lemma 2). The mesh neighbor along dimension k is π with symbols
+// a_k (at position k) and the partner a_l (at position t < k)
+// exchanged. Three cases:
+//
+//   - k = n-1: position k IS the front, so a single generator g_t
+//     performs the exchange — distance 1.
+//   - otherwise: distance 3 via the canonical path
+//     π → π·g_k → π·g_k·g_t → π·g_k·g_t·g_k.
+//     Hops 1 and 3 use the dimension's own position k, identical for
+//     every node routing along dimension k; only the middle hop
+//     varies. That is the structure exploited by Lemma 5's
+//     non-blocking argument and by SIMD-A scheduling (steps 1 and 3
+//     are single-generator rounds).
+//
+// The paths returned here are exactly the ones whose edge-to-path
+// mapping the paper illustrates after Lemma 3 for π = (2 3 4 0 1).
+
+// PathGenerators returns the generator sequence realizing the mesh
+// step along dimension k in direction dir from star node p, or
+// (nil, false) at the mesh boundary. Length is 1 when k = n-1 and 3
+// otherwise.
+func PathGenerators(p perm.Perm, k, dir int) ([]int, bool) {
+	t := Partner(p, k, dir)
+	if t == -1 {
+		return nil, false
+	}
+	if k == len(p)-1 {
+		return []int{t}, true
+	}
+	return []int{k, t, k}, true
+}
+
+// Path returns the host path (node sequence, endpoints included)
+// realizing the mesh step along dimension k in direction dir, or
+// (nil, false) at the boundary.
+func Path(p perm.Perm, k, dir int) ([]perm.Perm, bool) {
+	gens, ok := PathGenerators(p, k, dir)
+	if !ok {
+		return nil, false
+	}
+	out := make([]perm.Perm, 0, len(gens)+1)
+	cur := p.Clone()
+	out = append(out, cur)
+	for _, g := range gens {
+		cur = cur.SwapPositions(len(p)-1, g)
+		out = append(out, cur)
+	}
+	return out, true
+}
+
+// EdgeDistance returns the host distance realized for the mesh step
+// (1 or 3), or 0 at the boundary. By Lemma 2 this is also the
+// shortest-path distance between the two star nodes.
+func EdgeDistance(p perm.Perm, k, dir int) int {
+	if Partner(p, k, dir) == -1 {
+		return 0
+	}
+	if k == len(p)-1 {
+		return 1
+	}
+	return 3
+}

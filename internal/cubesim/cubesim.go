@@ -1,0 +1,100 @@
+// Package cubesim runs SIMD programs on a hypercube-connected
+// machine and implements Batcher's bitonic sort, the fast hypercube
+// sorting algorithm the paper's introduction credits to [RANK88] /
+// [NASS79]. It serves as the baseline the star graph is measured
+// against in the §5 sorting discussion: bitonic sort needs O(log²N)
+// unit routes but requires N to be a power of two — which n! never
+// is (for n ≥ 3) — while the star's embedded-mesh sorts work at any
+// n! but cost more routes.
+package cubesim
+
+import (
+	"fmt"
+
+	"starmesh/internal/hypercube"
+	"starmesh/internal/simd"
+)
+
+// Topo adapts Q_d to simd.Topology: port b flips address bit b.
+type Topo struct {
+	D int
+}
+
+// Size implements simd.Topology.
+func (t Topo) Size() int { return 1 << t.D }
+
+// Ports implements simd.Topology.
+func (t Topo) Ports() int { return t.D }
+
+// Neighbor implements simd.Topology.
+func (t Topo) Neighbor(pe, port int) int { return pe ^ (1 << port) }
+
+// Machine is a hypercube-connected SIMD computer.
+type Machine struct {
+	*simd.Machine
+	D int
+}
+
+// New builds the machine for Q_d.
+func New(d int) *Machine {
+	if d < 0 || d > 24 {
+		panic(fmt.Sprintf("cubesim: unsupported dimension %d", d))
+	}
+	return &Machine{Machine: simd.New(Topo{D: d}), D: d}
+}
+
+// ExchangeBit delivers every PE its bit-b partner's src value into
+// dst — a single SIMD-A unit route, since the bit-b pairing is an
+// involution.
+func (m *Machine) ExchangeBit(src, dst string, b int) {
+	m.RouteA(src, dst, b, nil)
+}
+
+// BitonicSort sorts register key ascending by PE address using
+// Batcher's bitonic network: (d(d+1))/2 compare-exchange stages, one
+// unit route each.
+func (m *Machine) BitonicSort(key string) int {
+	const tmp = "__bitonic_tmp"
+	m.EnsureReg(tmp)
+	before := m.Stats().UnitRoutes
+	n := m.Size()
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			bit := trailingBit(j)
+			m.ExchangeBit(key, tmp, bit)
+			kk, tt := m.Reg(key), m.Reg(tmp)
+			for pe := 0; pe < n; pe++ {
+				up := pe&k == 0 // ascending block?
+				lower := pe&j == 0
+				keepMin := lower == up
+				if keepMin {
+					if tt[pe] < kk[pe] {
+						kk[pe] = tt[pe]
+					}
+				} else {
+					if tt[pe] > kk[pe] {
+						kk[pe] = tt[pe]
+					}
+				}
+			}
+		}
+	}
+	return m.Stats().UnitRoutes - before
+}
+
+func trailingBit(j int) int {
+	b := 0
+	for j > 1 {
+		j >>= 1
+		b++
+	}
+	return b
+}
+
+// MinDimFor re-exports hypercube.MinDimFor for callers sizing a cube
+// to hold at least n keys.
+func MinDimFor(n int64) int { return hypercube.MinDimFor(n) }
+
+// TheoreticalRoutes returns d(d+1)/2, the exact unit-route count of
+// bitonic sort on Q_d.
+func TheoreticalRoutes(d int) int { return d * (d + 1) / 2 }

@@ -1,0 +1,131 @@
+package cubesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"starmesh/internal/workload"
+)
+
+func TestTopo(t *testing.T) {
+	topo := Topo{D: 3}
+	if topo.Size() != 8 || topo.Ports() != 3 {
+		t.Fatalf("topo shape wrong")
+	}
+	if topo.Neighbor(5, 1) != 7 {
+		t.Fatalf("neighbor wrong")
+	}
+	// Involution.
+	for pe := 0; pe < 8; pe++ {
+		for b := 0; b < 3; b++ {
+			if topo.Neighbor(topo.Neighbor(pe, b), b) != pe {
+				t.Fatalf("bit flip not involutive")
+			}
+		}
+	}
+}
+
+func TestExchangeBit(t *testing.T) {
+	m := New(3)
+	m.AddReg("A")
+	m.AddReg("B")
+	m.Set("A", func(pe int) int64 { return int64(pe * 11) })
+	m.ExchangeBit("A", "B", 2)
+	for pe := 0; pe < 8; pe++ {
+		if m.Reg("B")[pe] != int64((pe^4)*11) {
+			t.Fatalf("exchange wrong at %d", pe)
+		}
+	}
+	if m.Stats().UnitRoutes != 1 {
+		t.Fatalf("routes = %d", m.Stats().UnitRoutes)
+	}
+}
+
+func TestBitonicSortAllDistributions(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 4, 5, 7} {
+		for _, dist := range workload.Dists {
+			m := New(d)
+			m.AddReg("K")
+			keys := workload.Keys(dist.D, m.Size(), int64(d))
+			m.Set("K", func(pe int) int64 { return keys[pe] })
+			routes := m.BitonicSort("K")
+			k := m.Reg("K")
+			for pe := 1; pe < m.Size(); pe++ {
+				if k[pe] < k[pe-1] {
+					t.Fatalf("d=%d %s: not sorted at %d", d, dist.Name, pe)
+				}
+			}
+			if routes != TheoreticalRoutes(d) {
+				t.Fatalf("d=%d: routes %d, want %d", d, routes, TheoreticalRoutes(d))
+			}
+			if m.Stats().ReceiveConflicts != 0 {
+				t.Fatalf("conflicts")
+			}
+		}
+	}
+}
+
+func TestBitonicSortRandomQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		d := 1 + rng.Intn(8)
+		m := New(d)
+		m.AddReg("K")
+		m.Set("K", func(pe int) int64 { return int64(rng.Intn(1 << 16)) })
+		m.BitonicSort("K")
+		k := m.Reg("K")
+		for pe := 1; pe < m.Size(); pe++ {
+			if k[pe] < k[pe-1] {
+				t.Fatalf("trial %d: not sorted", trial)
+			}
+		}
+	}
+}
+
+func TestBitonicPreservesMultiset(t *testing.T) {
+	m := New(5)
+	m.AddReg("K")
+	m.Set("K", func(pe int) int64 { return int64((pe * 13) % 7) })
+	before := make(map[int64]int)
+	for _, v := range m.Reg("K") {
+		before[v]++
+	}
+	m.BitonicSort("K")
+	after := make(map[int64]int)
+	for _, v := range m.Reg("K") {
+		after[v]++
+	}
+	for v, c := range before {
+		if after[v] != c {
+			t.Fatalf("multiset changed")
+		}
+	}
+}
+
+func TestTrailingBit(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 64: 6}
+	for j, want := range cases {
+		if trailingBit(j) != want {
+			t.Fatalf("trailingBit(%d) = %d", j, trailingBit(j))
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	New(25)
+}
+
+func BenchmarkBitonicSortD10(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < b.N; i++ {
+		m := New(10)
+		m.AddReg("K")
+		m.Set("K", func(pe int) int64 { return int64(rng.Intn(1 << 20)) })
+		m.BitonicSort("K")
+	}
+}

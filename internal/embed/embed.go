@@ -1,0 +1,193 @@
+// Package embed provides the graph-embedding framework of §3.1 of
+// the paper: an embedding maps the vertices of a guest graph G
+// one-to-one onto vertices of a host graph S and each guest edge onto
+// a simple path of the host. The package computes and verifies the
+// three quality metrics the paper defines — expansion |S|/|G|,
+// dilation (longest edge image), and congestion (most-loaded host
+// edge) — for arbitrary embeddings, and is used both for the paper's
+// D_n→S_n embedding (Theorem 4) and for the baselines of E18.
+package embed
+
+import (
+	"fmt"
+
+	"starmesh/internal/graphalg"
+)
+
+// Embedding is a vertex map plus an edge→path oracle.
+//
+// VertexMap[g] is the host vertex of guest vertex g; it must be
+// injective. Path returns the host path (as a vertex sequence,
+// endpoints included) realizing the guest edge {u,v}; if nil, paths
+// default to host shortest paths computed by BFS.
+type Embedding struct {
+	Guest graphalg.Graph
+	Host  graphalg.Graph
+	// VertexMap maps guest vertex ids to host vertex ids.
+	VertexMap []int
+	// Path, if non-nil, returns the host path for guest edge {u,v}.
+	Path func(u, v int) []int
+	// Dist, if non-nil, returns exact host distances; used by
+	// DilationOnly to avoid per-vertex BFS on large hosts (the star
+	// graph has a closed-form distance, see star.Distance).
+	Dist func(hu, hv int) int
+}
+
+// hostPath returns the path realizing guest edge {u,v}.
+func (e *Embedding) hostPath(u, v int) []int {
+	if e.Path != nil {
+		return e.Path(u, v)
+	}
+	return graphalg.BFSPath(e.Host, e.VertexMap[u], e.VertexMap[v])
+}
+
+// Validate checks structural soundness: the vertex map is injective
+// and total, and every guest edge maps to a simple host path whose
+// endpoints match the vertex map and whose steps are host edges.
+func (e *Embedding) Validate() error {
+	ng := e.Guest.Order()
+	if len(e.VertexMap) != ng {
+		return fmt.Errorf("embed: vertex map has %d entries, guest has %d vertices", len(e.VertexMap), ng)
+	}
+	seen := make(map[int]bool, ng)
+	for g, h := range e.VertexMap {
+		if h < 0 || h >= e.Host.Order() {
+			return fmt.Errorf("embed: vertex %d maps outside host (%d)", g, h)
+		}
+		if seen[h] {
+			return fmt.Errorf("embed: vertex map not injective at host vertex %d", h)
+		}
+		seen[h] = true
+	}
+	var buf []int
+	for u := 0; u < ng; u++ {
+		buf = e.Guest.AppendNeighbors(buf[:0], u)
+		for _, v := range buf {
+			if v < u {
+				continue // each undirected edge once
+			}
+			p := e.hostPath(u, v)
+			if err := e.validatePath(u, v, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Embedding) validatePath(u, v int, p []int) error {
+	if len(p) < 2 {
+		return fmt.Errorf("embed: edge {%d,%d} has path of length %d", u, v, len(p))
+	}
+	if p[0] != e.VertexMap[u] || p[len(p)-1] != e.VertexMap[v] {
+		return fmt.Errorf("embed: edge {%d,%d} path endpoints %d..%d don't match map %d..%d",
+			u, v, p[0], p[len(p)-1], e.VertexMap[u], e.VertexMap[v])
+	}
+	onPath := make(map[int]bool, len(p))
+	var nbuf []int
+	for i, x := range p {
+		if onPath[x] {
+			return fmt.Errorf("embed: edge {%d,%d} path is not simple (revisits %d)", u, v, x)
+		}
+		onPath[x] = true
+		if i+1 == len(p) {
+			break
+		}
+		nbuf = e.Host.AppendNeighbors(nbuf[:0], x)
+		ok := false
+		for _, w := range nbuf {
+			if w == p[i+1] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("embed: edge {%d,%d} path step %d->%d is not a host edge", u, v, x, p[i+1])
+		}
+	}
+	return nil
+}
+
+// Expansion returns |host| / |guest| (§3.1).
+func (e *Embedding) Expansion() float64 {
+	return float64(e.Host.Order()) / float64(e.Guest.Order())
+}
+
+// Metrics holds the measured quality of an embedding.
+type Metrics struct {
+	Expansion     float64
+	Dilation      int     // max path length over guest edges
+	AvgDilation   float64 // mean path length over guest edges
+	Congestion    int     // max number of paths sharing a host edge
+	GuestEdges    int
+	HostEdgesUsed int
+}
+
+// Measure walks every guest edge once, accumulating dilation and
+// per-host-edge congestion. Paths contribute each undirected host
+// edge they traverse.
+func (e *Embedding) Measure() Metrics {
+	m := Metrics{Expansion: e.Expansion()}
+	cong := make(map[[2]int]int)
+	sum := 0
+	var buf []int
+	for u := 0; u < e.Guest.Order(); u++ {
+		buf = e.Guest.AppendNeighbors(buf[:0], u)
+		for _, v := range buf {
+			if v < u {
+				continue
+			}
+			p := e.hostPath(u, v)
+			l := len(p) - 1
+			m.GuestEdges++
+			sum += l
+			if l > m.Dilation {
+				m.Dilation = l
+			}
+			for i := 0; i+1 < len(p); i++ {
+				a, b := p[i], p[i+1]
+				if a > b {
+					a, b = b, a
+				}
+				cong[[2]int{a, b}]++
+			}
+		}
+	}
+	for _, c := range cong {
+		if c > m.Congestion {
+			m.Congestion = c
+		}
+	}
+	m.HostEdgesUsed = len(cong)
+	if m.GuestEdges > 0 {
+		m.AvgDilation = float64(sum) / float64(m.GuestEdges)
+	}
+	return m
+}
+
+// DilationOnly measures dilation using host shortest-path distances
+// between mapped endpoints (the §3.1 definition, which takes the
+// shortest host path regardless of the Path oracle).
+func (e *Embedding) DilationOnly() int {
+	maxD := 0
+	var buf []int
+	for u := 0; u < e.Guest.Order(); u++ {
+		var dist []int
+		if e.Dist == nil {
+			dist = graphalg.BFS(e.Host, e.VertexMap[u])
+		}
+		buf = e.Guest.AppendNeighbors(buf[:0], u)
+		for _, v := range buf {
+			var d int
+			if e.Dist != nil {
+				d = e.Dist(e.VertexMap[u], e.VertexMap[v])
+			} else {
+				d = dist[e.VertexMap[v]]
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return maxD
+}

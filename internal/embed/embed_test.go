@@ -1,0 +1,178 @@
+package embed
+
+import (
+	"testing"
+
+	"starmesh/internal/graphalg"
+)
+
+// figure4 builds the paper's Figure 4 example: guest G is the 4-cycle
+// 1-2-4-3-1 and host S is the 4-star K_{1,3} with center a and leaves
+// b, c, d. Vertex numbering: G vertices 0..3 = paper's 1..4; host
+// vertices 0..3 = a, b, c, d.
+func figure4() *Embedding {
+	g := graphalg.NewAdjacency(4)
+	g.AddEdge(0, 1) // (1,2)
+	g.AddEdge(1, 3) // (2,4)
+	g.AddEdge(3, 2) // (4,3)
+	g.AddEdge(2, 0) // (3,1)
+	s := graphalg.NewAdjacency(4)
+	s.AddEdge(0, 1) // a-b
+	s.AddEdge(0, 2) // a-c
+	s.AddEdge(0, 3) // a-d
+	// Paper's vertex mapping: 1→a, 2→b, 3→c, 4→d.
+	vm := []int{0, 1, 2, 3}
+	// Paper's edge-to-path mapping: (1,2)→ab, (2,4)→bad, (4,3)→dac, (3,1)→ca.
+	paths := map[[2]int][]int{
+		{0, 1}: {0, 1},    // ab
+		{1, 3}: {1, 0, 3}, // bad
+		{3, 2}: {3, 0, 2}, // dac
+		{2, 0}: {2, 0},    // ca
+	}
+	return &Embedding{
+		Guest:     g,
+		Host:      s,
+		VertexMap: vm,
+		Path: func(u, v int) []int {
+			if p, ok := paths[[2]int{u, v}]; ok {
+				return p
+			}
+			// reverse of the stored direction
+			p := paths[[2]int{v, u}]
+			r := make([]int, len(p))
+			for i := range p {
+				r[i] = p[len(p)-1-i]
+			}
+			return r
+		},
+	}
+}
+
+func TestFigure4Example(t *testing.T) {
+	e := figure4()
+	if err := e.Validate(); err != nil {
+		t.Fatalf("figure 4 embedding invalid: %v", err)
+	}
+	m := e.Measure()
+	// "For the above example, the expansion is 1 while the dilation
+	// and congestion are both 2."
+	if m.Expansion != 1 {
+		t.Errorf("expansion = %v, want 1", m.Expansion)
+	}
+	if m.Dilation != 2 {
+		t.Errorf("dilation = %d, want 2", m.Dilation)
+	}
+	if m.Congestion != 2 {
+		t.Errorf("congestion = %d, want 2", m.Congestion)
+	}
+	if m.GuestEdges != 4 {
+		t.Errorf("guest edges = %d", m.GuestEdges)
+	}
+	if m.AvgDilation != 1.5 { // paths ab(1), bad(2), dac(2), ca(1)
+		t.Errorf("avg dilation = %v", m.AvgDilation)
+	}
+}
+
+func TestDefaultBFSPaths(t *testing.T) {
+	e := figure4()
+	e.Path = nil // fall back to host shortest paths
+	if err := e.Validate(); err != nil {
+		t.Fatalf("BFS-path embedding invalid: %v", err)
+	}
+	m := e.Measure()
+	if m.Dilation != 2 {
+		t.Errorf("dilation = %d", m.Dilation)
+	}
+	if e.DilationOnly() != 2 {
+		t.Errorf("DilationOnly = %d", e.DilationOnly())
+	}
+}
+
+func TestDistOracle(t *testing.T) {
+	e := figure4()
+	e.Dist = func(hu, hv int) int { return graphalg.Distance(e.Host, hu, hv) }
+	if e.DilationOnly() != 2 {
+		t.Errorf("DilationOnly with oracle = %d", e.DilationOnly())
+	}
+}
+
+func TestValidateRejectsNonInjective(t *testing.T) {
+	e := figure4()
+	e.VertexMap = []int{0, 1, 2, 2}
+	if err := e.Validate(); err == nil {
+		t.Fatalf("non-injective map accepted")
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	e := figure4()
+	e.VertexMap = []int{0, 1, 2, 9}
+	if err := e.Validate(); err == nil {
+		t.Fatalf("out-of-range map accepted")
+	}
+	e.VertexMap = []int{0, 1, 2}
+	if err := e.Validate(); err == nil {
+		t.Fatalf("short map accepted")
+	}
+}
+
+func TestValidateRejectsBadPath(t *testing.T) {
+	e := figure4()
+	orig := e.Path
+	// Wrong endpoints.
+	e.Path = func(u, v int) []int { return []int{0, 1} }
+	if err := e.Validate(); err == nil {
+		t.Fatalf("bad-endpoint path accepted")
+	}
+	// Non-edge step.
+	e.Path = func(u, v int) []int {
+		p := orig(u, v)
+		if len(p) == 2 && p[0] == 0 && p[1] == 1 {
+			return []int{0, 3, 1} // 3-1 is not a host edge (b and d are leaves)
+		}
+		return p
+	}
+	if err := e.Validate(); err == nil {
+		t.Fatalf("non-edge path accepted")
+	}
+	// Non-simple path.
+	e.Path = func(u, v int) []int {
+		p := orig(u, v)
+		if len(p) == 2 {
+			return []int{p[0], p[1], p[0], p[1]}
+		}
+		return p
+	}
+	if err := e.Validate(); err == nil {
+		t.Fatalf("non-simple path accepted")
+	}
+	// Too-short path.
+	e.Path = func(u, v int) []int { return []int{0} }
+	if err := e.Validate(); err == nil {
+		t.Fatalf("length-0 path accepted")
+	}
+}
+
+func TestIdentityEmbedding(t *testing.T) {
+	// Embedding a graph into itself with the identity map: dilation
+	// 1, congestion 1, expansion 1.
+	g := graphalg.NewAdjacency(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+	vm := make([]int, 5)
+	for i := range vm {
+		vm[i] = i
+	}
+	e := &Embedding{Guest: g, Host: g, VertexMap: vm}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Measure()
+	if m.Dilation != 1 || m.Congestion != 1 || m.Expansion != 1 {
+		t.Fatalf("identity embedding metrics: %+v", m)
+	}
+	if m.HostEdgesUsed != 4 {
+		t.Fatalf("host edges used = %d", m.HostEdgesUsed)
+	}
+}

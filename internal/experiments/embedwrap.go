@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"starmesh/internal/embed"
+	"starmesh/internal/graphalg"
+)
+
+// embedWrapper wraps embed.Embedding with a direction-insensitive
+// path table for the small hand-built examples.
+type embedWrapper struct {
+	*embed.Embedding
+}
+
+func newEmbedWrapper(g, s graphalg.Graph, vm []int, paths map[[2]int][]int) *embedWrapper {
+	e := &embed.Embedding{Guest: g, Host: s, VertexMap: vm}
+	e.Path = func(u, v int) []int {
+		if p, ok := paths[[2]int{u, v}]; ok {
+			return p
+		}
+		p := paths[[2]int{v, u}]
+		r := make([]int, len(p))
+		for i := range p {
+			r[i] = p[len(p)-1-i]
+		}
+		return r
+	}
+	return &embedWrapper{Embedding: e}
+}

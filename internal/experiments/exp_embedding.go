@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"starmesh/internal/core"
+	"starmesh/internal/embed"
+	"starmesh/internal/exptab"
+	"starmesh/internal/graphalg"
+	"starmesh/internal/mesh"
+	"starmesh/internal/perm"
+	"starmesh/internal/star"
+	"starmesh/internal/workload"
+)
+
+// Lemma1 tabulates the degree argument (max mesh degree 2n-3 vs star
+// degree n-1) and reports the exhaustive n=3 search result.
+func Lemma1(w io.Writer) error {
+	t := exptab.New("Lemma 1: dilation-1 embedding impossible when 2n-3 > n-1",
+		"n", "mesh-max-degree", "star-degree", "dilation-1-possible")
+	for n := 2; n <= 10; n++ {
+		t.Add(n, 2*n-3, n-1, core.HasDilation1(n))
+	}
+	t.Fprint(w)
+	// Exhaustive certificate for n=3: D_3 has 7 edges, S_3 (a
+	// 6-cycle) has 6, so no dilation-1 embedding exists; confirmed
+	// by trying all 720 bijections.
+	found := lemma1BruteForceN3()
+	fmt.Fprintf(w, "\nexhaustive n=3 search over 720 bijections: dilation-1 embedding found = %v\n", found)
+	if found {
+		return fmt.Errorf("Lemma 1 contradicted")
+	}
+	return nil
+}
+
+func lemma1BruteForceN3() bool {
+	m := mesh.D(3)
+	adj := make([][]bool, 6)
+	for i := range adj {
+		adj[i] = make([]bool, 6)
+	}
+	perm.All(3, func(p perm.Perm) bool {
+		for _, q := range star.NeighborPerms(p) {
+			adj[p.Rank()][q.Rank()] = true
+		}
+		return true
+	})
+	found := false
+	perm.All(6, func(bij perm.Perm) bool {
+		ok := true
+		var buf []int
+		for u := 0; u < 6 && ok; u++ {
+			buf = m.AppendNeighbors(buf[:0], u)
+			for _, v := range buf {
+				if !adj[bij[u]][bij[v]] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Lemma2 counts, over all nodes and symbol pairs, the distance
+// between π and π(i,j): always 1 (front symbol involved) or 3.
+func Lemma2(w io.Writer) error {
+	t := exptab.New("Lemma 2: dist(π, π(i,j)) over all π and {i,j}",
+		"n", "pairs-checked", "dist=1", "dist=3", "other")
+	for n := 3; n <= 6; n++ {
+		var d1, d3, other, total int64
+		perm.All(n, func(p perm.Perm) bool {
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					total++
+					switch star.Distance(p, p.SwapSymbols(i, j)) {
+					case 1:
+						d1++
+					case 3:
+						d3++
+					default:
+						other++
+					}
+				}
+			}
+			return true
+		})
+		t.Add(n, total, d1, d3, other)
+		if other != 0 {
+			return fmt.Errorf("Lemma 2 violated at n=%d", n)
+		}
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// Theorem4Dilation measures the paper embedding: expansion, exact
+// dilation, average dilation and congestion over all guest edges.
+func Theorem4Dilation(w io.Writer) error {
+	t := exptab.New("Theorem 4: the D_n -> S_n embedding",
+		"n", "|V|", "expansion", "dilation", "avg-dilation", "congestion", "guest-edges")
+	for n := 3; n <= 6; n++ {
+		e := core.NewEmbedding(n)
+		m := e.Measure()
+		t.Add(n, perm.Factorial(n), m.Expansion, m.Dilation, m.AvgDilation, m.Congestion, m.GuestEdges)
+		if m.Dilation != 3 || m.Expansion != 1 {
+			return fmt.Errorf("Theorem 4 violated at n=%d: %+v", n, m)
+		}
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "\npaper: expansion 1, dilation 3 (congestion is measured, not claimed)")
+	return nil
+}
+
+// Ablation compares the paper's vertex map against a lexicographic
+// rank map and a random bijection, with BFS shortest paths as the
+// edge realization for the baselines.
+func Ablation(w io.Writer) error {
+	t := exptab.New("Ablation: vertex-map quality (host = S_n, guest = D_n)",
+		"n", "mapping", "dilation", "avg-dilation", "congestion")
+	for n := 3; n <= 5; n++ {
+		m := mesh.D(n)
+		s := star.New(n)
+
+		paper := core.NewEmbedding(n)
+		pm := paper.Measure()
+		t.Add(n, "paper (Fig 5)", pm.Dilation, pm.AvgDilation, pm.Congestion)
+
+		// Lexicographic: mesh id i -> star node of rank i.
+		lex := make([]int, m.Order())
+		for i := range lex {
+			lex[i] = i
+		}
+		le := &embed.Embedding{Guest: m, Host: s, VertexMap: lex}
+		lm := le.Measure()
+		t.Add(n, "lexicographic", lm.Dilation, lm.AvgDilation, lm.Congestion)
+
+		re := &embed.Embedding{Guest: m, Host: s,
+			VertexMap: workload.RandomVertexMap(m.Order(), int64(1000+n))}
+		rm := re.Measure()
+		t.Add(n, "random", rm.Dilation, rm.AvgDilation, rm.Congestion)
+
+		if pm.Dilation != 3 {
+			return fmt.Errorf("paper mapping lost dilation 3 at n=%d", n)
+		}
+		// For n ≥ 4 the naive maps must be strictly worse; at n=3 the
+		// host is a 6-cycle whose diameter already is 3, so ties are
+		// possible.
+		if n >= 4 && (pm.Dilation > lm.Dilation || pm.Dilation > rm.Dilation) {
+			return fmt.Errorf("paper mapping unexpectedly worse at n=%d", n)
+		}
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "\nbaselines use BFS shortest paths; the paper mapping keeps dilation at 3 for every n.")
+	fmt.Fprintln(w, "note: the lexicographic map also achieves dilation 3 — D_n's coordinates are")
+	fmt.Fprintln(w, "factorial-number-system digits, so any Lehmer-style map turns a unit digit change")
+	fmt.Fprintln(w, "into a symbol transposition (Lemma 2). Random maps degrade toward the diameter.")
+	fmt.Fprintln(w, "the paper map's real payoff is the conflict-free unit-route schedule (see 'schedule').")
+	return nil
+}
+
+// hyperProps is reused by exp_simulation.go.
+var _ = graphalg.Diameter

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"starmesh/internal/core"
+	"starmesh/internal/exptab"
+	"starmesh/internal/graphalg"
+	"starmesh/internal/mesh"
+	"starmesh/internal/perm"
+	"starmesh/internal/star"
+)
+
+// Fig2StarTopology regenerates Figure 2: the structure of S_4
+// (24 nodes, 3-regular, 36 edges, diameter 4) and the adjacency of
+// the first nodes in the paper's display notation.
+func Fig2StarTopology(w io.Writer) error {
+	g := star.New(4)
+	t := exptab.New("S4 structure",
+		"nodes", "degree", "edges", "diameter", "girth-6-hexagons")
+	_, deg := graphalg.IsRegular(g)
+	// The 24 nodes form 4 hexagons (the sub-stars S_3 fixing the
+	// symbol at position 0) joined by a perfect matching pattern.
+	hexagons := 4
+	t.Add(g.Order(), deg, graphalg.NumEdges(g), graphalg.Diameter(g), hexagons)
+	t.Fprint(w)
+
+	adj := exptab.New("\nAdjacency (first 8 nodes)", "node", "neighbors")
+	for id := 0; id < 8; id++ {
+		p := g.Node(id)
+		s := ""
+		for i, q := range star.NeighborPerms(p) {
+			if i > 0 {
+				s += "  "
+			}
+			s += q.String()
+		}
+		adj.Add(p.String(), s)
+	}
+	adj.Fprint(w)
+	return nil
+}
+
+// Fig3MeshTopology regenerates Figure 3: the 2*3*4 mesh.
+func Fig3MeshTopology(w io.Writer) error {
+	m := mesh.New(2, 3, 4)
+	t := exptab.New("2*3*4 mesh structure",
+		"nodes", "edges", "diameter", "max-degree")
+	t.Add(m.Order(), graphalg.NumEdges(m), graphalg.Diameter(m), m.MaxDegree())
+	t.Fprint(w)
+
+	adj := exptab.New("\nAdjacency (first 6 nodes, coordinates as in Figure 3)", "node", "neighbors")
+	var buf []int
+	for id := 0; id < 6; id++ {
+		buf = m.AppendNeighbors(buf[:0], id)
+		s := ""
+		for i, v := range buf {
+			if i > 0 {
+				s += "  "
+			}
+			s += mesh.DPointString(m.Coords(nil, v))
+		}
+		adj.Add(mesh.DPointString(m.Coords(nil, id)), s)
+	}
+	adj.Fprint(w)
+	return nil
+}
+
+// Fig4Example reproduces the §3.1 worked example: embedding the
+// 4-cycle G into the 4-star S with expansion 1, dilation 2,
+// congestion 2.
+func Fig4Example(w io.Writer) error {
+	// Guest: cycle 1-2-4-3-1; host: star a-b, a-c, a-d.
+	g := graphalg.NewAdjacency(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(3, 2)
+	g.AddEdge(2, 0)
+	s := graphalg.NewAdjacency(4)
+	s.AddEdge(0, 1)
+	s.AddEdge(0, 2)
+	s.AddEdge(0, 3)
+	names := []string{"a", "b", "c", "d"}
+	e := exampleEmbedding(g, s)
+	m := e.Measure()
+	t := exptab.New("Figure 4 embedding (1→a, 2→b, 3→c, 4→d)",
+		"expansion", "dilation", "congestion")
+	t.Add(m.Expansion, m.Dilation, m.Congestion)
+	t.Fprint(w)
+	fmt.Fprintln(w, "\nedge-to-path mapping:")
+	pairs := [][2]int{{0, 1}, {1, 3}, {3, 2}, {2, 0}}
+	for _, pr := range pairs {
+		path := e.Path(pr[0], pr[1])
+		str := ""
+		for _, h := range path {
+			str += names[h]
+		}
+		fmt.Fprintf(w, "  (%d,%d) -> %s\n", pr[0]+1, pr[1]+1, str)
+	}
+	return nil
+}
+
+// Table1Exchanges regenerates Table 1 for n = 7.
+func Table1Exchanges(w io.Writer) error {
+	t := exptab.New("Table 1: sequence of exchanges along dimension i (n=7)",
+		"i", "exchanges")
+	for i := 1; i <= 6; i++ {
+		s := ""
+		for _, ex := range core.ExchangeRow(i) {
+			s += fmt.Sprintf("(%d %d) ", ex[0], ex[1])
+		}
+		t.Add(i, s)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// Fig7Mapping regenerates Figure 7: the full mapping of V(D_4) into
+// V(S_4) and confirms it matches the paper's transcription.
+func Fig7Mapping(w io.Writer) error {
+	m := mesh.D(4)
+	t := exptab.New("Figure 7: V(D4) -> V(S4)", "D4", "S4", "matches-paper")
+	mismatches := 0
+	for _, row := range core.Figure7 {
+		pt := []int{row.Mesh[2], row.Mesh[1], row.Mesh[0]}
+		got := core.ConvertDS(pt)
+		ok := got.String() == row.Star
+		if !ok {
+			mismatches++
+		}
+		t.Add(mesh.DPointString(pt), got.String(), ok)
+	}
+	t.Fprint(w)
+	if mismatches > 0 {
+		return fmt.Errorf("%d rows disagree with the paper", mismatches)
+	}
+	fmt.Fprintf(w, "all 24 rows match the paper; |V(D4)| = %d = 4!\n", m.Order())
+	return nil
+}
+
+// exampleEmbedding builds the Figure 4 embedding (shared with the
+// test suite's construction, duplicated here to keep the package
+// self-contained).
+func exampleEmbedding(g, s *graphalg.Adjacency) *embedWrapper {
+	paths := map[[2]int][]int{
+		{0, 1}: {0, 1},
+		{1, 3}: {1, 0, 3},
+		{3, 2}: {3, 0, 2},
+		{2, 0}: {2, 0},
+	}
+	return newEmbedWrapper(g, s, []int{0, 1, 2, 3}, paths)
+}
+
+// sanity check that perm is linked (used by other files).
+var _ = perm.Identity

@@ -1,0 +1,82 @@
+// Package exptab renders the fixed-width tables produced by the
+// experiment harness (cmd/experiments) and holds the experiment
+// registry type. Output format is stable so EXPERIMENTS.md can quote
+// it verbatim.
+package exptab
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// New creates a table with a title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row; cells are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", width[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Header)
+	total := len(width)*2 - 2
+	for _, wd := range width {
+		total += wd
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string // short key used on the command line, e.g. "fig7"
+	Name  string // human title, e.g. "Figure 7: mapping of V(D4) into V(S4)"
+	Run   func(w io.Writer) error
+	Slow  bool // excluded from -run all unless -slow is given
+	Notes string
+}

@@ -1,0 +1,61 @@
+package exptab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := New("Title", "a", "bee", "c")
+	tab.Add(1, "xx", 3.14159)
+	tab.Add("longer-cell", 2, 10)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title missing: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a") || !strings.Contains(lines[1], "bee") {
+		t.Fatalf("header wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Fatalf("rule missing: %q", lines[2])
+	}
+	// Column alignment: every data line should have the same offset
+	// for column 2 ("bee").
+	col := strings.Index(lines[1], "bee")
+	if !strings.Contains(lines[3][col:], "xx") {
+		t.Fatalf("column misaligned:\n%s", out)
+	}
+	// Floats use %.3g.
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := New("", "x")
+	tab.Add(1)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	if strings.HasPrefix(buf.String(), "\n") {
+		t.Fatalf("empty title printed a blank line")
+	}
+	if !strings.HasPrefix(buf.String(), "x") {
+		t.Fatalf("header not first: %q", buf.String())
+	}
+}
+
+func TestTableWideCellGrowsColumn(t *testing.T) {
+	tab := New("t", "h")
+	tab.Add("wider-than-header")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "---") && len(line) < len("wider-than-header") {
+			t.Fatalf("rule too short: %q", line)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package graphalg
+
+// BFS computes single-source shortest-path distances from src.
+// Unreachable vertices get distance -1.
+func BFS(g Graph, src int) []int {
+	n := g.Order()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	var buf []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		buf = g.AppendNeighbors(buf[:0], v)
+		for _, w := range buf {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSPath returns one shortest path from src to dst (inclusive), or
+// nil if dst is unreachable.
+func BFSPath(g Graph, src, dst int) []int {
+	n := g.Order()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	parent[src] = -1
+	queue := []int{src}
+	var buf []int
+	for len(queue) > 0 && parent[dst] == -2 {
+		v := queue[0]
+		queue = queue[1:]
+		buf = g.AppendNeighbors(buf[:0], v)
+		for _, w := range buf {
+			if parent[w] == -2 {
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	if parent[dst] == -2 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = parent[v] {
+		rev = append(rev, v)
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// Distance returns the shortest-path distance between u and v, or -1.
+func Distance(g Graph, u, v int) int {
+	if u == v {
+		return 0
+	}
+	return BFS(g, u)[v]
+}
+
+// Eccentricity returns the maximum distance from v to any vertex, or
+// -1 if the graph is disconnected from v.
+func Eccentricity(g Graph, v int) int {
+	ecc := 0
+	for _, d := range BFS(g, v) {
+		if d == -1 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact diameter by running BFS from every
+// vertex, or -1 if disconnected. O(V·E); fine for n! ≤ 5040-ish.
+func Diameter(g Graph) int {
+	diam := 0
+	for v := 0; v < g.Order(); v++ {
+		e := Eccentricity(g, v)
+		if e == -1 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// DiameterFromVertex returns the eccentricity of vertex 0. For
+// vertex-transitive graphs (such as star graphs, hypercubes and
+// tori) this equals the diameter and costs a single BFS.
+func DiameterFromVertex(g Graph) int {
+	return Eccentricity(g, 0)
+}
+
+// AvgDistance returns the mean pairwise distance from src to all
+// other vertices (a per-vertex average; equals the graph average for
+// vertex-transitive graphs). Returns -1 if disconnected.
+func AvgDistance(g Graph, src int) float64 {
+	dist := BFS(g, src)
+	sum := 0
+	for _, d := range dist {
+		if d == -1 {
+			return -1
+		}
+		sum += d
+	}
+	if g.Order() <= 1 {
+		return 0
+	}
+	return float64(sum) / float64(g.Order()-1)
+}
+
+// IsConnected reports whether g is connected.
+func IsConnected(g Graph) bool {
+	if g.Order() == 0 {
+		return true
+	}
+	for _, d := range BFS(g, 0) {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// DistanceHistogram returns hist[d] = number of vertices at distance
+// d from src. Unreachable vertices are ignored.
+func DistanceHistogram(g Graph, src int) []int {
+	dist := BFS(g, src)
+	maxD := 0
+	for _, d := range dist {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	hist := make([]int, maxD+1)
+	for _, d := range dist {
+		if d >= 0 {
+			hist[d]++
+		}
+	}
+	return hist
+}

@@ -1,0 +1,130 @@
+package hypercube
+
+import (
+	"testing"
+	"testing/quick"
+
+	"starmesh/internal/graphalg"
+	"starmesh/internal/mesh"
+)
+
+func TestBasicProperties(t *testing.T) {
+	g := New(4)
+	if g.Order() != 16 || g.Dim() != 4 {
+		t.Fatalf("Q4 shape wrong")
+	}
+	ok, d := graphalg.IsRegular(g)
+	if !ok || d != 4 {
+		t.Fatalf("Q4 not 4-regular")
+	}
+	if graphalg.Diameter(g) != 4 || g.Diameter() != 4 {
+		t.Fatalf("Q4 diameter wrong")
+	}
+	if graphalg.NumEdges(g) != 32 {
+		t.Fatalf("Q4 edges = %d", graphalg.NumEdges(g))
+	}
+}
+
+func TestHammingDistanceMatchesBFS(t *testing.T) {
+	g := New(5)
+	dist := graphalg.BFS(g, 7)
+	for v := 0; v < g.Order(); v++ {
+		if Distance(7, v) != dist[v] {
+			t.Fatalf("distance mismatch at %d", v)
+		}
+	}
+}
+
+func TestConnectivityIsMaximal(t *testing.T) {
+	// Hypercubes are maximally fault tolerant too: κ(Q_d) = d.
+	g := New(4)
+	if k := graphalg.VertexConnectivity(g, true); k != 4 {
+		t.Fatalf("Q4 connectivity = %d", k)
+	}
+}
+
+func TestGrayCode(t *testing.T) {
+	// Consecutive Gray codes differ in exactly one bit.
+	for i := 0; i < 1000; i++ {
+		if Distance(Gray(i), Gray(i+1)) != 1 {
+			t.Fatalf("gray step %d differs in %d bits", i, Distance(Gray(i), Gray(i+1)))
+		}
+	}
+	f := func(v uint16) bool {
+		return GrayInverse(Gray(int(v))) == int(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinDimFor(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{{1, 0}, {2, 1}, {3, 2}, {24, 5}, {120, 7}, {720, 10}, {5040, 13}}
+	for _, c := range cases {
+		if got := MinDimFor(c.n); got != c.want {
+			t.Errorf("MinDimFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestMeshEmbeddingDilationOne(t *testing.T) {
+	shapes := [][]int{{2, 4}, {4, 4}, {2, 3, 4}, {3, 5}, {8}, {2, 2, 2}}
+	for _, s := range shapes {
+		e := NewMeshEmbedding(mesh.New(s...))
+		if d := e.Dilation(); d != 1 {
+			t.Fatalf("%v: gray embedding dilation = %d", s, d)
+		}
+	}
+}
+
+func TestMeshEmbeddingInjective(t *testing.T) {
+	e := NewMeshEmbedding(mesh.New(3, 5, 2))
+	seen := make(map[int]bool)
+	for id := 0; id < e.M.Order(); id++ {
+		v := e.MapNode(id)
+		if v < 0 || v >= e.H.Order() {
+			t.Fatalf("image out of range")
+		}
+		if seen[v] {
+			t.Fatalf("embedding not injective at %d", id)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMeshEmbeddingExpansion(t *testing.T) {
+	// Power-of-two mesh: expansion exactly 1.
+	e := NewMeshEmbedding(mesh.New(4, 8))
+	if e.Expansion() != 1 {
+		t.Fatalf("expansion = %v", e.Expansion())
+	}
+	// 2×3×4 mesh needs 1+2+2 = 5 bits: expansion 32/24.
+	e2 := NewMeshEmbedding(mesh.New(2, 3, 4))
+	if e2.Expansion() != 32.0/24.0 {
+		t.Fatalf("expansion = %v", e2.Expansion())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, d := range []int{-1, 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", d)
+				}
+			}()
+			New(d)
+		}()
+	}
+}
+
+func BenchmarkMapNode(b *testing.B) {
+	e := NewMeshEmbedding(mesh.New(2, 3, 4, 5, 6))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.MapNode(i % e.M.Order())
+	}
+}

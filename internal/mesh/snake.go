@@ -1,0 +1,63 @@
+package mesh
+
+// Snake linearization (boustrophedon order). SnakeIndex assigns each
+// node a position along a Hamiltonian path of the mesh in which
+// consecutive positions are mesh-adjacent; scanning direction of each
+// dimension alternates with the parity of the already-encoded higher
+// dimensions. This is the standard trick that lets a mesh simulate a
+// combined ("grouped") dimension with dilation 1, which the paper's
+// appendix uses to turn the 2×3×…×n mesh into a d-dimensional mesh
+// in O(1) time per step.
+
+// SnakeIndex returns the snake position of the node with the given
+// coordinates (dimension Dims()-1 most significant).
+func (m *Mesh) SnakeIndex(coords []int) int {
+	if len(coords) != len(m.sizes) {
+		panic("mesh: coordinate arity mismatch")
+	}
+	idx := 0
+	for j := len(m.sizes) - 1; j >= 0; j-- {
+		e := coords[j]
+		if idx&1 == 1 {
+			e = m.sizes[j] - 1 - e
+		}
+		idx = idx*m.sizes[j] + e
+	}
+	return idx
+}
+
+// SnakeCoords inverts SnakeIndex, appending coordinates to buf.
+func (m *Mesh) SnakeCoords(buf []int, index int) []int {
+	if index < 0 || index >= m.order {
+		panic("mesh: snake index out of range")
+	}
+	start := len(buf)
+	buf = append(buf, make([]int, len(m.sizes))...)
+	out := buf[start:]
+	idx := 0
+	rem := index
+	// Recompute the per-dimension bases from most significant down.
+	base := m.order
+	for j := len(m.sizes) - 1; j >= 0; j-- {
+		base /= m.sizes[j]
+		e := rem / base
+		rem %= base
+		c := e
+		if idx&1 == 1 {
+			c = m.sizes[j] - 1 - e
+		}
+		out[j] = c
+		idx = idx*m.sizes[j] + e
+	}
+	return buf
+}
+
+// SnakeIndexOfID returns the snake position of a node id.
+func (m *Mesh) SnakeIndexOfID(id int) int {
+	return m.SnakeIndex(m.Coords(nil, id))
+}
+
+// SnakeIDAt returns the node id at snake position index.
+func (m *Mesh) SnakeIDAt(index int) int {
+	return m.ID(m.SnakeCoords(nil, index))
+}

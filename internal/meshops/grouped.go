@@ -1,0 +1,135 @@
+package meshops
+
+import (
+	"starmesh/internal/atallah"
+)
+
+// Collectives over a grouped (appendix-factorized) view of the
+// physical mesh: the d-dimensional rectangular mesh R = l_1×…×l_d is
+// realized on D_n with snake-encoded grouped coordinates, so a ±1
+// move in a grouped dimension is one physical step whose (dim, dir)
+// varies per node. GroupedPlan precomputes those steps; the grouped
+// reduce/broadcast walk a grouped dimension coordinate by
+// coordinate, one masked physical route per (dim,dir) class.
+
+// GroupedPlan caches, for every physical node and every grouped
+// dimension/direction, the physical step realizing the grouped move.
+type GroupedPlan struct {
+	G *atallah.Grouped
+	// step[t][gd][dnID] = physical dim*2 + (dir<0?1:0), or -1 at the
+	// grouped boundary. gd: 0 = +1, 1 = -1.
+	step [][2][]int8
+	// rcoord[t][dnID] = grouped coordinate of the node in dim t.
+	rcoord [][]int32
+}
+
+// NewGroupedPlan builds the cache (O(d · n!) time and space).
+func NewGroupedPlan(g *atallah.Grouped) *GroupedPlan {
+	d := g.F.D
+	order := g.Dn.Order()
+	p := &GroupedPlan{G: g}
+	p.step = make([][2][]int8, d)
+	p.rcoord = make([][]int32, d)
+	for t := 0; t < d; t++ {
+		p.step[t][0] = make([]int8, order)
+		p.step[t][1] = make([]int8, order)
+		p.rcoord[t] = make([]int32, order)
+	}
+	for dnID := 0; dnID < order; dnID++ {
+		rID := g.ToR(dnID)
+		for t := 0; t < d; t++ {
+			p.rcoord[t][dnID] = int32(g.R.Coord(rID, t))
+			for gi, gdir := range []int{+1, -1} {
+				p.step[t][gi][dnID] = -1
+				to := g.R.Step(rID, t, gdir)
+				if to == -1 {
+					continue
+				}
+				dnTo := g.ToDn(to)
+				for j := 0; j < g.Dn.Dims(); j++ {
+					switch g.Dn.Coord(dnTo, j) - g.Dn.Coord(dnID, j) {
+					case 1:
+						p.step[t][gi][dnID] = int8(2 * j)
+					case -1:
+						p.step[t][gi][dnID] = int8(2*j + 1)
+					}
+				}
+			}
+		}
+	}
+	return p
+}
+
+// groupedMaskedStep moves key one grouped step along dimension t in
+// direction gdir for the selected physical nodes, into dst.
+func (p *GroupedPlan) groupedMaskedStep(s Stepper, src, dst string, t, gdir int, mask func(dnID int) bool) {
+	gi := 0
+	if gdir < 0 {
+		gi = 1
+	}
+	steps := p.step[t][gi]
+	m := p.G.Dn
+	for j := 0; j < m.Dims(); j++ {
+		for enc := 2 * j; enc <= 2*j+1; enc++ {
+			dir := 1 - 2*(enc&1)
+			any := false
+			for dnID := 0; dnID < m.Order(); dnID++ {
+				if int(steps[dnID]) == enc && mask(dnID) {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			s.MaskedStep(src, dst, j, dir, func(dnID int) bool {
+				return int(steps[dnID]) == enc && mask(dnID)
+			})
+		}
+	}
+}
+
+// ReduceDimGrouped folds key along grouped dimension t with op; the
+// per-line result lands at grouped coordinate 0.
+func ReduceDimGrouped(s Stepper, p *GroupedPlan, key string, t int, op Op) int {
+	mach := s.Machine()
+	const tmp = "__gred_tmp"
+	mach.EnsureReg(tmp)
+	size := int(p.G.F.L[t])
+	return routesUsed(s, func() {
+		for c := size - 1; c >= 1; c-- {
+			cc := int32(c)
+			p.groupedMaskedStep(s, key, tmp, t, -1, func(dnID int) bool {
+				return p.rcoord[t][dnID] == cc
+			})
+			k, tt := mach.Reg(key), mach.Reg(tmp)
+			for pe := range k {
+				if p.rcoord[t][s.MeshOf(pe)] == cc-1 {
+					k[pe] = op.Combine(k[pe], tt[pe])
+				}
+			}
+		}
+	})
+}
+
+// BroadcastDimGrouped copies the value at grouped coordinate 0 of
+// each line along grouped dimension t to the whole line.
+func BroadcastDimGrouped(s Stepper, p *GroupedPlan, key string, t int) int {
+	size := int(p.G.F.L[t])
+	return routesUsed(s, func() {
+		for c := 0; c+1 < size; c++ {
+			cc := int32(c)
+			p.groupedMaskedStep(s, key, key, t, +1, func(dnID int) bool {
+				return p.rcoord[t][dnID] == cc
+			})
+		}
+	})
+}
+
+// GroupedStep moves register src one grouped step along grouped
+// dimension t in direction gdir into dst for every node that has
+// such a neighbor (one masked physical route per (dim,dir) class,
+// ≤ 3 each on the star machine).
+func GroupedStep(s Stepper, p *GroupedPlan, src, dst string, t, gdir int) {
+	p.groupedMaskedStep(s, src, dst, t, gdir, func(int) bool { return true })
+}

@@ -1,0 +1,136 @@
+package meshops
+
+import (
+	"testing"
+
+	"starmesh/internal/atallah"
+	"starmesh/internal/meshsim"
+	"starmesh/internal/starsim"
+)
+
+func groupedFixture(n, d int) (*GroupedPlan, Stepper, Stepper) {
+	g := atallah.NewGrouped(atallah.Factorize(n, d))
+	p := NewGroupedPlan(g)
+	mm := meshsim.New(g.Dn)
+	mm.AddReg("K")
+	sm := starsim.New(n)
+	sm.AddReg("K")
+	return p, NewMeshStepper(mm), NewStarStepper(sm)
+}
+
+func TestGroupedPlanStepsAreSingleMoves(t *testing.T) {
+	g := atallah.NewGrouped(atallah.Factorize(5, 2))
+	p := NewGroupedPlan(g)
+	for dnID := 0; dnID < g.Dn.Order(); dnID++ {
+		rID := g.ToR(dnID)
+		for t2 := 0; t2 < 2; t2++ {
+			for gi, gdir := range []int{+1, -1} {
+				enc := p.step[t2][gi][dnID]
+				to := g.R.Step(rID, t2, gdir)
+				if (to == -1) != (enc == -1) {
+					t.Fatalf("boundary mismatch at %d", dnID)
+				}
+				if enc == -1 {
+					continue
+				}
+				dim := int(enc) / 2
+				dir := 1 - 2*(int(enc)&1)
+				if g.Dn.Step(dnID, dim, dir) != g.ToDn(to) {
+					t.Fatalf("plan step wrong at %d", dnID)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceDimGrouped(t *testing.T) {
+	for _, c := range [][2]int{{4, 2}, {5, 2}, {5, 3}} {
+		p, ms, _ := groupedFixture(c[0], c[1])
+		g := p.G
+		vals := randVals(g.Dn.Order(), int64(c[0]))
+		setKeys(ms, vals)
+		ReduceDimGrouped(ms, p, "K", 0, Sum)
+		// Check: for each line (fixed other coords), the sum sits at
+		// grouped coordinate 0.
+		for rID := 0; rID < g.R.Order(); rID++ {
+			if g.R.Coord(rID, 0) != 0 {
+				continue
+			}
+			want := int64(0)
+			coords := make([]int, g.R.Dims())
+			for j := range coords {
+				coords[j] = g.R.Coord(rID, j)
+			}
+			for v := 0; v < g.R.Size(0); v++ {
+				coords[0] = v
+				want += vals[g.ToDn(g.R.ID(coords))]
+			}
+			got := keyAt(ms, g.ToDn(rID))
+			if got != want {
+				t.Fatalf("n=%d d=%d line %d: sum %d, want %d", c[0], c[1], rID, got, want)
+			}
+		}
+	}
+}
+
+func TestBroadcastDimGrouped(t *testing.T) {
+	p, ms, _ := groupedFixture(5, 2)
+	g := p.G
+	vals := make([]int64, g.Dn.Order())
+	// Seed grouped coordinate-0 nodes of dim 1 with their dim-0 coord.
+	for rID := 0; rID < g.R.Order(); rID++ {
+		if g.R.Coord(rID, 1) == 0 {
+			vals[g.ToDn(rID)] = int64(1000 + g.R.Coord(rID, 0))
+		}
+	}
+	setKeys(ms, vals)
+	BroadcastDimGrouped(ms, p, "K", 1)
+	for rID := 0; rID < g.R.Order(); rID++ {
+		want := int64(1000 + g.R.Coord(rID, 0))
+		if got := keyAt(ms, g.ToDn(rID)); got != want {
+			t.Fatalf("broadcast wrong at rID %d: %d want %d", rID, got, want)
+		}
+	}
+}
+
+func TestGroupedCollectivesStarMatchesMesh(t *testing.T) {
+	p, ms, ss := groupedFixture(4, 2)
+	g := p.G
+	vals := randVals(g.Dn.Order(), 99)
+	setKeys(ms, vals)
+	setKeys(ss, vals)
+	mr := ReduceDimGrouped(ms, p, "K", 1, Max)
+	sr := ReduceDimGrouped(ss, p, "K", 1, Max)
+	for dnID := 0; dnID < g.Dn.Order(); dnID++ {
+		if keyAt(ms, dnID) != keyAt(ss, dnID) {
+			t.Fatalf("grouped reduce differs at %d", dnID)
+		}
+	}
+	if sr > 3*mr {
+		t.Fatalf("star grouped routes %d > 3x mesh %d", sr, mr)
+	}
+	if ss.Machine().Stats().ReceiveConflicts != 0 {
+		t.Fatalf("conflicts in grouped collective")
+	}
+}
+
+func TestGroupedStepMovesNeighbors(t *testing.T) {
+	p, ms, _ := groupedFixture(4, 2)
+	g := p.G
+	mach := ms.Machine()
+	mach.EnsureReg("T")
+	vals := randVals(g.Dn.Order(), 5)
+	setKeys(ms, vals)
+	GroupedStep(ms, p, "K", "T", 0, +1)
+	for rID := 0; rID < g.R.Order(); rID++ {
+		from := g.R.Step(rID, 0, -1)
+		if from == -1 {
+			continue
+		}
+		got := mach.Reg("T")[ms.PEOf(g.ToDn(rID))]
+		want := vals[g.ToDn(from)]
+		if got != want {
+			t.Fatalf("grouped step wrong at rID %d: %d want %d", rID, got, want)
+		}
+	}
+}

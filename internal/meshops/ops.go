@@ -1,0 +1,160 @@
+package meshops
+
+// Collective operations. Every operation returns the number of unit
+// routes consumed on the executing machine, so the mesh/star route
+// ratio (≤ 3, Theorem 6) can be measured per collective.
+
+// Op is a binary combining operator for reductions and scans.
+type Op struct {
+	Name    string
+	Combine func(a, b int64) int64
+}
+
+// Predefined operators.
+var (
+	Sum = Op{Name: "sum", Combine: func(a, b int64) int64 { return a + b }}
+	Max = Op{Name: "max", Combine: func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}}
+	Min = Op{Name: "min", Combine: func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}}
+)
+
+func routesUsed(s Stepper, fn func()) int {
+	before := s.Machine().Stats().UnitRoutes
+	fn()
+	return s.Machine().Stats().UnitRoutes - before
+}
+
+// ReduceDim folds register key along dimension dim with op; the
+// result for each line along dim lands at coordinate 0 of that
+// line. Costs size(dim)-1 masked steps.
+func ReduceDim(s Stepper, key string, dim int, op Op) int {
+	m := s.Mesh()
+	mach := s.Machine()
+	const tmp = "__red_tmp"
+	mach.EnsureReg(tmp)
+	return routesUsed(s, func() {
+		for c := m.Size(dim) - 1; c >= 1; c-- {
+			cc := c
+			s.MaskedStep(key, tmp, dim, -1, func(meshID int) bool {
+				return m.Coord(meshID, dim) == cc
+			})
+			k, t := mach.Reg(key), mach.Reg(tmp)
+			for pe := range k {
+				if m.Coord(s.MeshOf(pe), dim) == cc-1 {
+					k[pe] = op.Combine(k[pe], t[pe])
+				}
+			}
+		}
+	})
+}
+
+// ReduceAll folds register key over the whole mesh; the grand result
+// lands at mesh node 0 (the origin). Costs Σ(size_j - 1) steps.
+func ReduceAll(s Stepper, key string, op Op) int {
+	m := s.Mesh()
+	total := 0
+	// After reducing dimension j, only the coordinate-0 hyperplane
+	// holds partial results, but reducing the next dimension over
+	// the whole mesh is still correct: junk values combine only into
+	// junk lines. We reduce highest dimension first so the final
+	// fold along dimension 0 sees the fully reduced line.
+	for dim := m.Dims() - 1; dim >= 0; dim-- {
+		total += ReduceDim(s, key, dim, op)
+	}
+	return total
+}
+
+// BroadcastDim copies the value at coordinate 0 of each line along
+// dim to the whole line. Costs size(dim)-1 masked steps.
+func BroadcastDim(s Stepper, key string, dim int) int {
+	m := s.Mesh()
+	return routesUsed(s, func() {
+		for c := 0; c+1 < m.Size(dim); c++ {
+			cc := c
+			s.MaskedStep(key, key, dim, +1, func(meshID int) bool {
+				return m.Coord(meshID, dim) == cc
+			})
+		}
+	})
+}
+
+// BroadcastAll copies the value at mesh node 0 to every node.
+func BroadcastAll(s Stepper, key string) int {
+	total := 0
+	for dim := 0; dim < s.Mesh().Dims(); dim++ {
+		total += BroadcastDim(s, key, dim)
+	}
+	return total
+}
+
+// ScanSnake computes the inclusive prefix combine of register key in
+// snake order: after the call, the node at snake position i holds
+// op(key[0..i]). Sequential chain: N-1 steps, each one masked route.
+func ScanSnake(s Stepper, key string, op Op) int {
+	m := s.Mesh()
+	mach := s.Machine()
+	plan := NewSnakePlan(m)
+	const tmp = "__scan_tmp"
+	mach.EnsureReg(tmp)
+	return routesUsed(s, func() {
+		for pos := 0; pos+1 < m.Order(); pos++ {
+			sender := plan.IDAt[pos]
+			dim, dir := plan.Dim[sender], plan.Dir[sender]
+			s.MaskedStep(key, tmp, dim, dir, func(meshID int) bool {
+				return meshID == sender
+			})
+			receiver := s.PEOf(plan.IDAt[pos+1])
+			k, t := mach.Reg(key), mach.Reg(tmp)
+			k[receiver] = op.Combine(t[receiver], k[receiver])
+		}
+	})
+}
+
+// ShiftSnake moves every key one snake position forward (toward
+// higher snake index); the first snake position receives fill. The
+// last value falls off. Costs one masked route per (dim,dir) class
+// present in the snake (≤ 2·dims).
+func ShiftSnake(s Stepper, key string, fill int64) int {
+	m := s.Mesh()
+	mach := s.Machine()
+	plan := NewSnakePlan(m)
+	const tmp = "__shift_tmp"
+	mach.EnsureReg(tmp)
+	n := routesUsed(s, func() {
+		for dim := 0; dim < m.Dims(); dim++ {
+			for _, dir := range []int{+1, -1} {
+				d, dd := dim, dir
+				any := false
+				for id := 0; id < m.Order(); id++ {
+					if plan.Dim[id] == d && plan.Dir[id] == dd {
+						any = true
+						break
+					}
+				}
+				if !any {
+					continue
+				}
+				s.MaskedStep(key, tmp, d, dd, func(meshID int) bool {
+					return plan.Dim[meshID] == d && plan.Dir[meshID] == dd
+				})
+			}
+		}
+	})
+	// Commit: every non-first snake position takes the shifted value.
+	k, t := mach.Reg(key), mach.Reg(tmp)
+	for pos := m.Order() - 1; pos >= 1; pos-- {
+		pe := s.PEOf(plan.IDAt[pos])
+		k[pe] = t[pe]
+	}
+	k[s.PEOf(plan.IDAt[0])] = fill
+	return n
+}

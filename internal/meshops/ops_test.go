@@ -1,0 +1,208 @@
+package meshops
+
+import (
+	"math/rand"
+	"testing"
+
+	"starmesh/internal/mesh"
+	"starmesh/internal/meshsim"
+	"starmesh/internal/starsim"
+)
+
+func newMeshS(sizes ...int) Stepper {
+	mm := meshsim.New(mesh.New(sizes...))
+	mm.AddReg("K")
+	return NewMeshStepper(mm)
+}
+
+func newStarS(n int) Stepper {
+	sm := starsim.New(n)
+	sm.AddReg("K")
+	return NewStarStepper(sm)
+}
+
+func setKeys(s Stepper, vals []int64) {
+	k := s.Machine().Reg("K")
+	for pe := range k {
+		k[pe] = vals[s.MeshOf(pe)]
+	}
+}
+
+func keyAt(s Stepper, meshID int) int64 {
+	return s.Machine().Reg("K")[s.PEOf(meshID)]
+}
+
+func randVals(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(100))
+	}
+	return vals
+}
+
+func TestReduceDimMesh(t *testing.T) {
+	s := newMeshS(3, 4)
+	m := s.Mesh()
+	vals := randVals(m.Order(), 1)
+	setKeys(s, vals)
+	ReduceDim(s, "K", 0, Sum)
+	// Each line along dim 0 sums into coordinate 0.
+	for c1 := 0; c1 < 4; c1++ {
+		want := int64(0)
+		for c0 := 0; c0 < 3; c0++ {
+			want += vals[m.ID([]int{c0, c1})]
+		}
+		if got := keyAt(s, m.ID([]int{0, c1})); got != want {
+			t.Fatalf("line %d: sum = %d, want %d", c1, got, want)
+		}
+	}
+}
+
+func TestReduceAllMatchesSequential(t *testing.T) {
+	for _, op := range []Op{Sum, Max, Min} {
+		s := newMeshS(2, 3, 4)
+		vals := randVals(s.Mesh().Order(), 2)
+		setKeys(s, vals)
+		routes := ReduceAll(s, "K", op)
+		want := vals[0]
+		for _, v := range vals[1:] {
+			want = op.Combine(want, v)
+		}
+		if got := keyAt(s, 0); got != want {
+			t.Fatalf("%s: reduce = %d, want %d", op.Name, got, want)
+		}
+		wantRoutes := (2 - 1) + (3 - 1) + (4 - 1)
+		if routes != wantRoutes {
+			t.Fatalf("%s: routes = %d, want %d", op.Name, routes, wantRoutes)
+		}
+	}
+}
+
+func TestBroadcastAll(t *testing.T) {
+	s := newMeshS(2, 3, 4)
+	vals := make([]int64, s.Mesh().Order())
+	vals[0] = 777
+	setKeys(s, vals)
+	BroadcastAll(s, "K")
+	for id := 0; id < s.Mesh().Order(); id++ {
+		if keyAt(s, id) != 777 {
+			t.Fatalf("node %d not covered", id)
+		}
+	}
+}
+
+func TestScanSnakeMesh(t *testing.T) {
+	s := newMeshS(2, 3, 4)
+	m := s.Mesh()
+	vals := randVals(m.Order(), 3)
+	setKeys(s, vals)
+	routes := ScanSnake(s, "K", Sum)
+	if routes != m.Order()-1 {
+		t.Fatalf("routes = %d, want %d", routes, m.Order()-1)
+	}
+	prefix := int64(0)
+	for pos := 0; pos < m.Order(); pos++ {
+		id := m.SnakeIDAt(pos)
+		prefix += vals[id]
+		if got := keyAt(s, id); got != prefix {
+			t.Fatalf("prefix at snake %d = %d, want %d", pos, got, prefix)
+		}
+	}
+}
+
+func TestShiftSnakeMesh(t *testing.T) {
+	s := newMeshS(2, 3)
+	m := s.Mesh()
+	vals := randVals(m.Order(), 4)
+	setKeys(s, vals)
+	ShiftSnake(s, "K", -9)
+	for pos := 0; pos < m.Order(); pos++ {
+		id := m.SnakeIDAt(pos)
+		want := int64(-9)
+		if pos > 0 {
+			want = vals[m.SnakeIDAt(pos-1)]
+		}
+		if got := keyAt(s, id); got != want {
+			t.Fatalf("snake %d = %d, want %d", pos, got, want)
+		}
+	}
+}
+
+// TestStarMatchesMesh runs every collective on both machines and
+// compares results node-by-node plus the route ratio (≤ 3).
+func TestStarMatchesMesh(t *testing.T) {
+	type opRun struct {
+		name string
+		run  func(s Stepper) int
+	}
+	runs := []opRun{
+		{"reduce-sum", func(s Stepper) int { return ReduceAll(s, "K", Sum) }},
+		{"reduce-max", func(s Stepper) int { return ReduceAll(s, "K", Max) }},
+		{"broadcast", func(s Stepper) int { return BroadcastAll(s, "K") }},
+		{"scan-sum", func(s Stepper) int { return ScanSnake(s, "K", Sum) }},
+		{"shift", func(s Stepper) int { return ShiftSnake(s, "K", 0) }},
+	}
+	for _, n := range []int{3, 4} {
+		dn := mesh.D(n)
+		vals := randVals(dn.Order(), int64(n))
+		for _, r := range runs {
+			ms := newMeshS(dn.Sizes()...)
+			setKeys(ms, vals)
+			meshRoutes := r.run(ms)
+
+			ss := newStarS(n)
+			setKeys(ss, vals)
+			starRoutes := r.run(ss)
+
+			for id := 0; id < dn.Order(); id++ {
+				if keyAt(ms, id) != keyAt(ss, id) {
+					t.Fatalf("n=%d %s: mismatch at mesh node %d", n, r.name, id)
+				}
+			}
+			if starRoutes > 3*meshRoutes {
+				t.Fatalf("n=%d %s: star routes %d > 3x mesh routes %d",
+					n, r.name, starRoutes, meshRoutes)
+			}
+			if c := ss.Machine().Stats().ReceiveConflicts; c != 0 {
+				t.Fatalf("n=%d %s: %d conflicts", n, r.name, c)
+			}
+		}
+	}
+}
+
+func TestSnakePlan(t *testing.T) {
+	m := mesh.New(2, 3)
+	p := NewSnakePlan(m)
+	for pos := 0; pos < m.Order(); pos++ {
+		id := p.IDAt[pos]
+		if p.Index[id] != pos {
+			t.Fatalf("plan index inconsistent")
+		}
+		if pos+1 < m.Order() {
+			next := m.Step(id, p.Dim[id], p.Dir[id])
+			if next != p.IDAt[pos+1] {
+				t.Fatalf("plan step at %d leads to %d, want %d", pos, next, p.IDAt[pos+1])
+			}
+		} else if p.Dim[id] != -1 {
+			t.Fatalf("last snake node should have dim -1")
+		}
+	}
+}
+
+func TestStepperMappings(t *testing.T) {
+	s := newStarS(4)
+	for pe := 0; pe < 24; pe++ {
+		if s.PEOf(s.MeshOf(pe)) != pe {
+			t.Fatalf("stepper mapping not inverse at %d", pe)
+		}
+	}
+}
+
+func BenchmarkReduceAllStarN5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newStarS(5)
+		setKeys(s, randVals(120, 9))
+		ReduceAll(s, "K", Sum)
+	}
+}

@@ -1,0 +1,103 @@
+// Package meshsim runs SIMD programs on a mesh-connected machine:
+// it adapts mesh.Mesh to simd.Topology and provides the mesh's
+// primitive data-movement operation, the unit route ([NASS81], §1 of
+// the paper): all PEs move data one step along a chosen dimension in
+// a chosen direction. Mesh algorithms (sorting, stencils) are built
+// from this primitive and their costs are counted in unit routes,
+// which Theorem 6 then transfers to the star graph at a factor ≤ 3.
+package meshsim
+
+import (
+	"starmesh/internal/mesh"
+	"starmesh/internal/simd"
+)
+
+// Topo adapts a mesh to simd.Topology. Port 2j is +1 along dimension
+// j; port 2j+1 is -1 along dimension j.
+type Topo struct {
+	M *mesh.Mesh
+}
+
+// Size implements simd.Topology.
+func (t Topo) Size() int { return t.M.Order() }
+
+// Ports implements simd.Topology.
+func (t Topo) Ports() int { return 2 * t.M.Dims() }
+
+// Neighbor implements simd.Topology.
+func (t Topo) Neighbor(pe, port int) int {
+	dim := port / 2
+	dir := 1 - 2*(port&1)
+	return t.M.Step(pe, dim, dir)
+}
+
+// Port returns the port index for a step along dim in direction dir.
+func Port(dim, dir int) int {
+	if dir > 0 {
+		return 2 * dim
+	}
+	return 2*dim + 1
+}
+
+// Machine is a mesh-connected SIMD computer.
+type Machine struct {
+	*simd.Machine
+	M *mesh.Mesh
+}
+
+// New builds a machine over the given mesh.
+func New(m *mesh.Mesh) *Machine {
+	return &Machine{Machine: simd.New(Topo{M: m}), M: m}
+}
+
+// UnitRoute moves register src one step along dimension dim in
+// direction dir on every PE that has such a neighbor, storing into
+// dst — the SIMD-A mesh unit route, "B(i^(2)) ← B(i)" in the paper's
+// notation. Costs exactly 1 unit route.
+func (m *Machine) UnitRoute(src, dst string, dim, dir int) {
+	m.RouteA(src, dst, Port(dim, dir), nil)
+}
+
+// CompareExchange performs one odd-even transposition half-step
+// along dimension dim: every PE whose coordinate c satisfies
+// c%2 == phase pairs with its c+1 neighbor; the pair sorts its two
+// keys so that the PE for which ascending(pe) holds keeps the
+// smaller one. ascending == nil means ascending everywhere. Costs 2
+// unit routes (one transmission in each direction).
+func (m *Machine) CompareExchange(key string, dim, phase int, ascending func(pe int) bool) {
+	const tmp = "__ce_tmp"
+	m.EnsureReg(tmp)
+	isLow := func(pe int) bool {
+		return m.M.Coord(pe, dim)%2 == phase && m.M.Step(pe, dim, +1) != -1
+	}
+	isHigh := func(pe int) bool {
+		c := m.M.Coord(pe, dim)
+		return c > 0 && (c-1)%2 == phase
+	}
+	// Lows send keys up; highs send keys down. After both routes each
+	// paired PE holds its partner's key in tmp.
+	m.RouteA(key, tmp, Port(dim, +1), isLow)
+	m.RouteA(key, tmp, Port(dim, -1), isHigh)
+	k := m.Reg(key)
+	t := m.Reg(tmp)
+	for pe := range k {
+		var keepMin bool
+		switch {
+		case isLow(pe):
+			keepMin = ascending == nil || ascending(pe)
+		case isHigh(pe):
+			keepMin = !(ascending == nil || ascending(pe))
+		default:
+			continue
+		}
+		if keepMin {
+			if t[pe] < k[pe] {
+				k[pe] = t[pe]
+			}
+		} else {
+			if t[pe] > k[pe] {
+				k[pe] = t[pe]
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package meshsim
+
+import (
+	"testing"
+
+	"starmesh/internal/mesh"
+)
+
+func TestTopoPorts(t *testing.T) {
+	m := mesh.New(2, 3)
+	topo := Topo{M: m}
+	if topo.Size() != 6 || topo.Ports() != 4 {
+		t.Fatalf("topo shape wrong")
+	}
+	// Port 0 = +dim0, port 1 = -dim0, port 2 = +dim1, port 3 = -dim1.
+	if topo.Neighbor(0, 0) != m.Step(0, 0, +1) {
+		t.Fatalf("port 0 wrong")
+	}
+	if topo.Neighbor(0, 1) != -1 {
+		t.Fatalf("port 1 at boundary should be -1")
+	}
+	if Port(1, +1) != 2 || Port(1, -1) != 3 {
+		t.Fatalf("Port() wrong")
+	}
+}
+
+func TestUnitRouteMovesAlongDimension(t *testing.T) {
+	m := New(mesh.New(3, 4))
+	m.AddReg("A")
+	m.AddReg("B")
+	m.Set("A", func(pe int) int64 { return int64(pe) })
+	m.Set("B", func(pe int) int64 { return -1 })
+	m.UnitRoute("A", "B", 1, +1)
+	for pe := 0; pe < m.M.Order(); pe++ {
+		from := m.M.Step(pe, 1, -1)
+		want := int64(-1)
+		if from != -1 {
+			want = int64(from)
+		}
+		if m.Reg("B")[pe] != want {
+			t.Fatalf("B[%d] = %d, want %d", pe, m.Reg("B")[pe], want)
+		}
+	}
+	if m.Stats().UnitRoutes != 1 {
+		t.Fatalf("unit routes = %d", m.Stats().UnitRoutes)
+	}
+}
+
+func TestUnitRouteRoundTrip(t *testing.T) {
+	// +dim then -dim restores interior values.
+	m := New(mesh.New(5))
+	m.AddReg("A")
+	m.AddReg("B")
+	m.AddReg("C")
+	m.Set("A", func(pe int) int64 { return int64(pe * pe) })
+	m.UnitRoute("A", "B", 0, +1)
+	m.UnitRoute("B", "C", 0, -1)
+	for pe := 1; pe < 4; pe++ {
+		if m.Reg("C")[pe] != int64(pe*pe) {
+			t.Fatalf("roundtrip failed at %d", pe)
+		}
+	}
+}
+
+func TestCompareExchangeSorts1D(t *testing.T) {
+	// Full odd-even transposition sort on a 1-D mesh of 8.
+	m := New(mesh.New(8))
+	m.AddReg("K")
+	vals := []int64{5, 2, 7, 1, 8, 3, 6, 4}
+	m.Set("K", func(pe int) int64 { return vals[pe] })
+	for step := 0; step < 8; step++ {
+		m.CompareExchange("K", 0, step%2, nil)
+	}
+	k := m.Reg("K")
+	for pe := 0; pe+1 < 8; pe++ {
+		if k[pe] > k[pe+1] {
+			t.Fatalf("not sorted: %v", k)
+		}
+	}
+	// Each compare-exchange phase costs 2 unit routes.
+	if m.Stats().UnitRoutes != 16 {
+		t.Fatalf("unit routes = %d, want 16", m.Stats().UnitRoutes)
+	}
+}
+
+func TestCompareExchangeDescending(t *testing.T) {
+	m := New(mesh.New(6))
+	m.AddReg("K")
+	vals := []int64{3, 1, 4, 1, 5, 9}
+	m.Set("K", func(pe int) int64 { return vals[pe] })
+	desc := func(pe int) bool { return false }
+	for step := 0; step < 6; step++ {
+		m.CompareExchange("K", 0, step%2, desc)
+	}
+	k := m.Reg("K")
+	for pe := 0; pe+1 < 6; pe++ {
+		if k[pe] < k[pe+1] {
+			t.Fatalf("not descending: %v", k)
+		}
+	}
+}
+
+func TestCompareExchangePreservesMultiset(t *testing.T) {
+	m := New(mesh.New(4, 3))
+	m.AddReg("K")
+	m.Set("K", func(pe int) int64 { return int64((pe * 7) % 12) })
+	before := histogram(m.Reg("K"))
+	for step := 0; step < 4; step++ {
+		m.CompareExchange("K", 0, step%2, nil)
+		m.CompareExchange("K", 1, step%2, nil)
+	}
+	after := histogram(m.Reg("K"))
+	for v, c := range before {
+		if after[v] != c {
+			t.Fatalf("multiset changed: %v -> %v", before, after)
+		}
+	}
+}
+
+func histogram(xs []int64) map[int64]int {
+	h := make(map[int64]int)
+	for _, x := range xs {
+		h[x]++
+	}
+	return h
+}
+
+func TestCompareExchangeColumnOnly(t *testing.T) {
+	// Sorting along dim 1 of a 2×3 mesh leaves dim-0 pairs alone.
+	m := New(mesh.New(2, 3))
+	m.AddReg("K")
+	// Column c0=0: values 9,5,1 (rows 0..2); column c0=1: 8,6,2.
+	init := map[[2]int]int64{
+		{0, 0}: 9, {0, 1}: 5, {0, 2}: 1,
+		{1, 0}: 8, {1, 1}: 6, {1, 2}: 2,
+	}
+	m.Set("K", func(pe int) int64 {
+		return init[[2]int{m.M.Coord(pe, 0), m.M.Coord(pe, 1)}]
+	})
+	for step := 0; step < 3; step++ {
+		m.CompareExchange("K", 1, step%2, nil)
+	}
+	get := func(c0, c1 int) int64 { return m.Reg("K")[m.M.ID([]int{c0, c1})] }
+	if get(0, 0) != 1 || get(0, 1) != 5 || get(0, 2) != 9 {
+		t.Fatalf("column 0 not sorted")
+	}
+	if get(1, 0) != 2 || get(1, 1) != 6 || get(1, 2) != 8 {
+		t.Fatalf("column 1 not sorted")
+	}
+}

@@ -1,0 +1,219 @@
+// Package perm implements permutations of {0..n-1} together with the
+// operations the star-graph machinery needs: composition, inversion,
+// cycle structure, transpositions of symbols and of positions, and a
+// bijective ranking (Lehmer code / factorial number system) used to
+// give every node of the star graph S_n a dense integer identifier.
+//
+// Conventions. A Perm p maps positions to symbols: p[i] is the symbol
+// stored at position i. Throughout the repository the "front" of a
+// star-graph node is position n-1, matching the paper's notation
+// (a_{n-1} a_{n-2} ... a_1 a_0), and permutations are displayed
+// front-first, e.g. "(0 3 1 2)" for p[3]=0, p[2]=3, p[1]=1, p[0]=2.
+package perm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Perm is a permutation of {0..n-1}; p[i] is the symbol at position i.
+type Perm []int
+
+// Identity returns the identity permutation of n symbols.
+func Identity(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// New copies the given symbols into a fresh Perm and validates it.
+func New(symbols []int) (Perm, error) {
+	p := append(Perm(nil), symbols...)
+	if !p.Valid() {
+		return nil, fmt.Errorf("perm: %v is not a permutation of 0..%d", symbols, len(symbols)-1)
+	}
+	return p, nil
+}
+
+// MustNew is New, panicking on invalid input. Intended for literals in
+// tests and examples.
+func MustNew(symbols []int) Perm {
+	p, err := New(symbols)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Valid reports whether p is a permutation of {0..len(p)-1}.
+func (p Perm) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, s := range p {
+		if s < 0 || s >= len(p) || seen[s] {
+			return false
+		}
+		seen[s] = true
+	}
+	return true
+}
+
+// N returns the number of symbols.
+func (p Perm) N() int { return len(p) }
+
+// Clone returns an independent copy of p.
+func (p Perm) Clone() Perm { return append(Perm(nil), p...) }
+
+// Equal reports whether p and q are the same permutation.
+func (p Perm) Equal(q Perm) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIdentity reports whether p is the identity.
+func (p Perm) IsIdentity() bool {
+	for i, s := range p {
+		if s != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Inverse returns q with q[p[i]] = i.
+func (p Perm) Inverse() Perm {
+	q := make(Perm, len(p))
+	for i, s := range p {
+		q[s] = i
+	}
+	return q
+}
+
+// Compose returns the permutation r = p∘q defined by r[i] = p[q[i]].
+// Reading permutations as functions position→symbol, r applies q
+// first and then p.
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic("perm: compose length mismatch")
+	}
+	r := make(Perm, len(p))
+	for i := range q {
+		r[i] = p[q[i]]
+	}
+	return r
+}
+
+// SwapPositions returns a copy of p with the symbols at positions i
+// and j exchanged.
+func (p Perm) SwapPositions(i, j int) Perm {
+	q := p.Clone()
+	q[i], q[j] = q[j], q[i]
+	return q
+}
+
+// SwapSymbols returns a copy of p with the symbols a and b exchanged
+// wherever they occur; this is the paper's π(a,b) operation
+// (Definition 1). It equals t∘p where t is the transposition (a b).
+func (p Perm) SwapSymbols(a, b int) Perm {
+	q := p.Clone()
+	for i, s := range q {
+		switch s {
+		case a:
+			q[i] = b
+		case b:
+			q[i] = a
+		}
+	}
+	return q
+}
+
+// PositionOf returns the position holding symbol s, or -1.
+func (p Perm) PositionOf(s int) int {
+	for i, v := range p {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// Parity returns 0 for even permutations and 1 for odd ones.
+func (p Perm) Parity() int {
+	seen := make([]bool, len(p))
+	parity := 0
+	for i := range p {
+		if seen[i] {
+			continue
+		}
+		length := 0
+		for j := i; !seen[j]; j = p[j] {
+			seen[j] = true
+			length++
+		}
+		parity ^= (length - 1) & 1
+	}
+	return parity
+}
+
+// Cycles returns the non-trivial cycles (length ≥ 2) of p, each cycle
+// listed starting from its smallest element.
+func (p Perm) Cycles() [][]int {
+	seen := make([]bool, len(p))
+	var out [][]int
+	for i := range p {
+		if seen[i] || p[i] == i {
+			seen[i] = true
+			continue
+		}
+		var cyc []int
+		for j := i; !seen[j]; j = p[j] {
+			seen[j] = true
+			cyc = append(cyc, j)
+		}
+		out = append(out, cyc)
+	}
+	return out
+}
+
+// NumNonFixed returns the number of positions i with p[i] != i.
+func (p Perm) NumNonFixed() int {
+	m := 0
+	for i, s := range p {
+		if s != i {
+			m++
+		}
+	}
+	return m
+}
+
+// String renders p front-first in the paper's style: "(0 3 1 2)" for
+// p[3]=0 p[2]=3 p[1]=1 p[0]=2.
+func (p Perm) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i := len(p) - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "%d", p[i])
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Random returns a uniformly random permutation of n symbols drawn
+// from rng.
+func Random(n int, rng *rand.Rand) Perm {
+	p := Identity(n)
+	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

@@ -1,0 +1,333 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	p := Identity(5)
+	if !p.IsIdentity() || !p.Valid() || p.N() != 5 {
+		t.Fatalf("Identity(5) = %v", p)
+	}
+	if p.NumNonFixed() != 0 {
+		t.Fatalf("identity has non-fixed points")
+	}
+	if len(p.Cycles()) != 0 {
+		t.Fatalf("identity has cycles: %v", p.Cycles())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		in []int
+		ok bool
+	}{
+		{[]int{0}, true},
+		{[]int{1, 0, 2}, true},
+		{[]int{0, 0}, false},
+		{[]int{0, 2}, false},
+		{[]int{-1, 0}, false},
+		{nil, true}, // empty permutation is valid
+	}
+	for _, c := range cases {
+		_, err := New(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%v): err=%v, want ok=%v", c.in, err, c.ok)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNew of invalid input did not panic")
+		}
+	}()
+	MustNew([]int{0, 0})
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 1; n <= 10; n++ {
+		for trial := 0; trial < 50; trial++ {
+			p := Random(n, rng)
+			q := p.Inverse()
+			if !p.Compose(q).IsIdentity() || !q.Compose(p).IsIdentity() {
+				t.Fatalf("inverse failed for %v", p)
+			}
+		}
+	}
+}
+
+func TestComposeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		a, b, c := Random(6, rng), Random(6, rng), Random(6, rng)
+		if !a.Compose(b).Compose(c).Equal(a.Compose(b.Compose(c))) {
+			t.Fatalf("compose not associative: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestComposeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := Random(7, rng)
+	id := Identity(7)
+	if !p.Compose(id).Equal(p) || !id.Compose(p).Equal(p) {
+		t.Fatalf("identity not neutral")
+	}
+}
+
+func TestComposeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("compose with mismatched lengths did not panic")
+		}
+	}()
+	Identity(3).Compose(Identity(4))
+}
+
+func TestSwapSymbolsMatchesPaperExample(t *testing.T) {
+	// Definition 1 example: π = (3 1 4 2 0), π(2,3) = (2 1 4 3 0).
+	// Display is front-first, so π[4]=3, π[3]=1, π[2]=4, π[1]=2, π[0]=0.
+	pi := MustNew([]int{0, 2, 4, 1, 3})
+	got := pi.SwapSymbols(2, 3)
+	want := MustNew([]int{0, 3, 4, 1, 2}) // (2 1 4 3 0)
+	if !got.Equal(want) {
+		t.Fatalf("SwapSymbols(2,3) = %v, want %v", got, want)
+	}
+	if got.String() != "(2 1 4 3 0)" {
+		t.Fatalf("String() = %q", got.String())
+	}
+}
+
+func TestSwapPositionsVsSwapSymbols(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		p := Random(8, rng)
+		a, b := rng.Intn(8), rng.Intn(8)
+		if a == b {
+			continue
+		}
+		// Swapping the symbols a and b equals swapping the positions
+		// where a and b live.
+		got := p.SwapSymbols(a, b)
+		want := p.SwapPositions(p.PositionOf(a), p.PositionOf(b))
+		if !got.Equal(want) {
+			t.Fatalf("swap mismatch: %v", p)
+		}
+	}
+}
+
+func TestSwapInvolution(t *testing.T) {
+	f := func(seed int64, ai, bi uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Random(9, rng)
+		a, b := int(ai%9), int(bi%9)
+		if a == b {
+			return true
+		}
+		return p.SwapSymbols(a, b).SwapSymbols(a, b).Equal(p) &&
+			p.SwapPositions(a, b).SwapPositions(a, b).Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParity(t *testing.T) {
+	if Identity(5).Parity() != 0 {
+		t.Fatalf("identity parity != 0")
+	}
+	if Identity(5).SwapPositions(0, 3).Parity() != 1 {
+		t.Fatalf("transposition parity != 1")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		p := Random(7, rng)
+		a, b := rng.Intn(7), rng.Intn(7)
+		if a == b {
+			continue
+		}
+		if p.SwapPositions(a, b).Parity() == p.Parity() {
+			t.Fatalf("transposition did not flip parity")
+		}
+	}
+}
+
+func TestCycles(t *testing.T) {
+	p := MustNew([]int{1, 0, 3, 4, 2, 5})
+	cyc := p.Cycles()
+	if len(cyc) != 2 {
+		t.Fatalf("cycles = %v", cyc)
+	}
+	if len(cyc[0]) != 2 || len(cyc[1]) != 3 {
+		t.Fatalf("cycle lengths = %v", cyc)
+	}
+	if p.NumNonFixed() != 5 {
+		t.Fatalf("NumNonFixed = %d", p.NumNonFixed())
+	}
+}
+
+func TestPositionOf(t *testing.T) {
+	p := MustNew([]int{2, 0, 1})
+	for s := 0; s < 3; s++ {
+		if p[p.PositionOf(s)] != s {
+			t.Fatalf("PositionOf broken for %d", s)
+		}
+	}
+	if p.PositionOf(99) != -1 {
+		t.Fatalf("PositionOf(99) != -1")
+	}
+}
+
+func TestString(t *testing.T) {
+	// p[3]=3 p[2]=2 p[1]=1 p[0]=0 displays as "(3 2 1 0)".
+	if got := Identity(4).String(); got != "(3 2 1 0)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		seen := make(map[int64]bool)
+		All(n, func(p Perm) bool {
+			r := p.Rank()
+			if r < 0 || r >= Factorial(n) {
+				t.Fatalf("rank %d out of range", r)
+			}
+			if seen[r] {
+				t.Fatalf("duplicate rank %d", r)
+			}
+			seen[r] = true
+			if !Unrank(n, r).Equal(p) {
+				t.Fatalf("roundtrip failed for %v", p)
+			}
+			return true
+		})
+		if int64(len(seen)) != Factorial(n) {
+			t.Fatalf("n=%d: saw %d ranks", n, len(seen))
+		}
+	}
+}
+
+func TestRankLexOrder(t *testing.T) {
+	// All() iterates lexicographically, so ranks must be 0,1,2,...
+	want := int64(0)
+	All(5, func(p Perm) bool {
+		if p.Rank() != want {
+			t.Fatalf("rank of %v = %d, want %d", p, p.Rank(), want)
+		}
+		want++
+		return true
+	})
+}
+
+func TestRankUnrankQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		p := Random(n, rng)
+		return Unrank(n, p.Rank()).Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720, 5040, 40320, 362880, 3628800}
+	for n, w := range want {
+		if Factorial(n) != w {
+			t.Fatalf("Factorial(%d) = %d, want %d", n, Factorial(n), w)
+		}
+	}
+	if Factorial(20) != 2432902008176640000 {
+		t.Fatalf("Factorial(20) wrong")
+	}
+}
+
+func TestFactorialPanics(t *testing.T) {
+	for _, n := range []int{-1, 21} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Factorial(%d) did not panic", n)
+				}
+			}()
+			Factorial(n)
+		}()
+	}
+}
+
+func TestUnrankPanics(t *testing.T) {
+	for _, r := range []int64{-1, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Unrank(3,%d) did not panic", r)
+				}
+			}()
+			Unrank(3, r)
+		}()
+	}
+}
+
+func TestAllEarlyStop(t *testing.T) {
+	count := 0
+	All(5, func(Perm) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop failed: %d", count)
+	}
+}
+
+func TestAllCount(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		count := int64(0)
+		All(n, func(p Perm) bool {
+			count++
+			return true
+		})
+		if count != Factorial(n) {
+			t.Fatalf("All(%d) visited %d", n, count)
+		}
+	}
+}
+
+func TestRandomIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		if !Random(10, rng).Valid() {
+			t.Fatalf("Random produced invalid permutation")
+		}
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	p := Unrank(10, 1234567)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Rank()
+	}
+}
+
+func BenchmarkUnrank(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Unrank(10, 1234567)
+	}
+}
+
+func BenchmarkCompose(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	p, q := Random(10, rng), Random(10, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Compose(q)
+	}
+}

@@ -1,0 +1,92 @@
+package perm
+
+import "fmt"
+
+// MaxRankN is the largest n for which Factorial and Rank fit in an
+// int64 without overflow (20! < 2^63 < 21!).
+const MaxRankN = 20
+
+// Factorial returns n! as int64. It panics for n > MaxRankN.
+func Factorial(n int) int64 {
+	if n < 0 || n > MaxRankN {
+		panic(fmt.Sprintf("perm: factorial out of range: %d", n))
+	}
+	f := int64(1)
+	for i := 2; i <= n; i++ {
+		f *= int64(i)
+	}
+	return f
+}
+
+// Rank returns the lexicographic rank of p in [0, n!) using the
+// Lehmer code (factorial number system). Rank(Identity(n)) == 0 and
+// the reverse permutation has rank n!-1. O(n²); n is tiny (≤ 20).
+func (p Perm) Rank() int64 {
+	n := len(p)
+	rank := int64(0)
+	for i := 0; i < n; i++ {
+		smaller := 0
+		for j := i + 1; j < n; j++ {
+			if p[j] < p[i] {
+				smaller++
+			}
+		}
+		rank = rank*int64(n-i) + int64(smaller)
+	}
+	return rank
+}
+
+// Unrank is the inverse of Rank: it returns the permutation of n
+// symbols with the given lexicographic rank.
+func Unrank(n int, rank int64) Perm {
+	if rank < 0 || rank >= Factorial(n) {
+		panic(fmt.Sprintf("perm: rank %d out of range for n=%d", rank, n))
+	}
+	// Decode the Lehmer digits.
+	digits := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		base := int64(n - i)
+		digits[i] = int(rank % base)
+		rank /= base
+	}
+	// digits[i] = number of unused symbols smaller than p[i].
+	avail := make([]int, n)
+	for i := range avail {
+		avail[i] = i
+	}
+	p := make(Perm, n)
+	for i := 0; i < n; i++ {
+		d := digits[i]
+		p[i] = avail[d]
+		avail = append(avail[:d], avail[d+1:]...)
+	}
+	return p
+}
+
+// All calls fn for every permutation of n symbols in lexicographic
+// order, reusing a single buffer; fn must not retain its argument.
+// It stops early if fn returns false.
+func All(n int, fn func(Perm) bool) {
+	p := Identity(n)
+	for {
+		if !fn(p) {
+			return
+		}
+		// next lexicographic permutation (classic algorithm)
+		i := n - 2
+		for i >= 0 && p[i] >= p[i+1] {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		j := n - 1
+		for p[j] <= p[i] {
+			j--
+		}
+		p[i], p[j] = p[j], p[i]
+		for l, r := i+1, n-1; l < r; l, r = l+1, r-1 {
+			p[l], p[r] = p[r], p[l]
+		}
+	}
+}

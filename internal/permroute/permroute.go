@@ -1,0 +1,244 @@
+// Package permroute simulates oblivious point-to-point routing of
+// full permutation traffic on the star graph: every PE holds one
+// message destined to a distinct PE, messages advance along their
+// greedy shortest paths, and links carry at most one message per
+// unit route in each direction. This quantifies how the embedding's
+// structured traffic (Theorem 6: 3 routes, zero queueing) compares
+// with arbitrary traffic, where queueing is unavoidable.
+package permroute
+
+import (
+	"fmt"
+
+	"starmesh/internal/perm"
+	"starmesh/internal/star"
+)
+
+// Result summarizes one routing run.
+type Result struct {
+	Steps     int     // unit routes until the last delivery
+	MaxDist   int     // max shortest-path distance (lower bound on Steps)
+	TotalHops int     // hops actually taken (= Σ distances; greedy is shortest-path)
+	AvgDist   float64 // TotalHops / messages
+	MaxQueue  int     // peak number of messages waiting at one node
+	Messages  int
+	Stretch   float64 // Steps / MaxDist (queueing overhead)
+}
+
+// message is one in-flight datum.
+type message struct {
+	cur  perm.Perm
+	dst  perm.Perm
+	done bool
+}
+
+// Route delivers one message from every node i to node dest[i]
+// (dest must be a bijection over vertex ids) and returns the
+// measured costs. Greedy rule per message per step: take the next
+// hop of star.Route's optimal policy; a directed link carries at
+// most one message per step; messages blocked on a busy link wait.
+func Route(n int, dest []int) Result {
+	order := int(perm.Factorial(n))
+	if len(dest) != order {
+		panic(fmt.Sprintf("permroute: dest has %d entries, want %d", len(dest), order))
+	}
+	seen := make([]bool, order)
+	for _, d := range dest {
+		if d < 0 || d >= order || seen[d] {
+			panic("permroute: dest is not a bijection")
+		}
+		seen[d] = true
+	}
+	msgs := make([]message, order)
+	res := Result{Messages: order}
+	perm.All(n, func(p perm.Perm) bool {
+		id := int(p.Rank())
+		msgs[id] = message{cur: p.Clone(), dst: perm.Unrank(n, int64(dest[id]))}
+		if d := star.Distance(p, msgs[id].dst); d > res.MaxDist {
+			res.MaxDist = d
+		}
+		return true
+	})
+	// Messages whose source equals destination are done immediately.
+	remaining := 0
+	for i := range msgs {
+		if msgs[i].cur.Equal(msgs[i].dst) {
+			msgs[i].done = true
+		} else {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		return res
+	}
+	// Synchronous steps.
+	limit := 20 * (res.MaxDist + 1) * 10
+	queue := make(map[int64]int) // node rank -> waiting messages
+	for step := 1; ; step++ {
+		if step > limit {
+			panic("permroute: routing did not converge (livelock?)")
+		}
+		usedLink := make(map[[2]int64]bool)
+		for k := range queue {
+			delete(queue, k)
+		}
+		moved := false
+		for i := range msgs {
+			m := &msgs[i]
+			if m.done {
+				continue
+			}
+			next := nextHop(m.cur, m.dst)
+			link := [2]int64{m.cur.Rank(), next.Rank()}
+			if usedLink[link] {
+				continue // link busy this step; wait
+			}
+			usedLink[link] = true
+			m.cur = next
+			res.TotalHops++
+			moved = true
+			if m.cur.Equal(m.dst) {
+				m.done = true
+				remaining--
+			}
+		}
+		// Record queueing pressure.
+		for i := range msgs {
+			if !msgs[i].done {
+				queue[msgs[i].cur.Rank()]++
+			}
+		}
+		for _, q := range queue {
+			if q > res.MaxQueue {
+				res.MaxQueue = q
+			}
+		}
+		if remaining == 0 {
+			res.Steps = step
+			break
+		}
+		if !moved {
+			panic("permroute: deadlock")
+		}
+	}
+	res.AvgDist = float64(res.TotalHops) / float64(res.Messages)
+	res.Stretch = float64(res.Steps) / float64(maxInt(res.MaxDist, 1))
+	return res
+}
+
+// nextHop returns the next node on the greedy optimal path from cur
+// to dst (cur != dst).
+func nextHop(cur, dst perm.Perm) perm.Perm {
+	front := len(cur) - 1
+	s := cur[front]
+	dinv := dst.Inverse()
+	target := dinv[s]
+	if target != front {
+		return cur.SwapPositions(front, target)
+	}
+	i := 0
+	for cur[i] == dst[i] {
+		i++
+	}
+	return cur.SwapPositions(front, i)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Patterns ----------------------------------------------------------
+
+// RandomDest returns a pseudo-random destination bijection from a
+// linear congruential walk (deterministic per seed).
+func RandomDest(order int, seed int64) []int {
+	dest := make([]int, order)
+	for i := range dest {
+		dest[i] = i
+	}
+	x := uint64(seed)
+	for i := order - 1; i > 0; i-- {
+		x = x*6364136223846793005 + 1442695040888963407
+		j := int(x % uint64(i+1))
+		dest[i], dest[j] = dest[j], dest[i]
+	}
+	return dest
+}
+
+// ReversalDest sends rank r to rank order-1-r.
+func ReversalDest(order int) []int {
+	dest := make([]int, order)
+	for i := range dest {
+		dest[i] = order - 1 - i
+	}
+	return dest
+}
+
+// InverseDest sends node π to node π⁻¹ (a natural "transpose" for
+// permutation networks).
+func InverseDest(n int) []int {
+	order := int(perm.Factorial(n))
+	dest := make([]int, order)
+	perm.All(n, func(p perm.Perm) bool {
+		dest[p.Rank()] = int(p.Inverse().Rank())
+		return true
+	})
+	return dest
+}
+
+// ShiftDest sends rank r to rank (r+1) mod order.
+func ShiftDest(order int) []int {
+	dest := make([]int, order)
+	for i := range dest {
+		dest[i] = (i + 1) % order
+	}
+	return dest
+}
+
+// Valiant routing: two-phase randomized routing. Each message first
+// travels to a random intermediate node (here a random bijection, so
+// both phases are permutation routings) and then to its true
+// destination. Valiant's scheme trades a factor ~2 in distance for
+// immunity against adversarial patterns; RouteValiant measures that
+// trade-off on the star graph.
+
+// RouteValiant routes dest in two phases through a seeded random
+// intermediate bijection and returns the combined result (steps and
+// hops are summed; MaxDist is the direct-pattern bound for
+// comparison with Route).
+func RouteValiant(n int, dest []int, seed int64) Result {
+	order := int(perm.Factorial(n))
+	sigma := RandomDest(order, seed)
+	phase1 := Route(n, sigma)
+	// Phase 2: message originally from i now sits at sigma[i] and
+	// must reach dest[i].
+	dest2 := make([]int, order)
+	for i, s := range sigma {
+		dest2[s] = dest[i]
+	}
+	phase2 := Route(n, dest2)
+	combined := Result{
+		Steps:     phase1.Steps + phase2.Steps,
+		TotalHops: phase1.TotalHops + phase2.TotalHops,
+		Messages:  order,
+	}
+	// Report the direct pattern's distance bound so stretch is
+	// comparable with the one-phase router.
+	perm.All(n, func(p perm.Perm) bool {
+		if d := star.Distance(p, perm.Unrank(n, int64(dest[p.Rank()]))); d > combined.MaxDist {
+			combined.MaxDist = d
+		}
+		return true
+	})
+	if phase1.MaxQueue > phase2.MaxQueue {
+		combined.MaxQueue = phase1.MaxQueue
+	} else {
+		combined.MaxQueue = phase2.MaxQueue
+	}
+	combined.AvgDist = float64(combined.TotalHops) / float64(combined.Messages)
+	combined.Stretch = float64(combined.Steps) / float64(maxInt(combined.MaxDist, 1))
+	return combined
+}

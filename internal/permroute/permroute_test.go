@@ -1,0 +1,160 @@
+package permroute
+
+import (
+	"testing"
+
+	"starmesh/internal/perm"
+	"starmesh/internal/star"
+)
+
+func TestIdentityTraffic(t *testing.T) {
+	order := int(perm.Factorial(4))
+	dest := make([]int, order)
+	for i := range dest {
+		dest[i] = i
+	}
+	res := Route(4, dest)
+	if res.Steps != 0 || res.TotalHops != 0 || res.MaxDist != 0 {
+		t.Fatalf("identity traffic cost something: %+v", res)
+	}
+}
+
+func TestGreedyTakesShortestPaths(t *testing.T) {
+	// TotalHops must equal the sum of pairwise distances (greedy is
+	// optimal per message, blocking only delays).
+	for _, mk := range []func() []int{
+		func() []int { return ReversalDest(24) },
+		func() []int { return RandomDest(24, 7) },
+		func() []int { return InverseDest(4) },
+		func() []int { return ShiftDest(24) },
+	} {
+		dest := mk()
+		want := 0
+		perm.All(4, func(p perm.Perm) bool {
+			want += star.Distance(p, perm.Unrank(4, int64(dest[p.Rank()])))
+			return true
+		})
+		res := Route(4, dest)
+		if res.TotalHops != want {
+			t.Fatalf("hops %d != Σ distances %d", res.TotalHops, want)
+		}
+		if res.Steps < res.MaxDist {
+			t.Fatalf("steps %d below distance lower bound %d", res.Steps, res.MaxDist)
+		}
+	}
+}
+
+func TestAllPatternsDeliver(t *testing.T) {
+	for _, n := range []int{3, 4, 5} {
+		order := int(perm.Factorial(n))
+		patterns := map[string][]int{
+			"random":   RandomDest(order, 42),
+			"reversal": ReversalDest(order),
+			"inverse":  InverseDest(n),
+			"shift":    ShiftDest(order),
+		}
+		for name, dest := range patterns {
+			res := Route(n, dest)
+			if res.Messages != order {
+				t.Fatalf("%s: message count wrong", name)
+			}
+			if res.Steps <= 0 {
+				t.Fatalf("%s: no steps recorded", name)
+			}
+			if res.Stretch < 1 {
+				t.Fatalf("%s: stretch %v < 1", name, res.Stretch)
+			}
+		}
+	}
+}
+
+func TestDestValidation(t *testing.T) {
+	cases := [][]int{
+		make([]int, 5),      // wrong length for n=3 (needs 6)
+		{0, 1, 2, 3, 4, 4},  // not a bijection
+		{0, 1, 2, 3, 4, 99}, // out of range
+		{-1, 1, 2, 3, 4, 5}, // negative
+	}
+	for i, dest := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			Route(3, dest)
+		}()
+	}
+}
+
+func TestRandomDestIsBijection(t *testing.T) {
+	dest := RandomDest(120, 99)
+	seen := make([]bool, 120)
+	for _, d := range dest {
+		if seen[d] {
+			t.Fatalf("duplicate destination")
+		}
+		seen[d] = true
+	}
+	// Different seeds give different shuffles.
+	other := RandomDest(120, 100)
+	same := true
+	for i := range dest {
+		if dest[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 99 and 100 produced identical shuffles")
+	}
+}
+
+func TestNextHopDecreasesDistance(t *testing.T) {
+	perm.All(5, func(p perm.Perm) bool {
+		dst := perm.Unrank(5, (p.Rank()*7+1)%120)
+		if p.Equal(dst) {
+			return true
+		}
+		next := nextHop(p, dst)
+		if star.Distance(next, dst) != star.Distance(p, dst)-1 {
+			t.Fatalf("nextHop not greedy-optimal at %v -> %v", p, dst)
+		}
+		return true
+	})
+}
+
+func BenchmarkRouteRandomN5(b *testing.B) {
+	dest := RandomDest(120, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Route(5, dest)
+	}
+}
+
+func TestRouteValiantDelivers(t *testing.T) {
+	for _, n := range []int{3, 4, 5} {
+		order := int(perm.Factorial(n))
+		direct := Route(n, ReversalDest(order))
+		valiant := RouteValiant(n, ReversalDest(order), 7)
+		if valiant.Steps < direct.MaxDist {
+			t.Fatalf("n=%d: valiant steps below distance bound", n)
+		}
+		if valiant.TotalHops < direct.TotalHops {
+			// Two phases cannot take fewer hops than the one-phase
+			// shortest-path total.
+			t.Fatalf("n=%d: valiant hops %d < direct %d", n, valiant.TotalHops, direct.TotalHops)
+		}
+		if valiant.Messages != order {
+			t.Fatalf("message count wrong")
+		}
+	}
+}
+
+func TestRouteValiantDeterministic(t *testing.T) {
+	a := RouteValiant(4, RandomDest(24, 1), 9)
+	b := RouteValiant(4, RandomDest(24, 1), 9)
+	if a != b {
+		t.Fatalf("valiant not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,204 @@
+// Package simd simulates the paper's SIMD multicomputer (Figure 1):
+// N processing elements connected by an interconnection network,
+// driven by a control unit that broadcasts instructions and masks.
+// Each PE has named registers of word values; data moves only through
+// unit routes, and the machine counts them — the paper's complexity
+// measure (§2 item 6).
+//
+// Two models are supported (§2 item 5):
+//
+//   - SIMD-A: in one unit route every (selected) PE transmits along
+//     the same port (the same dimension/generator).
+//   - SIMD-B: in one unit route every (selected) PE may transmit to
+//     any one of its neighbors.
+//
+// The simulator enforces the single-transmit rule by construction
+// and detects receive conflicts (two messages arriving at one PE in
+// the same unit route), which Lemma 5 proves never happen for the
+// embedding's unit-route schedule.
+package simd
+
+import "fmt"
+
+// Topology is a port-based network: PE pe's port p leads to
+// Neighbor(pe, p), or -1 if that port is unconnected (mesh boundary).
+type Topology interface {
+	Size() int
+	Ports() int
+	Neighbor(pe, port int) int
+}
+
+// PortFunc selects, for each PE, the port to transmit through in a
+// SIMD-B unit route; -1 means the PE stays silent.
+type PortFunc func(pe int) int
+
+// Stats accumulates the unit-route counts of a machine.
+type Stats struct {
+	UnitRoutes       int   // total unit routes executed
+	ModelA           int   // routes where all PEs used one common port
+	ModelB           int   // routes with per-PE port selection
+	Sent             int64 // total messages transmitted
+	ReceiveConflicts int   // PEs that received >1 message in one route
+}
+
+// Machine is an N-PE SIMD computer over a Topology.
+type Machine struct {
+	topo     Topology
+	regs     map[string][]int64
+	stats    Stats
+	portUses []int64
+	// scratch buffers reused across routes
+	inbox   []int64
+	touched []bool
+}
+
+// New builds a machine with no registers.
+func New(topo Topology) *Machine {
+	n := topo.Size()
+	return &Machine{
+		topo:     topo,
+		regs:     make(map[string][]int64),
+		portUses: make([]int64, topo.Ports()),
+		inbox:    make([]int64, n),
+		touched:  make([]bool, n),
+	}
+}
+
+// PortUses returns, per port index, the number of transmissions that
+// used it since the last ResetStats — the link-utilization profile
+// of the workload (for the star machine, generator usage).
+func (m *Machine) PortUses() []int64 {
+	return append([]int64(nil), m.portUses...)
+}
+
+// Size returns the number of PEs.
+func (m *Machine) Size() int { return m.topo.Size() }
+
+// Topology returns the machine's network.
+func (m *Machine) Topology() Topology { return m.topo }
+
+// AddReg declares a register, zero-initialized.
+func (m *Machine) AddReg(name string) {
+	if _, ok := m.regs[name]; ok {
+		panic(fmt.Sprintf("simd: register %q already exists", name))
+	}
+	m.regs[name] = make([]int64, m.topo.Size())
+}
+
+// HasReg reports whether a register has been declared.
+func (m *Machine) HasReg(name string) bool {
+	_, ok := m.regs[name]
+	return ok
+}
+
+// EnsureReg declares a register if it does not already exist.
+func (m *Machine) EnsureReg(name string) {
+	if !m.HasReg(name) {
+		m.AddReg(name)
+	}
+}
+
+// Reg returns the backing slice of a register (index = PE id).
+func (m *Machine) Reg(name string) []int64 {
+	r, ok := m.regs[name]
+	if !ok {
+		panic(fmt.Sprintf("simd: unknown register %q", name))
+	}
+	return r
+}
+
+// Set performs the intraprocessor assignment reg(i) := fn(i) on
+// every PE (fn may close over other registers via Reg).
+func (m *Machine) Set(name string, fn func(pe int) int64) {
+	r := m.Reg(name)
+	for pe := range r {
+		r[pe] = fn(pe)
+	}
+}
+
+// SetMasked assigns reg(i) := fn(i) only where mask(i) holds — the
+// paper's "A(i) := …, (f(i) = y)" masked instruction.
+func (m *Machine) SetMasked(name string, fn func(pe int) int64, mask func(pe int) bool) {
+	r := m.Reg(name)
+	for pe := range r {
+		if mask(pe) {
+			r[pe] = fn(pe)
+		}
+	}
+}
+
+// route executes one unit route: every PE with portOf(pe) >= 0
+// transmits src(pe) through that port; each receiver stores the
+// value into dst. Messages are delivered simultaneously (all reads
+// precede all writes). Returns the number of receive conflicts.
+func (m *Machine) route(src, dst string, portOf PortFunc, modelA bool) int {
+	sr := m.Reg(src)
+	dr := m.Reg(dst)
+	n := m.topo.Size()
+	for i := 0; i < n; i++ {
+		m.touched[i] = false
+	}
+	conflicts := 0
+	for pe := 0; pe < n; pe++ {
+		p := portOf(pe)
+		if p < 0 {
+			continue
+		}
+		to := m.topo.Neighbor(pe, p)
+		if to < 0 {
+			panic(fmt.Sprintf("simd: PE %d transmits through unconnected port %d", pe, p))
+		}
+		m.stats.Sent++
+		m.portUses[p]++
+		if m.touched[to] {
+			conflicts++
+			continue // first message wins; conflict recorded
+		}
+		m.touched[to] = true
+		m.inbox[to] = sr[pe]
+	}
+	for pe := 0; pe < n; pe++ {
+		if m.touched[pe] {
+			dr[pe] = m.inbox[pe]
+		}
+	}
+	m.stats.UnitRoutes++
+	if modelA {
+		m.stats.ModelA++
+	} else {
+		m.stats.ModelB++
+	}
+	m.stats.ReceiveConflicts += conflicts
+	return conflicts
+}
+
+// RouteA performs a SIMD-A unit route: every PE whose given port is
+// connected and selected by mask (nil = all) transmits src through
+// that common port. dst(receiver) := src(sender).
+func (m *Machine) RouteA(src, dst string, port int, mask func(pe int) bool) int {
+	return m.route(src, dst, func(pe int) int {
+		if mask != nil && !mask(pe) {
+			return -1
+		}
+		if m.topo.Neighbor(pe, port) < 0 {
+			return -1
+		}
+		return port
+	}, true)
+}
+
+// RouteB performs a SIMD-B unit route with per-PE port selection.
+func (m *Machine) RouteB(src, dst string, portOf PortFunc) int {
+	return m.route(src, dst, portOf, false)
+}
+
+// Stats returns a copy of the accumulated counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters (register contents are preserved).
+func (m *Machine) ResetStats() {
+	m.stats = Stats{}
+	for i := range m.portUses {
+		m.portUses[i] = 0
+	}
+}

@@ -1,0 +1,70 @@
+package sorting
+
+import (
+	"starmesh/internal/mesh"
+	"starmesh/internal/meshsim"
+)
+
+// Multi-dimensional shear sort — the naive generalization the paper
+// doubts: "Shear sort is one method which does not use divide and
+// conquer, but it does not seem that it can be easily extended to
+// dimensions greater than 2" (§5). Each round sorts every line along
+// every dimension by odd-even transposition; the scanning direction
+// of a line along dimension j alternates with the parity of the sum
+// of its higher-dimension coordinates (the snake rule, which reduces
+// to classical shearsort in 2-D). MultiDimShearRounds measures how
+// the number of snake-order inversions evolves round by round, so
+// the paper's skepticism can be tested empirically (experiment
+// `mdshear`).
+
+// lineAscending is the direction rule for dimension dim.
+func lineAscending(m *mesh.Mesh, pe, dim int) bool {
+	sum := 0
+	for j := dim + 1; j < m.Dims(); j++ {
+		sum += m.Coord(pe, j)
+	}
+	return sum%2 == 0
+}
+
+// SortDimension runs a full odd-even transposition pass along dim
+// with snake directions (size(dim) phases).
+func SortDimension(m *meshsim.Machine, key string, dim int) {
+	asc := func(pe int) bool { return lineAscending(m.M, pe, dim) }
+	for phase := 0; phase < m.M.Size(dim); phase++ {
+		m.CompareExchange(key, dim, phase%2, asc)
+	}
+}
+
+// SnakeInversions counts inversions of register key with respect to
+// the snake order (0 = fully sorted). O(N²).
+func SnakeInversions(m *mesh.Mesh, key []int64) int {
+	inv := 0
+	for a := 0; a < m.Order(); a++ {
+		va := key[m.SnakeIDAt(a)]
+		for b := a + 1; b < m.Order(); b++ {
+			if va > key[m.SnakeIDAt(b)] {
+				inv++
+			}
+		}
+	}
+	return inv
+}
+
+// MultiDimShearRounds runs up to maxRounds rounds (each round: sort
+// along every dimension from highest to lowest) and returns the
+// snake-order inversion count after each round, stopping early once
+// sorted. The returned slice has one entry per executed round.
+func MultiDimShearRounds(m *meshsim.Machine, key string, maxRounds int) []int {
+	var hist []int
+	for r := 0; r < maxRounds; r++ {
+		for dim := m.M.Dims() - 1; dim >= 0; dim-- {
+			SortDimension(m, key, dim)
+		}
+		inv := SnakeInversions(m.M, m.Reg(key))
+		hist = append(hist, inv)
+		if inv == 0 {
+			break
+		}
+	}
+	return hist
+}

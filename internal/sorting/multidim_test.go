@@ -1,0 +1,92 @@
+package sorting
+
+import (
+	"math/rand"
+	"testing"
+
+	"starmesh/internal/mesh"
+	"starmesh/internal/meshsim"
+)
+
+func TestSnakeInversions(t *testing.T) {
+	m := mesh.New(2, 3)
+	key := make([]int64, 6)
+	for s := 0; s < 6; s++ {
+		key[m.SnakeIDAt(s)] = int64(s)
+	}
+	if SnakeInversions(m, key) != 0 {
+		t.Fatalf("sorted sequence has inversions")
+	}
+	// Fully reversed: C(6,2) = 15 inversions.
+	for s := 0; s < 6; s++ {
+		key[m.SnakeIDAt(s)] = int64(5 - s)
+	}
+	if SnakeInversions(m, key) != 15 {
+		t.Fatalf("reversed inversions = %d", SnakeInversions(m, key))
+	}
+}
+
+func TestMultiDimShearMatchesShearSort2D(t *testing.T) {
+	// In 2-D the generalization must sort within ~log(rows)+1 rounds
+	// (the classical shearsort bound).
+	rng := rand.New(rand.NewSource(1))
+	m := meshsim.New(mesh.New(8, 8))
+	m.AddReg("K")
+	m.Set("K", func(pe int) int64 { return int64(rng.Intn(1000)) })
+	hist := MultiDimShearRounds(m, "K", 10)
+	if hist[len(hist)-1] != 0 {
+		t.Fatalf("2-D shear did not sort: %v", hist)
+	}
+	if len(hist) > 4 { // ceil(log2 8) + 1 = 4
+		t.Fatalf("2-D shear took %d rounds: %v", len(hist), hist)
+	}
+}
+
+func TestMultiDimShearInversionsMonotone(t *testing.T) {
+	// Rounds never increase inversions for these workloads.
+	rng := rand.New(rand.NewSource(2))
+	for _, sizes := range [][]int{{3, 3, 3}, {2, 3, 4}, {4, 4, 4}} {
+		m := meshsim.New(mesh.New(sizes...))
+		m.AddReg("K")
+		m.Set("K", func(pe int) int64 { return int64(rng.Intn(1000)) })
+		hist := MultiDimShearRounds(m, "K", 8)
+		for i := 1; i < len(hist); i++ {
+			if hist[i] > hist[i-1] {
+				t.Fatalf("%v: inversions increased: %v", sizes, hist)
+			}
+		}
+	}
+}
+
+func TestSortDimensionSortsLines(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := meshsim.New(mesh.New(4, 3))
+	m.AddReg("K")
+	m.Set("K", func(pe int) int64 { return int64(rng.Intn(100)) })
+	SortDimension(m, "K", 0)
+	// Every row must be monotone in the direction given by its
+	// higher-coordinate parity.
+	for c1 := 0; c1 < 3; c1++ {
+		asc := c1%2 == 0
+		for c0 := 0; c0+1 < 4; c0++ {
+			a := m.Reg("K")[m.M.ID([]int{c0, c1})]
+			b := m.Reg("K")[m.M.ID([]int{c0 + 1, c1})]
+			if asc && a > b || !asc && a < b {
+				t.Fatalf("row %d not monotone (asc=%v)", c1, asc)
+			}
+		}
+	}
+}
+
+func TestLineAscending2DMatchesShearsort(t *testing.T) {
+	m := mesh.New(5, 4)
+	for pe := 0; pe < m.Order(); pe++ {
+		want := m.Coord(pe, 1)%2 == 0
+		if lineAscending(m, pe, 0) != want {
+			t.Fatalf("direction rule differs from shearsort at %d", pe)
+		}
+		if !lineAscending(m, pe, 1) {
+			t.Fatalf("columns must always sort ascending")
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package sorting implements SIMD mesh sorting algorithms and runs
+// them both on the mesh machine directly and on the star graph
+// through the paper's embedding, supporting the §5 discussion: any
+// T(n)-unit-route mesh algorithm runs in ≤ 3·T(n) star unit routes
+// (Theorem 6).
+//
+// Algorithms:
+//
+//   - OddEvenSort1D: odd-even transposition sort on a 1-D mesh
+//     ([THOM77]-era baseline; N phases, 2 routes each).
+//   - ShearSort2D: shear sort on an a×b mesh ([SCHE89]; the paper
+//     singles it out as the 2-D method that avoids divide and
+//     conquer). ⌈log₂ a⌉+1 row/column rounds.
+//   - SnakeSort: odd-even transposition over the snake
+//     (boustrophedon) order of an arbitrary rectangular mesh —
+//     runnable on the mesh machine and on the star machine, where
+//     every masked mesh unit route costs ≤ 3 star routes.
+package sorting
+
+import (
+	"starmesh/internal/mesh"
+	"starmesh/internal/meshsim"
+	"starmesh/internal/simd"
+	"starmesh/internal/starsim"
+)
+
+// Result reports the cost of a sort run.
+type Result struct {
+	Sorted     bool
+	Phases     int
+	UnitRoutes int // unit routes on the executing machine
+	Conflicts  int // receive conflicts observed (must be 0)
+}
+
+// IsSortedBySnake reports whether register key on machine m is
+// nondecreasing along the snake order of its mesh.
+func IsSortedBySnake(m *mesh.Mesh, key []int64) bool {
+	prev := int64(0)
+	for s := 0; s < m.Order(); s++ {
+		v := key[m.SnakeIDAt(s)]
+		if s > 0 && v < prev {
+			return false
+		}
+		prev = v
+	}
+	return true
+}
+
+// IsSortedLinear reports whether key is nondecreasing in PE order.
+func IsSortedLinear(key []int64) bool {
+	for i := 1; i < len(key); i++ {
+		if key[i] < key[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// OddEvenSort1D sorts register key on a 1-D mesh machine using
+// odd-even transposition: exactly N phases of 2 unit routes.
+func OddEvenSort1D(m *meshsim.Machine, key string) Result {
+	if m.M.Dims() != 1 {
+		panic("sorting: OddEvenSort1D needs a 1-D mesh")
+	}
+	n := m.M.Order()
+	before := m.Stats()
+	for phase := 0; phase < n; phase++ {
+		m.CompareExchange(key, 0, phase%2, nil)
+	}
+	after := m.Stats()
+	return Result{
+		Sorted:     IsSortedLinear(m.Reg(key)),
+		Phases:     n,
+		UnitRoutes: after.UnitRoutes - before.UnitRoutes,
+		Conflicts:  after.ReceiveConflicts - before.ReceiveConflicts,
+	}
+}
+
+// ShearSort2D sorts register key on an a×b mesh machine (dimension 0
+// = position within a row of length b; dimension 1 = row index,
+// a rows) into snake order: rows are sorted alternately ascending
+// and descending, columns ascending, for ⌈log₂ a⌉ rounds plus a
+// final row phase.
+func ShearSort2D(m *meshsim.Machine, key string) Result {
+	if m.M.Dims() != 2 {
+		panic("sorting: ShearSort2D needs a 2-D mesh")
+	}
+	b, a := m.M.Size(0), m.M.Size(1)
+	before := m.Stats()
+	rounds := 0
+	for x := 1; x < a; x *= 2 {
+		rounds++
+	}
+	rowAscending := func(pe int) bool { return m.M.Coord(pe, 1)%2 == 0 }
+	sortRows := func() {
+		for phase := 0; phase < b; phase++ {
+			m.CompareExchange(key, 0, phase%2, rowAscending)
+		}
+	}
+	sortCols := func() {
+		for phase := 0; phase < a; phase++ {
+			m.CompareExchange(key, 1, phase%2, nil)
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		sortRows()
+		sortCols()
+	}
+	sortRows()
+	after := m.Stats()
+	return Result{
+		Sorted:     IsSortedBySnake(m.M, m.Reg(key)),
+		Phases:     rounds + 1,
+		UnitRoutes: after.UnitRoutes - before.UnitRoutes,
+		Conflicts:  after.ReceiveConflicts - before.ReceiveConflicts,
+	}
+}
+
+// snakePlan precomputes, for every node of a mesh, its snake index
+// and the (dim, dir) of the snake step to the next snake position.
+type snakePlan struct {
+	m     *mesh.Mesh
+	index []int // node id -> snake index
+	dim   []int // node id -> dim of step to snake successor (-1 at end)
+	dir   []int
+}
+
+func newSnakePlan(m *mesh.Mesh) *snakePlan {
+	p := &snakePlan{
+		m:     m,
+		index: make([]int, m.Order()),
+		dim:   make([]int, m.Order()),
+		dir:   make([]int, m.Order()),
+	}
+	prev := -1
+	for s := 0; s < m.Order(); s++ {
+		id := m.SnakeIDAt(s)
+		p.index[id] = s
+		p.dim[id] = -1
+		if prev != -1 {
+			for j := 0; j < m.Dims(); j++ {
+				switch m.Coord(id, j) - m.Coord(prev, j) {
+				case 1:
+					p.dim[prev], p.dir[prev] = j, +1
+				case -1:
+					p.dim[prev], p.dir[prev] = j, -1
+				}
+			}
+		}
+		prev = id
+	}
+	return p
+}
+
+// exchanger abstracts "move register src one masked step along
+// (dim,dir) into dst" over the two machines, so SnakeSort runs
+// unchanged on a mesh (1 route per step) and on a star via the
+// embedding (≤ 3 routes per step).
+type exchanger interface {
+	maskedStep(src, dst string, dim, dir int, mask func(meshID int) bool)
+	machine() *simd.Machine
+	theMesh() *mesh.Mesh
+}
+
+// meshExchanger runs on the mesh machine itself; PE ids are mesh ids.
+type meshExchanger struct{ mm *meshsim.Machine }
+
+func (e meshExchanger) machine() *simd.Machine { return e.mm.Machine }
+func (e meshExchanger) theMesh() *mesh.Mesh    { return e.mm.M }
+func (e meshExchanger) maskedStep(src, dst string, dim, dir int, mask func(int) bool) {
+	e.mm.RouteA(src, dst, meshsim.Port(dim, dir), mask)
+}
+
+// starExchanger runs on the star machine through the embedding; PE
+// ids are star ids and mesh masks are translated via ConvertSD
+// inside starsim's role tests (the machine's mask argument receives
+// star PE ids, so we wrap it with the stored mesh-id lookup).
+type starExchanger struct {
+	sm     *starsim.Machine
+	dn     *mesh.Mesh
+	meshID []int // star PE id -> mesh id
+	modelA bool  // serialize per-generator rounds (SIMD-A star)
+}
+
+func (e starExchanger) machine() *simd.Machine { return e.sm.Machine }
+func (e starExchanger) theMesh() *mesh.Mesh    { return e.dn }
+func (e starExchanger) maskedStep(src, dst string, dim, dir int, mask func(int) bool) {
+	starMask := func(pe int) bool { return mask(e.meshID[pe]) }
+	if e.modelA {
+		e.sm.MaskedMeshUnitRouteModelA(src, dst, dim+1, dir, starMask)
+		return
+	}
+	e.sm.MaskedMeshUnitRoute(src, dst, dim+1, dir, starMask)
+}
+
+// snakeSort runs odd-even transposition over the snake order using
+// masked directional steps. meshOf maps PE ids to mesh ids.
+func snakeSort(e exchanger, key string, meshOf func(pe int) int) Result {
+	m := e.theMesh()
+	plan := newSnakePlan(m)
+	mach := e.machine()
+	const tmp = "__snake_tmp"
+	mach.EnsureReg(tmp)
+	n := m.Order()
+	before := mach.Stats()
+	for phase := 0; phase < n; phase++ {
+		lowMask := func(meshID int) bool {
+			s := plan.index[meshID]
+			return s%2 == phase%2 && plan.dim[meshID] != -1
+		}
+		highMask := func(meshID int) bool {
+			s := plan.index[meshID]
+			if s == 0 {
+				return false
+			}
+			prev := m.SnakeIDAt(s - 1)
+			return lowMask(prev)
+		}
+		// Each (dim,dir) class of snake steps is one masked route in
+		// each direction.
+		for j := 0; j < m.Dims(); j++ {
+			for _, dir := range []int{+1, -1} {
+				dirMaskLow := func(meshID int) bool {
+					return lowMask(meshID) && plan.dim[meshID] == j && plan.dir[meshID] == dir
+				}
+				dirMaskHigh := func(meshID int) bool {
+					s := plan.index[meshID]
+					if s == 0 {
+						return false
+					}
+					return dirMaskLow(m.SnakeIDAt(s - 1))
+				}
+				if !anyMesh(m, dirMaskLow) {
+					continue
+				}
+				e.maskedStep(key, tmp, j, dir, dirMaskLow)
+				e.maskedStep(key, tmp, j, -dir, dirMaskHigh)
+			}
+		}
+		// Local compare: lows keep min, highs keep max.
+		k := mach.Reg(key)
+		t := mach.Reg(tmp)
+		for pe := range k {
+			id := meshOf(pe)
+			if lowMask(id) {
+				if t[pe] < k[pe] {
+					k[pe] = t[pe]
+				}
+			} else if highMask(id) {
+				if t[pe] > k[pe] {
+					k[pe] = t[pe]
+				}
+			}
+		}
+	}
+	after := mach.Stats()
+	// Gather keys in mesh-id order for the sortedness check.
+	keys := make([]int64, n)
+	for pe := 0; pe < mach.Size(); pe++ {
+		keys[meshOf(pe)] = mach.Reg(key)[pe]
+	}
+	return Result{
+		Sorted:     IsSortedBySnake(m, keys),
+		Phases:     n,
+		UnitRoutes: after.UnitRoutes - before.UnitRoutes,
+		Conflicts:  after.ReceiveConflicts - before.ReceiveConflicts,
+	}
+}
+
+func anyMesh(m *mesh.Mesh, pred func(int) bool) bool {
+	for id := 0; id < m.Order(); id++ {
+		if pred(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// SnakeSortMesh sorts register key on the mesh machine into snake
+// order via odd-even transposition over the snake.
+func SnakeSortMesh(m *meshsim.Machine, key string) Result {
+	return snakeSort(meshExchanger{mm: m}, key, func(pe int) int { return pe })
+}
+
+// SnakeSortStar sorts register key on the star machine: the mesh
+// D_n is embedded by the paper's mapping, every snake step is a
+// masked mesh unit route, and every unit route costs ≤ 3 star
+// routes (Theorem 6). meshID[pe] must give the mesh node hosted by
+// star PE pe (i.e. core.UnmapID).
+func SnakeSortStar(sm *starsim.Machine, key string, meshID []int) Result {
+	dn := mesh.D(sm.N)
+	e := starExchanger{sm: sm, dn: dn, meshID: meshID}
+	return snakeSort(e, key, func(pe int) int { return meshID[pe] })
+}
+
+// SnakeSortStarModelA is SnakeSortStar on a SIMD-A star machine:
+// every masked unit route is serialized into single-generator
+// rounds, quantifying the §4 remark that SIMD-A results carry an
+// extra O(n) factor.
+func SnakeSortStarModelA(sm *starsim.Machine, key string, meshID []int) Result {
+	dn := mesh.D(sm.N)
+	e := starExchanger{sm: sm, dn: dn, meshID: meshID, modelA: true}
+	return snakeSort(e, key, func(pe int) int { return meshID[pe] })
+}

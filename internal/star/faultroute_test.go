@@ -1,0 +1,99 @@
+package star
+
+import (
+	"math/rand"
+	"testing"
+
+	"starmesh/internal/perm"
+)
+
+func TestRouteAvoidingNoFaults(t *testing.T) {
+	g := New(5)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		p, q := perm.Random(5, rng), perm.Random(5, rng)
+		path := g.RouteAvoiding(p, q, nil)
+		if len(path)-1 != Distance(p, q) {
+			t.Fatalf("fault-free route not shortest: %d vs %d", len(path)-1, Distance(p, q))
+		}
+	}
+}
+
+func TestRouteAvoidingSurvivesMaxFaults(t *testing.T) {
+	g := New(4)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		p, q := perm.Random(4, rng), perm.Random(4, rng)
+		if p.Equal(q) {
+			continue
+		}
+		faulty := map[int]bool{}
+		for len(faulty) < g.MaxSafeFaults() {
+			h := rng.Intn(g.Order())
+			if h != g.ID(p) && h != g.ID(q) {
+				faulty[h] = true
+			}
+		}
+		path := g.RouteAvoiding(p, q, faulty)
+		if path == nil {
+			t.Fatalf("no route with %d faults (connectivity violated)", len(faulty))
+		}
+		// Path validity: consecutive star edges, no faulty nodes.
+		for i, node := range path {
+			if faulty[g.ID(node)] {
+				t.Fatalf("path passes through faulty node")
+			}
+			if i > 0 && !IsEdge(path[i-1], node) {
+				t.Fatalf("path step is not an edge")
+			}
+		}
+		if !path[0].Equal(p) || !path[len(path)-1].Equal(q) {
+			t.Fatalf("path endpoints wrong")
+		}
+		// Detour is bounded: removing n-2 < n-1 vertices cannot
+		// stretch distances past the number of healthy vertices.
+		if len(path)-1 > g.Order() {
+			t.Fatalf("path absurdly long")
+		}
+	}
+}
+
+func TestRouteAvoidingFaultyEndpoint(t *testing.T) {
+	g := New(4)
+	p, q := g.Node(0), g.Node(5)
+	if g.RouteAvoiding(p, q, map[int]bool{0: true}) != nil {
+		t.Fatalf("route from faulty source should be nil")
+	}
+	if g.RouteAvoiding(p, q, map[int]bool{5: true}) != nil {
+		t.Fatalf("route to faulty destination should be nil")
+	}
+}
+
+func TestRouteAvoidingSelf(t *testing.T) {
+	g := New(4)
+	p := g.Node(7)
+	path := g.RouteAvoiding(p, p, nil)
+	if len(path) != 1 || !path[0].Equal(p) {
+		t.Fatalf("self route wrong: %v", path)
+	}
+}
+
+func TestRouteAvoidingIsolation(t *testing.T) {
+	// Killing all n-1 neighbors of the source isolates it: nil.
+	g := New(4)
+	p := g.Node(0)
+	faulty := map[int]bool{}
+	var buf []int
+	for _, w := range g.AppendNeighbors(buf, 0) {
+		faulty[w] = true
+	}
+	if g.RouteAvoiding(p, g.Node(12), faulty) != nil {
+		t.Fatalf("isolated source should have no route")
+	}
+}
+
+func TestMaxSafeFaults(t *testing.T) {
+	if New(6).MaxSafeFaults() != 4 {
+		t.Fatalf("MaxSafeFaults wrong")
+	}
+}

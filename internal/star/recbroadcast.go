@@ -1,0 +1,103 @@
+package star
+
+import "starmesh/internal/perm"
+
+// RecursiveBroadcast measures the sub-star-structured broadcast in
+// the spirit of [AKER87]: first fill the source's S_{n-1} sub-star
+// (the nodes sharing the source's symbol at position 0) using only
+// intra-sub-star generators, then one cross round over generator g_0
+// seeds every other sub-star with (n-2)! informed nodes, and the
+// sub-stars finish in parallel. All rounds obey the SIMD-B rule (an
+// informed node transmits to at most one neighbor per round).
+// Returns the number of unit routes until all n! nodes know the
+// message.
+func (g *Graph) RecursiveBroadcast(source int) int {
+	n := g.n
+	order := g.Order()
+	informedAt := make([]int, order)
+	for i := range informedAt {
+		informedAt[i] = -1
+	}
+	informedAt[source] = 0
+	count := 1
+	round := 0
+	front := n - 1
+
+	// greedyRounds runs greedy SIMD-B rounds restricted to edges
+	// allowed by edgeOK until no progress or target coverage pred.
+	greedy := func(allowed func(p perm.Perm, gen int) bool, done func() bool) {
+		for !done() {
+			round++
+			progressed := false
+			for v := 0; v < order; v++ {
+				if informedAt[v] < 0 || informedAt[v] >= round {
+					continue
+				}
+				p := perm.Unrank(n, int64(v))
+				for gen := 0; gen < n-1; gen++ {
+					if !allowed(p, gen) {
+						continue
+					}
+					p[front], p[gen] = p[gen], p[front]
+					w := int(p.Rank())
+					p[front], p[gen] = p[gen], p[front]
+					if informedAt[w] == -1 {
+						informedAt[w] = round
+						count++
+						progressed = true
+						break
+					}
+				}
+			}
+			if !progressed {
+				return
+			}
+		}
+	}
+
+	// Phase A: fill the source's sub-star (same symbol at position
+	// 0) without using g_0. The sub-star has (n-1)! nodes.
+	srcSym := perm.Unrank(n, int64(source))[0]
+	subFull := func() bool {
+		// counts only; cheap test: all informed within sub-star
+		c := 0
+		perm.All(n, func(p perm.Perm) bool {
+			if p[0] == srcSym && informedAt[p.Rank()] >= 0 {
+				c++
+			}
+			return true
+		})
+		return int64(c) == perm.Factorial(n-1)
+	}
+	if n >= 3 {
+		greedy(func(p perm.Perm, gen int) bool {
+			return p[0] == srcSym && gen != 0
+		}, subFull)
+	}
+
+	// Phase B: one cross round — every informed node transmits
+	// through g_0, landing in a distinct sub-star.
+	round++
+	var seeds []int
+	for v := 0; v < order; v++ {
+		if informedAt[v] < 0 || informedAt[v] >= round {
+			continue
+		}
+		p := perm.Unrank(n, int64(v))
+		p[front], p[0] = p[0], p[front]
+		w := int(p.Rank())
+		if informedAt[w] == -1 {
+			informedAt[w] = round
+			seeds = append(seeds, w)
+			count++
+		}
+	}
+
+	// Phase C: finish all sub-stars in parallel with unrestricted
+	// greedy rounds.
+	greedy(func(perm.Perm, int) bool { return true }, func() bool { return count == order })
+	if count != order {
+		panic("star: recursive broadcast incomplete")
+	}
+	return round
+}

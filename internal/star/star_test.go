@@ -1,0 +1,333 @@
+package star
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"starmesh/internal/graphalg"
+	"starmesh/internal/perm"
+)
+
+func TestOrderDegree(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		g := New(n)
+		if g.Order() != int(perm.Factorial(n)) {
+			t.Fatalf("n=%d order=%d", n, g.Order())
+		}
+		ok, d := graphalg.IsRegular(g)
+		if !ok || d != n-1 {
+			t.Fatalf("n=%d not (n-1)-regular: %v %d", n, ok, d)
+		}
+	}
+}
+
+func TestNeighborsAreEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		p := perm.Random(5, rng)
+		for _, q := range NeighborPerms(p) {
+			if !IsEdge(p, q) {
+				t.Fatalf("neighbor not an edge: %v %v", p, q)
+			}
+			if !IsEdge(q, p) {
+				t.Fatalf("edge not symmetric: %v %v", p, q)
+			}
+			if Distance(p, q) != 1 {
+				t.Fatalf("neighbor distance != 1")
+			}
+		}
+		if IsEdge(p, p) {
+			t.Fatalf("self loop")
+		}
+	}
+}
+
+func TestIsEdgeNegative(t *testing.T) {
+	p := perm.MustNew([]int{0, 1, 2, 3})
+	// Swapping two non-front positions is NOT a star edge.
+	q := p.SwapPositions(0, 1)
+	if IsEdge(p, q) {
+		t.Fatalf("non-generator swap reported as edge")
+	}
+	if IsEdge(p, perm.MustNew([]int{0, 1, 2})) {
+		t.Fatalf("length mismatch reported as edge")
+	}
+	// Three-position rotation is not an edge.
+	r := perm.MustNew([]int{1, 2, 0, 3})
+	if IsEdge(p, r) {
+		t.Fatalf("rotation reported as edge")
+	}
+}
+
+func TestS4MatchesPaperFigure2Structure(t *testing.T) {
+	// Figure 2 shows S_4: 24 nodes, 3-regular, girth 6, diameter 4.
+	g := New(4)
+	if g.Order() != 24 {
+		t.Fatalf("S4 order")
+	}
+	if graphalg.NumEdges(g) != 36 {
+		t.Fatalf("S4 edges = %d, want 36", graphalg.NumEdges(g))
+	}
+	if d := graphalg.Diameter(g); d != 4 {
+		t.Fatalf("S4 diameter = %d, want 4", d)
+	}
+	// Node 0123 (paper's left hexagon) has the neighbors shown in
+	// Figure 2: 1023, 2103, 3120 — wait, generators swap front with
+	// each position: (0 1 2 3) -> (3 1 2 0), (2 1 0 3)... verify via
+	// permutation arithmetic instead: each neighbor differs in the
+	// front and exactly one other position.
+	p := perm.MustNew([]int{3, 2, 1, 0}) // displays as (0 1 2 3)
+	ns := NeighborPerms(p)
+	if len(ns) != 3 {
+		t.Fatalf("S4 degree")
+	}
+	want := map[string]bool{
+		"(3 1 2 0)": true, // swap front with position 0
+		"(2 1 0 3)": true, // swap front with position 1
+		"(1 0 2 3)": true, // swap front with position 2
+	}
+	for _, q := range ns {
+		if !want[q.String()] {
+			t.Fatalf("unexpected neighbor %v of %v", q, p)
+		}
+	}
+}
+
+func TestDiameterFormulaMatchesBFS(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		g := New(n)
+		got := graphalg.DiameterFromVertex(g) // vertex-transitive
+		if got != DiameterFormula(n) {
+			t.Fatalf("n=%d BFS diameter %d, formula %d", n, got, DiameterFormula(n))
+		}
+	}
+}
+
+func TestVertexTransitiveEvidence(t *testing.T) {
+	// Eccentricity must be identical from several vertices.
+	g := New(5)
+	e0 := graphalg.Eccentricity(g, 0)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		v := rng.Intn(g.Order())
+		if graphalg.Eccentricity(g, v) != e0 {
+			t.Fatalf("eccentricity differs at %d", v)
+		}
+	}
+}
+
+func TestDistanceFormulaAgainstBFS(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		g := New(n)
+		dist := graphalg.BFS(g, int(perm.Identity(n).Rank()))
+		perm.All(n, func(p perm.Perm) bool {
+			want := dist[p.Rank()]
+			if got := DistanceToIdentity(p); got != want {
+				t.Fatalf("n=%d %v: formula %d, BFS %d", n, p, got, want)
+			}
+			return true
+		})
+	}
+}
+
+func TestDistanceSymmetricAndInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(7)
+		p, q, s := perm.Random(n, rng), perm.Random(n, rng), perm.Random(n, rng)
+		d := Distance(p, q)
+		return d == Distance(q, p) && d == Distance(s.Compose(p), s.Compose(q))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(9)
+		p, q := perm.Random(n, rng), perm.Random(n, rng)
+		d := Distance(p, q)
+		if d < 0 || d > DiameterFormula(n) {
+			t.Fatalf("distance %d outside [0, %d]", d, DiameterFormula(n))
+		}
+		if (d == 0) != p.Equal(q) {
+			t.Fatalf("d==0 iff equal violated")
+		}
+	}
+}
+
+func TestRouteIsShortestValidPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(8)
+		p, q := perm.Random(n, rng), perm.Random(n, rng)
+		path := Route(p, q)
+		if !path[0].Equal(p) || !path[len(path)-1].Equal(q) {
+			t.Fatalf("route endpoints wrong")
+		}
+		if len(path)-1 != Distance(p, q) {
+			t.Fatalf("route length %d != distance %d for %v->%v",
+				len(path)-1, Distance(p, q), p, q)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if !IsEdge(path[i], path[i+1]) {
+				t.Fatalf("route step %d is not an edge", i)
+			}
+		}
+	}
+}
+
+func TestRouteGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(6)
+		p, q := perm.Random(n, rng), perm.Random(n, rng)
+		gens := RouteGenerators(p, q)
+		cur := p.Clone()
+		for _, gidx := range gens {
+			if gidx < 0 || gidx >= n-1 {
+				t.Fatalf("generator index %d out of range", gidx)
+			}
+			cur = ApplyGenerator(cur, gidx)
+		}
+		if !cur.Equal(q) {
+			t.Fatalf("generator replay did not reach target")
+		}
+	}
+}
+
+func TestRoutePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Route(perm.Identity(3), perm.Identity(4))
+}
+
+func TestNewPanicsOnBadN(t *testing.T) {
+	for _, n := range []int{0, -1, perm.MaxRankN + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestNodeIDRoundTrip(t *testing.T) {
+	g := New(5)
+	for id := 0; id < g.Order(); id += 7 {
+		if g.ID(g.Node(id)) != id {
+			t.Fatalf("node/id roundtrip failed at %d", id)
+		}
+	}
+}
+
+func TestConnectivityIsMaximal(t *testing.T) {
+	// §2 property 4: the star graph is maximally fault tolerant,
+	// i.e. vertex connectivity equals the degree n-1.
+	for n := 3; n <= 5; n++ {
+		g := New(n)
+		if k := graphalg.VertexConnectivity(g, true); k != n-1 {
+			t.Fatalf("n=%d connectivity %d, want %d", n, k, n-1)
+		}
+	}
+}
+
+func TestSurvivesAnyDegreeMinusOneFaults(t *testing.T) {
+	// Remove any n-2 of a node's neighbors: graph must stay
+	// connected (exhaustive for n=4: remove 2 of 3 neighbors).
+	g := New(4)
+	nbrs := graphalg.Neighbors(g, 0)
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			if !graphalg.ConnectedExcept(g, 0, nbrs[i], nbrs[j]) {
+				t.Fatalf("S4 disconnected by 2 faults %d,%d", nbrs[i], nbrs[j])
+			}
+		}
+	}
+}
+
+func TestGreedyBroadcastBounds(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		g := New(n)
+		rounds := g.GreedyBroadcast(0)
+		lo := BroadcastLowerBound(n)
+		if rounds < lo {
+			t.Fatalf("n=%d rounds %d below information bound %d", n, rounds, lo)
+		}
+		// Greedy must stay within a small factor of the bound; the
+		// paper's algorithm achieves 3(n log n − 3/2).
+		hi := BroadcastUpperBound(n)
+		if n >= 3 && float64(rounds) > hi {
+			t.Fatalf("n=%d rounds %d above paper bound %.1f", n, rounds, hi)
+		}
+	}
+}
+
+func TestSweepBroadcastCoversGraph(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		rounds := SweepBroadcast(n)
+		if rounds < BroadcastLowerBound(n) {
+			t.Fatalf("n=%d sweep rounds %d below bound", n, rounds)
+		}
+	}
+}
+
+func TestBroadcastLowerBound(t *testing.T) {
+	// ceil(log2 24) = 5, ceil(log2 120) = 7.
+	if BroadcastLowerBound(4) != 5 {
+		t.Fatalf("lb(4) = %d", BroadcastLowerBound(4))
+	}
+	if BroadcastLowerBound(5) != 7 {
+		t.Fatalf("lb(5) = %d", BroadcastLowerBound(5))
+	}
+}
+
+func BenchmarkNeighbors(b *testing.B) {
+	g := New(9)
+	var buf []int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = g.AppendNeighbors(buf[:0], i%g.Order())
+	}
+}
+
+func BenchmarkDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	p, q := perm.Random(10, rng), perm.Random(10, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Distance(p, q)
+	}
+}
+
+func BenchmarkRoute(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	p, q := perm.Random(10, rng), perm.Random(10, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Route(p, q)
+	}
+}
+
+func TestDistanceFormulaAgainstBFSN7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := New(7)
+	dist := graphalg.BFS(g, int(perm.Identity(7).Rank()))
+	perm.All(7, func(p perm.Perm) bool {
+		if DistanceToIdentity(p) != dist[p.Rank()] {
+			t.Fatalf("formula disagrees with BFS at %v", p)
+		}
+		return true
+	})
+}

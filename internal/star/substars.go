@@ -1,0 +1,104 @@
+package star
+
+import (
+	"fmt"
+
+	"starmesh/internal/perm"
+)
+
+// Sub-star decomposition ([AKER87], used throughout §2): fixing the
+// symbol at any non-front position i partitions S_n into n
+// vertex-disjoint copies of S_{n-1}. This hierarchical structure is
+// what gives the star graph its recursive algorithms (broadcast,
+// routing) and its fault tolerance; the tests verify the isomorphism
+// explicitly.
+
+// SubStarIndex returns which sub-star (0..n-1) the node belongs to
+// when decomposing by the symbol at position pos (0 ≤ pos ≤ n-2).
+func SubStarIndex(p perm.Perm, pos int) int {
+	if pos < 0 || pos >= len(p)-1 {
+		panic(fmt.Sprintf("star: decomposition position %d out of range", pos))
+	}
+	return p[pos]
+}
+
+// SubStarMembers returns the vertex ids of the sub-star {π : π[pos] =
+// symbol} in increasing order. The result has (n-1)! entries.
+func (g *Graph) SubStarMembers(pos, symbol int) []int {
+	if pos < 0 || pos >= g.n-1 {
+		panic("star: bad decomposition position")
+	}
+	if symbol < 0 || symbol >= g.n {
+		panic("star: bad symbol")
+	}
+	var out []int
+	perm.All(g.n, func(p perm.Perm) bool {
+		if p[pos] == symbol {
+			out = append(out, int(p.Rank()))
+		}
+		return true
+	})
+	return out
+}
+
+// SubStarProject maps a node of the sub-star {π : π[pos] = symbol}
+// to the corresponding node of S_{n-1}: delete position pos and
+// relabel the remaining symbols order-preservingly to 0..n-2. The
+// front stays the front, and generators g_i of the sub-star
+// correspond to generators of S_{n-1}, so this is a graph
+// isomorphism onto S_{n-1} (verified in tests).
+func SubStarProject(p perm.Perm, pos int) perm.Perm {
+	n := len(p)
+	symbol := p[pos]
+	q := make(perm.Perm, 0, n-1)
+	for i, s := range p {
+		if i == pos {
+			continue
+		}
+		if s > symbol {
+			q = append(q, s-1)
+		} else {
+			q = append(q, s)
+		}
+	}
+	return q
+}
+
+// SubStarLift inverts SubStarProject: given a node q of S_{n-1},
+// re-insert the fixed symbol at position pos.
+func SubStarLift(q perm.Perm, pos, symbol int) perm.Perm {
+	n := len(q) + 1
+	p := make(perm.Perm, 0, n)
+	for i := 0; i < n; i++ {
+		if i == pos {
+			p = append(p, symbol)
+			continue
+		}
+		j := i
+		if i > pos {
+			j = i - 1
+		}
+		s := q[j]
+		if s >= symbol {
+			s++
+		}
+		p = append(p, s)
+	}
+	return p
+}
+
+// CrossEdges returns the number of edges of S_n joining different
+// sub-stars of the position-pos decomposition. Each node has exactly
+// one cross edge (generator g_pos changes the symbol at pos), so the
+// count is n!/2.
+func (g *Graph) CrossEdges(pos int) int {
+	count := 0
+	perm.All(g.n, func(p perm.Perm) bool {
+		q := ApplyGenerator(p, pos)
+		if q[pos] != p[pos] && q.Rank() > p.Rank() {
+			count++
+		}
+		return true
+	})
+	return count
+}

@@ -1,0 +1,223 @@
+package star
+
+import (
+	"math/rand"
+	"testing"
+
+	"starmesh/internal/perm"
+)
+
+func TestSubStarPartition(t *testing.T) {
+	g := New(5)
+	for pos := 0; pos < 4; pos++ {
+		seen := make([]bool, g.Order())
+		for symbol := 0; symbol < 5; symbol++ {
+			members := g.SubStarMembers(pos, symbol)
+			if int64(len(members)) != perm.Factorial(4) {
+				t.Fatalf("pos=%d symbol=%d: %d members", pos, symbol, len(members))
+			}
+			for _, id := range members {
+				if seen[id] {
+					t.Fatalf("node %d in two sub-stars", id)
+				}
+				seen[id] = true
+			}
+		}
+		for id, s := range seen {
+			if !s {
+				t.Fatalf("node %d in no sub-star", id)
+			}
+		}
+	}
+}
+
+func TestSubStarProjectLiftRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(7)
+		p := perm.Random(n, rng)
+		pos := rng.Intn(n - 1)
+		symbol := p[pos]
+		q := SubStarProject(p, pos)
+		if !q.Valid() || q.N() != n-1 {
+			t.Fatalf("projection invalid: %v", q)
+		}
+		back := SubStarLift(q, pos, symbol)
+		if !back.Equal(p) {
+			t.Fatalf("lift(project) != id: %v -> %v -> %v", p, q, back)
+		}
+	}
+}
+
+func TestSubStarIsIsomorphicToSmallerStar(t *testing.T) {
+	// The projection must carry sub-star edges to S_{n-1} edges and
+	// non-edges to non-edges (checked over all member pairs at n=4).
+	g := New(4)
+	for pos := 0; pos < 3; pos++ {
+		for symbol := 0; symbol < 4; symbol++ {
+			members := g.SubStarMembers(pos, symbol)
+			for _, a := range members {
+				pa := g.Node(a)
+				qa := SubStarProject(pa, pos)
+				for _, b := range members {
+					if b <= a {
+						continue
+					}
+					pb := g.Node(b)
+					qb := SubStarProject(pb, pos)
+					if IsEdge(pa, pb) != IsEdge(qa, qb) {
+						t.Fatalf("projection not an isomorphism: %v-%v vs %v-%v",
+							pa, pb, qa, qb)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSubStarIndex(t *testing.T) {
+	p := perm.MustNew([]int{2, 0, 3, 1})
+	if SubStarIndex(p, 0) != 2 || SubStarIndex(p, 2) != 3 {
+		t.Fatalf("SubStarIndex wrong")
+	}
+}
+
+func TestSubStarPanics(t *testing.T) {
+	g := New(4)
+	cases := []func(){
+		func() { SubStarIndex(perm.Identity(4), 3) },
+		func() { SubStarIndex(perm.Identity(4), -1) },
+		func() { g.SubStarMembers(3, 0) },
+		func() { g.SubStarMembers(0, 4) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCrossEdges(t *testing.T) {
+	// Every node has exactly one generator that changes the symbol
+	// at pos, so cross edges = n!/2.
+	for n := 3; n <= 5; n++ {
+		g := New(n)
+		for pos := 0; pos < n-1; pos++ {
+			want := int(perm.Factorial(n)) / 2
+			if got := g.CrossEdges(pos); got != want {
+				t.Fatalf("n=%d pos=%d: cross edges %d, want %d", n, pos, got, want)
+			}
+		}
+	}
+}
+
+func TestSurfaceAreasMatchBFS(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		formula := SurfaceAreas(n)
+		bfs := SurfaceAreasBFS(n)
+		if len(formula) < len(bfs) {
+			t.Fatalf("n=%d: histogram lengths %d vs %d", n, len(formula), len(bfs))
+		}
+		for d := range formula {
+			var want int64
+			if d < len(bfs) {
+				want = bfs[d]
+			}
+			if formula[d] != want {
+				t.Fatalf("n=%d d=%d: formula %d, BFS %d", n, d, formula[d], want)
+			}
+		}
+	}
+}
+
+func TestSurfaceAreasSumToOrder(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		var sum int64
+		for _, c := range SurfaceAreas(n) {
+			sum += c
+		}
+		if sum != perm.Factorial(n) {
+			t.Fatalf("n=%d: histogram sums to %d", n, sum)
+		}
+	}
+}
+
+func TestMeanDistanceMatchesBFSAverage(t *testing.T) {
+	for n := 3; n <= 6; n++ {
+		g := New(n)
+		want := 0.0
+		// BFS average from the identity node.
+		id := int(perm.Identity(n).Rank())
+		want = avgFromBFS(g, id)
+		got := MeanDistance(n)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("n=%d: mean %v vs BFS %v", n, got, want)
+		}
+	}
+}
+
+func avgFromBFS(g *Graph, src int) float64 {
+	sum, cnt := 0, 0
+	for _, d := range bfsDistances(g, src) {
+		sum += d
+		cnt++
+	}
+	return float64(sum) / float64(cnt-1)
+}
+
+func bfsDistances(g *Graph, src int) []int {
+	dist := make([]int, g.Order())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	var buf []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		buf = g.AppendNeighbors(buf[:0], v)
+		for _, w := range buf {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+func BenchmarkSurfaceAreasN8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = SurfaceAreas(8)
+	}
+}
+
+func TestRecursiveBroadcastCoversAndBounded(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		g := New(n)
+		rounds := g.RecursiveBroadcast(0)
+		lo := BroadcastLowerBound(n)
+		if rounds < lo {
+			t.Fatalf("n=%d: %d rounds below information bound %d", n, rounds, lo)
+		}
+		if n >= 3 && float64(rounds) > BroadcastUpperBound(n) {
+			t.Fatalf("n=%d: %d rounds above paper bound %.1f", n, rounds, BroadcastUpperBound(n))
+		}
+	}
+}
+
+func TestRecursiveBroadcastArbitrarySource(t *testing.T) {
+	g := New(5)
+	for _, src := range []int{0, 17, 119} {
+		rounds := g.RecursiveBroadcast(src)
+		if rounds < BroadcastLowerBound(5) {
+			t.Fatalf("src=%d: rounds %d too small", src, rounds)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package starsim runs SIMD programs on a star-graph machine and
+// implements the paper's headline capability (Theorem 6): one unit
+// route of the SIMD-A mesh D_n is performed in at most 3 unit routes
+// of the SIMD-B star graph S_n, without any two messages ever
+// blocking each other (Lemma 5).
+//
+// The schedule follows the Lemma-2 path structure (g_k, g_t, g_k):
+// for a mesh route along dimension k < n-1,
+//
+//	step 1: every mesh-interior node π transmits through port k
+//	        (a single common generator — even SIMD-A legal);
+//	step 2: every intermediate X1 forwards through the partner port
+//	        t computed from its own address (X1·g_k = π, so X1 can
+//	        recompute the original sender locally);
+//	step 3: every intermediate Y1 forwards through port k; Y1
+//	        recognizes itself because Y1·g_k is a route destination.
+//
+// For k = n-1 the exchanged symbol sits at the front and a single
+// SIMD-B route (each node through its partner port) completes the
+// move. All role tests are local functions of the PE's own
+// permutation, as the SIMD model requires: the control unit only
+// broadcasts (k, dir).
+package starsim
+
+import (
+	"fmt"
+
+	"starmesh/internal/core"
+	"starmesh/internal/perm"
+	"starmesh/internal/simd"
+	"starmesh/internal/star"
+)
+
+// Topo adapts S_n to simd.Topology with a precomputed neighbor
+// table; port i applies generator g_i (swap front with position i).
+type Topo struct {
+	n     int
+	table [][]int32
+}
+
+// NewTopo builds the topology of S_n, materializing all n!·(n-1)
+// neighbor links.
+func NewTopo(n int) *Topo {
+	order := int(perm.Factorial(n))
+	t := &Topo{n: n, table: make([][]int32, order)}
+	flat := make([]int32, order*(n-1))
+	front := n - 1
+	perm.All(n, func(p perm.Perm) bool {
+		id := int(p.Rank())
+		row := flat[id*(n-1) : (id+1)*(n-1)]
+		for i := 0; i < front; i++ {
+			p[front], p[i] = p[i], p[front]
+			row[i] = int32(p.Rank())
+			p[front], p[i] = p[i], p[front]
+		}
+		t.table[id] = row
+		return true
+	})
+	return t
+}
+
+// N returns the star degree parameter.
+func (t *Topo) N() int { return t.n }
+
+// Size implements simd.Topology.
+func (t *Topo) Size() int { return len(t.table) }
+
+// Ports implements simd.Topology.
+func (t *Topo) Ports() int { return t.n - 1 }
+
+// Neighbor implements simd.Topology.
+func (t *Topo) Neighbor(pe, port int) int { return int(t.table[pe][port]) }
+
+// Machine is a star-connected SIMD computer hosting the embedded
+// mesh D_n.
+type Machine struct {
+	*simd.Machine
+	N int
+	// perms caches the permutation of every PE id.
+	perms []perm.Perm
+}
+
+// New builds the machine for S_n.
+func New(n int) *Machine {
+	topo := NewTopo(n)
+	m := &Machine{Machine: simd.New(topo), N: n}
+	m.perms = make([]perm.Perm, topo.Size())
+	perm.All(n, func(p perm.Perm) bool {
+		m.perms[p.Rank()] = p.Clone()
+		return true
+	})
+	return m
+}
+
+// Perm returns the permutation of PE pe (do not mutate).
+func (m *Machine) Perm(pe int) perm.Perm { return m.perms[pe] }
+
+// MeshUnitRoute simulates one SIMD-A unit route of the embedded mesh
+// D_n along dimension k (1 ≤ k ≤ n-1) in direction dir (±1): for
+// every mesh node with a (k,dir)-neighbor, dst at the neighbor's
+// star PE receives src of the node's star PE. Other PEs' dst is
+// unchanged. Returns the number of star unit routes used (1 or 3)
+// and the receive conflicts observed (always 0, per Lemma 5).
+func (m *Machine) MeshUnitRoute(src, dst string, k, dir int) (routes, conflicts int) {
+	return m.MaskedMeshUnitRoute(src, dst, k, dir, nil)
+}
+
+// MaskedMeshUnitRoute is MeshUnitRoute restricted to the mesh nodes
+// selected by mask (an instruction mask in the paper's sense,
+// evaluated at the sending PE; nil selects every node). The schedule
+// moves the selected subset of messages, which stays conflict-free
+// because it is a subset of the full Lemma-5 schedule.
+func (m *Machine) MaskedMeshUnitRoute(src, dst string, k, dir int, mask func(pe int) bool) (routes, conflicts int) {
+	n := m.N
+	if k < 1 || k > n-1 {
+		panic(fmt.Sprintf("starsim: dimension %d out of range", k))
+	}
+	if dir != 1 && dir != -1 {
+		panic("starsim: dir must be ±1")
+	}
+	sends := func(pe int) bool {
+		return core.Partner(m.perms[pe], k, dir) != -1 && (mask == nil || mask(pe))
+	}
+	front := n - 1
+	if k == front {
+		// Single route: every selected interior node transmits
+		// through its partner port.
+		c := m.RouteB(src, dst, func(pe int) int {
+			if !sends(pe) {
+				return -1
+			}
+			return core.Partner(m.perms[pe], k, dir)
+		})
+		return 1, c
+	}
+	const t1 = "__mur_t1"
+	const t2 = "__mur_t2"
+	m.EnsureReg(t1)
+	m.EnsureReg(t2)
+	// Step 1: senders π (selected, mesh-interior along (k,dir))
+	// through port k.
+	c1 := m.RouteB(src, t1, func(pe int) int {
+		if !sends(pe) {
+			return -1
+		}
+		return k
+	})
+	// Step 2: X1 forwards through the partner port of π = X1·g_k.
+	c2 := m.RouteB(t1, t2, func(pe int) int {
+		pi := m.perms[pe].SwapPositions(front, k)
+		if !sends(int(pi.Rank())) {
+			return -1
+		}
+		return core.Partner(pi, k, dir)
+	})
+	// Step 3: Y1 forwards through port k; Y1·g_k must be a
+	// destination, i.e. its (k,-dir) mesh neighbor must be a
+	// selected sender.
+	c3 := m.RouteB(t2, dst, func(pe int) int {
+		rho := m.perms[pe].SwapPositions(front, k)
+		sender, ok := core.Neighbor(rho, k, -dir)
+		if !ok || !sends(int(sender.Rank())) {
+			return -1
+		}
+		return k
+	})
+	return 3, c1 + c2 + c3
+}
+
+// MeshUnitRouteModelA performs the same data movement on a SIMD-A
+// star machine: steps 1 and 3 are already single-generator routes,
+// and step 2 is serialized into one route per generator index
+// 0..k-1 actually used. Returns the number of SIMD-A unit routes.
+func (m *Machine) MeshUnitRouteModelA(src, dst string, k, dir int) int {
+	return m.MaskedMeshUnitRouteModelA(src, dst, k, dir, nil)
+}
+
+// MaskedMeshUnitRouteModelA is MeshUnitRouteModelA restricted to the
+// mesh nodes selected by mask (nil = all).
+func (m *Machine) MaskedMeshUnitRouteModelA(src, dst string, k, dir int, mask func(pe int) bool) int {
+	n := m.N
+	front := n - 1
+	partnerPort := func(pi perm.Perm) int {
+		t := core.Partner(pi, k, dir)
+		if t == -1 {
+			return -1
+		}
+		if mask != nil && !mask(int(pi.Rank())) {
+			return -1
+		}
+		return t
+	}
+	if k == front {
+		routes := 0
+		for g := 0; g < n-1; g++ {
+			used := false
+			for pe := range m.perms {
+				if partnerPort(m.perms[pe]) == g {
+					used = true
+					break
+				}
+			}
+			if !used {
+				continue
+			}
+			m.RouteA(src, dst, g, func(pe int) bool {
+				return partnerPort(m.perms[pe]) == g
+			})
+			routes++
+		}
+		return routes
+	}
+	const t1 = "__mura_t1"
+	const t2 = "__mura_t2"
+	m.EnsureReg(t1)
+	m.EnsureReg(t2)
+	routes := 0
+	m.RouteA(src, t1, k, func(pe int) bool {
+		return partnerPort(m.perms[pe]) != -1
+	})
+	routes++
+	for g := 0; g < k; g++ {
+		used := false
+		for pe := range m.perms {
+			pi := m.perms[pe].SwapPositions(front, k)
+			if partnerPort(pi) == g {
+				used = true
+				break
+			}
+		}
+		if !used {
+			continue
+		}
+		m.RouteA(t1, t2, g, func(pe int) bool {
+			pi := m.perms[pe].SwapPositions(front, k)
+			return partnerPort(pi) == g
+		})
+		routes++
+	}
+	m.RouteA(t2, dst, k, func(pe int) bool {
+		rho := m.perms[pe].SwapPositions(front, k)
+		sender, ok := core.Neighbor(rho, k, -dir)
+		if !ok {
+			return false
+		}
+		return mask == nil || mask(int(sender.Rank()))
+	})
+	routes++
+	return routes
+}
+
+// Broadcast floods register src from the PE holding the identity
+// permutation to all PEs using greedy SIMD-B rounds, writing into
+// dst on every PE (including the source). Returns the number of unit
+// routes. This is the measured counterpart of the §2 broadcast bound
+// 3(n·log n − 3/2); see star.GreedyBroadcast for the round counter
+// on the bare graph.
+func (m *Machine) Broadcast(src, dst string, source int) int {
+	sr := m.Reg(src)
+	dr := m.Reg(dst)
+	dr[source] = sr[source]
+	informedAt := make([]int, m.Size())
+	for i := range informedAt {
+		informedAt[i] = -1
+	}
+	informedAt[source] = 0
+	count := 1
+	round := 0
+	topo := m.Topology()
+	for count < m.Size() {
+		round++
+		ports := make([]int, m.Size())
+		for i := range ports {
+			ports[i] = -1
+		}
+		for pe := 0; pe < m.Size(); pe++ {
+			if informedAt[pe] < 0 || informedAt[pe] >= round {
+				continue
+			}
+			for p := 0; p < topo.Ports(); p++ {
+				to := topo.Neighbor(pe, p)
+				if to >= 0 && informedAt[to] == -1 {
+					informedAt[to] = round
+					ports[pe] = p
+					count++
+					break
+				}
+			}
+		}
+		m.RouteB(dst, dst, func(pe int) int { return ports[pe] })
+	}
+	return round
+}
+
+// EmbeddedStar exposes the underlying star graph for measurements.
+func (m *Machine) EmbeddedStar() *star.Graph { return star.New(m.N) }

@@ -1,0 +1,247 @@
+// Package virtual runs the mesh D_{n+1} — which has (n+1)! nodes —
+// on the star machine S_n with only n! PEs, each PE hosting n+1
+// virtual mesh nodes. This extends the paper's embedding to meshes
+// larger than the machine (processor virtualization):
+//
+//   - a virtual node (d_n, d_{n-1}, …, d_1) of D_{n+1} lives in slot
+//     d_n of the star PE that the paper's map assigns to
+//     (d_{n-1}, …, d_1) in D_n;
+//   - a unit route along dimension k ≤ n-1 moves every slot through
+//     the Theorem-6 schedule: n+1 slot moves × ≤3 routes — i.e. the
+//     amortized cost per virtual node stays ≤ 3;
+//   - a unit route along the NEW dimension n is a pure intra-PE slot
+//     shuffle and costs zero unit routes.
+//
+// The equivalence tests check bit-identical behaviour against a real
+// (n+1)!-PE mesh machine.
+package virtual
+
+import (
+	"fmt"
+
+	"starmesh/internal/core"
+	"starmesh/internal/mesh"
+	"starmesh/internal/starsim"
+)
+
+// Machine simulates D_{n+1} on S_n.
+type Machine struct {
+	SM    *starsim.Machine
+	N     int        // star parameter n
+	Slots int        // n+1 virtual nodes per PE
+	Big   *mesh.Mesh // D_{n+1}
+	small *mesh.Mesh // D_n
+}
+
+// New builds the virtualized machine over S_n.
+func New(n int) *Machine {
+	return &Machine{
+		SM:    starsim.New(n),
+		N:     n,
+		Slots: n + 1,
+		Big:   mesh.D(n + 1),
+		small: mesh.D(n),
+	}
+}
+
+// slotReg names the physical register backing a virtual register's
+// slot.
+func slotReg(name string, slot int) string {
+	return fmt.Sprintf("%s#%d", name, slot)
+}
+
+// AddReg declares a virtual register (n+1 physical registers).
+func (m *Machine) AddReg(name string) {
+	for s := 0; s < m.Slots; s++ {
+		m.SM.AddReg(slotReg(name, s))
+	}
+}
+
+// Locate returns the physical PE and slot hosting a virtual mesh
+// node of D_{n+1}.
+func (m *Machine) Locate(bigID int) (pe, slot int) {
+	coords := m.Big.Coords(nil, bigID)
+	slot = coords[m.N-1] // d_n
+	pe = core.MapID(m.N, m.small.ID(coords[:m.N-1]))
+	return pe, slot
+}
+
+// Get reads a virtual register at a virtual mesh node.
+func (m *Machine) Get(name string, bigID int) int64 {
+	pe, slot := m.Locate(bigID)
+	return m.SM.Reg(slotReg(name, slot))[pe]
+}
+
+// Set writes virtual register values from a function over virtual
+// mesh ids.
+func (m *Machine) Set(name string, fn func(bigID int) int64) {
+	for bigID := 0; bigID < m.Big.Order(); bigID++ {
+		pe, slot := m.Locate(bigID)
+		m.SM.Reg(slotReg(name, slot))[pe] = fn(bigID)
+	}
+}
+
+// UnitRoute performs one SIMD unit route of D_{n+1} along dimension
+// k (1 ≤ k ≤ n) in direction dir, moving src into dst at every
+// interior virtual node (dst elsewhere unchanged). It returns the
+// number of physical star unit routes consumed: ≤ 3(n+1) for
+// k ≤ n-1, and 0 for k = n (slot shuffle).
+func (m *Machine) UnitRoute(src, dst string, k, dir int) int {
+	return m.MaskedUnitRoute(src, dst, k, dir, nil)
+}
+
+// MaskedUnitRoute is UnitRoute restricted to the virtual mesh nodes
+// selected by mask (a predicate over D_{n+1} node ids; nil = all).
+func (m *Machine) MaskedUnitRoute(src, dst string, k, dir int, mask func(bigID int) bool) int {
+	if k < 1 || k > m.N {
+		panic(fmt.Sprintf("virtual: dimension %d out of range", k))
+	}
+	if dir != 1 && dir != -1 {
+		panic("virtual: dir must be ±1")
+	}
+	// bigOf reconstructs the virtual node id from (pe, slot).
+	bigOf := func(pe, slot int) int {
+		coords := m.small.Coords(nil, core.UnmapID(m.N, pe))
+		coords = append(coords, slot)
+		return m.Big.ID(coords)
+	}
+	if k == m.N {
+		// The new dimension: value in slot s moves to slot s+dir of
+		// the same PE (masked per virtual node). Iterate receivers
+		// farthest-first so src == dst does not clobber unread slots.
+		froms := make([]int, 0, m.Slots)
+		if dir > 0 {
+			for from := m.Slots - 2; from >= 0; from-- {
+				froms = append(froms, from)
+			}
+		} else {
+			for from := 1; from < m.Slots; from++ {
+				froms = append(froms, from)
+			}
+		}
+		for _, from := range froms {
+			to := from + dir
+			srcReg := m.SM.Reg(slotReg(src, from))
+			dstReg := m.SM.Reg(slotReg(dst, to))
+			for pe := range srcReg {
+				if mask == nil || mask(bigOf(pe, from)) {
+					dstReg[pe] = srcReg[pe]
+				}
+			}
+		}
+		return 0
+	}
+	routes := 0
+	for s := 0; s < m.Slots; s++ {
+		slot := s
+		var starMask func(pe int) bool
+		if mask != nil {
+			starMask = func(pe int) bool { return mask(bigOf(pe, slot)) }
+		}
+		r, conflicts := m.SM.MaskedMeshUnitRoute(slotReg(src, s), slotReg(dst, s), k, dir, starMask)
+		if conflicts != 0 {
+			panic("virtual: unit route conflicted (Lemma 5 violated)")
+		}
+		routes += r
+	}
+	return routes
+}
+
+// Stats exposes the underlying machine counters.
+func (m *Machine) Stats() (unitRoutes int) { return m.SM.Stats().UnitRoutes }
+
+// Put writes one virtual register value.
+func (m *Machine) Put(name string, bigID int, v int64) {
+	pe, slot := m.Locate(bigID)
+	m.SM.Reg(slotReg(name, slot))[pe] = v
+}
+
+// SnakeSort sorts virtual register key into the snake order of
+// D_{n+1} by odd-even transposition over the snake — (n+1)! keys on
+// n! physical PEs. Returns whether the result is sorted and the
+// physical unit routes consumed.
+func (m *Machine) SnakeSort(key string) (sorted bool, routes int) {
+	big := m.Big
+	N := big.Order()
+	// Snake plan over the big mesh.
+	index := make([]int, N)
+	stepDim := make([]int, N)
+	stepDir := make([]int, N)
+	prev := -1
+	for s := 0; s < N; s++ {
+		id := big.SnakeIDAt(s)
+		index[id] = s
+		stepDim[id] = -1
+		if prev != -1 {
+			for j := 0; j < big.Dims(); j++ {
+				switch big.Coord(id, j) - big.Coord(prev, j) {
+				case 1:
+					stepDim[prev], stepDir[prev] = j, +1
+				case -1:
+					stepDim[prev], stepDir[prev] = j, -1
+				}
+			}
+		}
+		prev = id
+	}
+	const tmp = "__vsnake_tmp"
+	for s := 0; s < m.Slots; s++ {
+		m.SM.EnsureReg(slotReg(tmp, s))
+	}
+	before := m.SM.Stats().UnitRoutes
+	for phase := 0; phase < N; phase++ {
+		isLow := func(bigID int) bool {
+			return index[bigID]%2 == phase%2 && stepDim[bigID] != -1
+		}
+		isHigh := func(bigID int) bool {
+			s := index[bigID]
+			return s > 0 && isLow(big.SnakeIDAt(s-1))
+		}
+		for j := 0; j < big.Dims(); j++ {
+			for _, dir := range []int{+1, -1} {
+				jj, dd := j, dir
+				lowMask := func(bigID int) bool {
+					return isLow(bigID) && stepDim[bigID] == jj && stepDir[bigID] == dd
+				}
+				highMask := func(bigID int) bool {
+					s := index[bigID]
+					return s > 0 && lowMask(big.SnakeIDAt(s-1))
+				}
+				any := false
+				for bigID := 0; bigID < N && !any; bigID++ {
+					any = lowMask(bigID)
+				}
+				if !any {
+					continue
+				}
+				m.MaskedUnitRoute(key, tmp, jj+1, dd, lowMask)
+				m.MaskedUnitRoute(key, tmp, jj+1, -dd, highMask)
+			}
+		}
+		for bigID := 0; bigID < N; bigID++ {
+			k := m.Get(key, bigID)
+			t := m.Get(tmp, bigID)
+			switch {
+			case isLow(bigID):
+				if t < k {
+					m.Put(key, bigID, t)
+				}
+			case isHigh(bigID):
+				if t > k {
+					m.Put(key, bigID, t)
+				}
+			}
+		}
+	}
+	routes = m.SM.Stats().UnitRoutes - before
+	sorted = true
+	prevVal := int64(0)
+	for s := 0; s < N; s++ {
+		v := m.Get(key, big.SnakeIDAt(s))
+		if s > 0 && v < prevVal {
+			sorted = false
+		}
+		prevVal = v
+	}
+	return sorted, routes
+}

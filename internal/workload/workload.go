@@ -1,0 +1,105 @@
+// Package workload provides deterministic, seeded input generators
+// for the experiments and benchmarks: random keys with several
+// adversarial distributions, random permutations, and random mesh
+// points. Everything is reproducible from an explicit seed.
+package workload
+
+import (
+	"math/rand"
+
+	"starmesh/internal/perm"
+)
+
+// Dist selects a key distribution.
+type Dist int
+
+const (
+	// Uniform draws keys uniformly from [0, 4N).
+	Uniform Dist = iota
+	// Reversed is the odd-even-transposition worst case N-1 … 0.
+	Reversed
+	// Sorted is already in order (best case).
+	Sorted
+	// FewDistinct draws from only 4 distinct values.
+	FewDistinct
+	// ZeroOne draws from {0,1} (0-1 principle stress).
+	ZeroOne
+)
+
+// Dists lists all distributions with printable names.
+var Dists = []struct {
+	D    Dist
+	Name string
+}{
+	{Uniform, "uniform"},
+	{Reversed, "reversed"},
+	{Sorted, "sorted"},
+	{FewDistinct, "few-distinct"},
+	{ZeroOne, "zero-one"},
+}
+
+// Keys generates n keys of the given distribution.
+func Keys(d Dist, n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	switch d {
+	case Uniform:
+		for i := range out {
+			out[i] = int64(rng.Intn(4*n + 1))
+		}
+	case Reversed:
+		for i := range out {
+			out[i] = int64(n - 1 - i)
+		}
+	case Sorted:
+		for i := range out {
+			out[i] = int64(i)
+		}
+	case FewDistinct:
+		for i := range out {
+			out[i] = int64(rng.Intn(4))
+		}
+	case ZeroOne:
+		for i := range out {
+			out[i] = int64(rng.Intn(2))
+		}
+	default:
+		panic("workload: unknown distribution")
+	}
+	return out
+}
+
+// Perms generates count random permutations of n symbols.
+func Perms(n, count int, seed int64) []perm.Perm {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]perm.Perm, count)
+	for i := range out {
+		out[i] = perm.Random(n, rng)
+	}
+	return out
+}
+
+// MeshPoints generates count random D_n coordinates.
+func MeshPoints(n, count int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int, count)
+	for i := range out {
+		pt := make([]int, n-1)
+		for k := 1; k <= n-1; k++ {
+			pt[k-1] = rng.Intn(k + 1)
+		}
+		out[i] = pt
+	}
+	return out
+}
+
+// RandomVertexMap returns a random bijection [0,n) → [0,n).
+func RandomVertexMap(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	vm := make([]int, n)
+	for i := range vm {
+		vm[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { vm[i], vm[j] = vm[j], vm[i] })
+	return vm
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestKeysDeterministic(t *testing.T) {
+	a := Keys(Uniform, 100, 7)
+	b := Keys(Uniform, 100, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different keys")
+		}
+	}
+	c := Keys(Uniform, 100, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical keys")
+	}
+}
+
+func TestKeysDistributions(t *testing.T) {
+	n := 50
+	rev := Keys(Reversed, n, 1)
+	for i := range rev {
+		if rev[i] != int64(n-1-i) {
+			t.Fatalf("reversed wrong at %d", i)
+		}
+	}
+	srt := Keys(Sorted, n, 1)
+	for i := 1; i < n; i++ {
+		if srt[i] < srt[i-1] {
+			t.Fatalf("sorted not sorted")
+		}
+	}
+	for _, v := range Keys(FewDistinct, n, 2) {
+		if v < 0 || v > 3 {
+			t.Fatalf("few-distinct out of range: %d", v)
+		}
+	}
+	for _, v := range Keys(ZeroOne, n, 3) {
+		if v != 0 && v != 1 {
+			t.Fatalf("zero-one out of range: %d", v)
+		}
+	}
+	for _, v := range Keys(Uniform, n, 4) {
+		if v < 0 || v > int64(4*n) {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+	}
+}
+
+func TestKeysPanicsOnUnknownDist(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Keys(Dist(99), 10, 1)
+}
+
+func TestDistsTableComplete(t *testing.T) {
+	if len(Dists) != 5 {
+		t.Fatalf("Dists has %d entries", len(Dists))
+	}
+	for _, d := range Dists {
+		if d.Name == "" {
+			t.Fatalf("unnamed distribution")
+		}
+		_ = Keys(d.D, 10, 1) // must not panic
+	}
+}
+
+func TestPerms(t *testing.T) {
+	ps := Perms(6, 20, 5)
+	if len(ps) != 20 {
+		t.Fatalf("count wrong")
+	}
+	for _, p := range ps {
+		if !p.Valid() || p.N() != 6 {
+			t.Fatalf("invalid perm %v", p)
+		}
+	}
+}
+
+func TestMeshPoints(t *testing.T) {
+	pts := MeshPoints(6, 30, 6)
+	for _, pt := range pts {
+		if len(pt) != 5 {
+			t.Fatalf("arity wrong")
+		}
+		for k := 1; k <= 5; k++ {
+			if pt[k-1] < 0 || pt[k-1] > k {
+				t.Fatalf("coordinate out of range: %v", pt)
+			}
+		}
+	}
+}
+
+func TestRandomVertexMap(t *testing.T) {
+	vm := RandomVertexMap(64, 9)
+	seen := make([]bool, 64)
+	for _, v := range vm {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("not a bijection")
+		}
+		seen[v] = true
+	}
+}
