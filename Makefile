@@ -1,0 +1,37 @@
+# Single source of truth for the commands CI runs — humans and the
+# workflow in .github/workflows/ci.yml invoke the same targets.
+
+GO ?= go
+
+.PHONY: all build test race bench lint fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: full test suite under the race detector (what CI gates on).
+race:
+	$(GO) test -race ./...
+
+## bench: one pass over every benchmark plus the S_8 engine perf
+## record (written to BENCH_engine.json).
+bench:
+	BENCH_ENGINE_RECORD=1 $(GO) test -run TestEngineBenchRecord .
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+## lint: gofmt divergence fails the build; vet catches the rest.
+lint: vet
+	@fmtout=$$(gofmt -l .); \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .

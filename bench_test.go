@@ -9,7 +9,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
 	"testing"
+	"time"
 
 	"starmesh"
 	"starmesh/internal/core"
@@ -18,6 +22,7 @@ import (
 	"starmesh/internal/mesh"
 	"starmesh/internal/meshsim"
 	"starmesh/internal/perm"
+	"starmesh/internal/simd"
 	"starmesh/internal/sorting"
 	"starmesh/internal/starsim"
 	"starmesh/internal/workload"
@@ -156,6 +161,125 @@ var _ = exptab.New
 
 func BenchmarkMultiDimShear(b *testing.B) { benchExperiment(b, "mdshear") }
 func BenchmarkUtilization(b *testing.B)   { benchExperiment(b, "utilization") }
+
+// --- Execution engine: parallel sharded executor & route cache ----
+//
+// The S_8 workload (40,320 PEs) that BENCH_engine.json records: a
+// full mesh-unit-route sweep, every dimension and direction, under
+// (a) the pre-engine baseline (route cache disabled — the original
+// closure-per-PE role tests), (b) the engine's sequential executor,
+// and (c) the sharded parallel executor.
+
+const engineBenchN = 8
+
+func BenchmarkEngineSweepS8Baseline(b *testing.B) {
+	m := starsim.New(engineBenchN)
+	m.SetRouteCache(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.EngineSweep(m)
+	}
+}
+
+func BenchmarkEngineSweepS8Sequential(b *testing.B) {
+	m := starsim.New(engineBenchN)
+	workload.EngineSweep(m) // warm the route tables outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.EngineSweep(m)
+	}
+}
+
+func BenchmarkEngineSweepS8Parallel(b *testing.B) {
+	m := starsim.New(engineBenchN, simd.WithExecutor(simd.Parallel(0)))
+	workload.EngineSweep(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.EngineSweep(m)
+	}
+}
+
+func BenchmarkEngineBatch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := workload.RunBatch(workload.StandardBatch(5, 42), 0)
+		if len(res.Errors) != 0 {
+			b.Fatalf("batch errors: %v", res.Errors)
+		}
+	}
+}
+
+func BenchmarkEngineExperiment(b *testing.B) { benchExperiment(b, "engine") }
+
+// TestEngineBenchRecord measures the S_8 sweep under all three
+// execution modes, checks the engine determinism contract on the
+// way, and emits the perf record. It writes BENCH_engine.json at
+// the repository root when BENCH_ENGINE_RECORD is set (CI's bench
+// job and the Makefile's bench target set it); otherwise the record
+// goes to a scratch directory and the test only checks parity.
+func TestEngineBenchRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping S_8 engine measurement in -short mode")
+	}
+	const reps = 2
+	measure := func(m *starsim.Machine) (time.Duration, simd.Stats, int64) {
+		workload.EngineSweep(m) // warm route tables and registers
+		m.ResetStats()
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			workload.EngineSweep(m)
+		}
+		return time.Since(start), m.Stats(), workload.RegChecksum(m, "W")
+	}
+
+	base := starsim.New(engineBenchN)
+	base.SetRouteCache(false)
+	baseTime, baseStats, baseSum := measure(base)
+	seqTime, seqStats, seqSum := measure(starsim.New(engineBenchN))
+	parTime, parStats, parSum := measure(starsim.New(engineBenchN, simd.WithExecutor(simd.Parallel(0))))
+
+	if seqStats != parStats || seqSum != parSum {
+		t.Fatalf("parallel executor diverged from sequential on S_%d:\nseq %+v sum %d\npar %+v sum %d",
+			engineBenchN, seqStats, seqSum, parStats, parSum)
+	}
+	if seqStats != baseStats || seqSum != baseSum {
+		t.Fatalf("route cache diverged from the generic baseline on S_%d:\nbase %+v sum %d\nseq %+v sum %d",
+			engineBenchN, baseStats, baseSum, seqStats, seqSum)
+	}
+
+	batch := workload.RunBatch(workload.StandardBatch(5, 42), 0)
+	if len(batch.Errors) != 0 {
+		t.Fatalf("batch errors: %v", batch.Errors)
+	}
+
+	rec := workload.BenchRecord{
+		Benchmark:       fmt.Sprintf("engine-S%d-mesh-route-sweep", engineBenchN),
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		N:               engineBenchN,
+		PEs:             int(perm.Factorial(engineBenchN)),
+		Reps:            reps,
+		BaselineNs:      baseTime.Nanoseconds(),
+		SequentialNs:    seqTime.Nanoseconds(),
+		ParallelNs:      parTime.Nanoseconds(),
+		SpeedupEngine:   float64(baseTime) / float64(seqTime),
+		SpeedupParallel: float64(seqTime) / float64(parTime),
+		Batch:           &batch,
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	if os.Getenv("BENCH_ENGINE_RECORD") != "" {
+		path = "BENCH_engine.json"
+	}
+	if err := rec.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("S_%d sweep ×%d: baseline %v, sequential %v (%.2fx), parallel %v (%.2fx, %d workers) → %s",
+		engineBenchN, reps, baseTime, seqTime, rec.SpeedupEngine, parTime, rec.SpeedupParallel,
+		rec.GoMaxProcs, path)
+}
 
 // Scaling sub-benchmarks: the O(n²) conversions and O(n) neighbor
 // rule across star sizes.

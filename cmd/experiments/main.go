@@ -6,6 +6,7 @@
 //	experiments -list
 //	experiments -run fig7
 //	experiments -run all
+//	experiments -run sorting -engine parallel -workers 4
 package main
 
 import (
@@ -14,12 +15,24 @@ import (
 	"os"
 
 	"starmesh/internal/experiments"
+	"starmesh/internal/simd"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	run := flag.String("run", "all", "experiment id to run, or 'all'")
+	engine := flag.String("engine", "sequential", "execution engine: sequential or parallel (bit-identical results)")
+	workers := flag.Int("workers", 0, "parallel engine worker count (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	switch *engine {
+	case "sequential", "seq":
+	case "parallel", "par":
+		experiments.SetEngine(simd.WithExecutor(simd.Parallel(*workers)))
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown engine %q (want sequential or parallel)\n", *engine)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -21,9 +21,18 @@
 //     routing, diameter and broadcast, and
 //   - SIMD machine simulators for both the mesh and the star
 //     (NewMeshMachine, NewStarMachine) that count unit routes, the
-//     paper's complexity measure.
+//     paper's complexity measure, and
+//   - engine options (SequentialEngine, ParallelEngine) selecting
+//     the execution strategy of every machine: the parallel engine
+//     shards each unit route across worker goroutines and merges
+//     per-shard results deterministically, so its Stats, register
+//     contents and conflict diagnostics are bit-identical to the
+//     sequential reference.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every figure and table;
-// cmd/experiments regenerates all of them.
+// cmd/experiments regenerates all of them (its -engine flag selects
+// the execution engine). BENCH_engine.json records the engine's
+// measured performance on an S_8 workload; `make bench` regenerates
+// it.
 package starmesh

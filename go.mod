@@ -1,0 +1,3 @@
+module starmesh
+
+go 1.24

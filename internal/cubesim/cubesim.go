@@ -35,12 +35,13 @@ type Machine struct {
 	D int
 }
 
-// New builds the machine for Q_d.
-func New(d int) *Machine {
+// New builds the machine for Q_d. Options select the simd execution
+// engine (default sequential).
+func New(d int, opts ...simd.Option) *Machine {
 	if d < 0 || d > 24 {
 		panic(fmt.Sprintf("cubesim: unsupported dimension %d", d))
 	}
-	return &Machine{Machine: simd.New(Topo{D: d}), D: d}
+	return &Machine{Machine: simd.New(Topo{D: d}, opts...), D: d}
 }
 
 // ExchangeBit delivers every PE its bit-b partner's src value into
@@ -63,7 +64,7 @@ func (m *Machine) BitonicSort(key string) int {
 			bit := trailingBit(j)
 			m.ExchangeBit(key, tmp, bit)
 			kk, tt := m.Reg(key), m.Reg(tmp)
-			for pe := 0; pe < n; pe++ {
+			m.Apply(func(pe int) {
 				up := pe&k == 0 // ascending block?
 				lower := pe&j == 0
 				keepMin := lower == up
@@ -76,7 +77,7 @@ func (m *Machine) BitonicSort(key string) int {
 						kk[pe] = tt[pe]
 					}
 				}
-			}
+			})
 		}
 	}
 	return m.Stats().UnitRoutes - before

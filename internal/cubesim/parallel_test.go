@@ -1,0 +1,37 @@
+package cubesim
+
+import (
+	"reflect"
+	"testing"
+
+	"starmesh/internal/simd"
+	"starmesh/internal/workload"
+)
+
+func TestParallelBitonicSortMatchesSequential(t *testing.T) {
+	for _, d := range []int{3, 6, 9} {
+		run := func(opts ...simd.Option) (simd.Stats, []int64) {
+			m := New(d, opts...)
+			keys := workload.Keys(workload.Uniform, m.Size(), int64(d))
+			m.AddReg("K")
+			m.Set("K", func(pe int) int64 { return keys[pe] })
+			m.BitonicSort("K")
+			return m.Stats(), append([]int64(nil), m.Reg("K")...)
+		}
+		seqStats, seqKeys := run()
+		for i := 1; i < len(seqKeys); i++ {
+			if seqKeys[i] < seqKeys[i-1] {
+				t.Fatalf("d=%d: sequential sort failed", d)
+			}
+		}
+		for _, workers := range []int{0, 3} {
+			parStats, parKeys := run(simd.WithExecutor(simd.Parallel(workers)))
+			if seqStats != parStats {
+				t.Errorf("d=%d workers=%d: stats %+v != sequential %+v", d, workers, parStats, seqStats)
+			}
+			if !reflect.DeepEqual(seqKeys, parKeys) {
+				t.Errorf("d=%d workers=%d: sorted keys diverged", d, workers)
+			}
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import "starmesh/internal/simd"
+
+// engineOpts holds the simd engine options applied to every machine
+// the experiments construct. Empty means the sequential default.
+var engineOpts []simd.Option
+
+// SetEngine installs machine engine options (e.g. the sharded
+// parallel executor) used by every experiment from now on;
+// cmd/experiments exposes this as the -engine and -workers flags.
+// Because the parallel executor is bit-identical to the sequential
+// one, every experiment's output is unchanged by this setting.
+func SetEngine(opts ...simd.Option) { engineOpts = opts }
+
+// machineOpts returns the options to pass to machine constructors.
+func machineOpts() []simd.Option { return engineOpts }

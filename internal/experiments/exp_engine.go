@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"starmesh/internal/exptab"
+	"starmesh/internal/perm"
+	"starmesh/internal/simd"
+	"starmesh/internal/starsim"
+	"starmesh/internal/workload"
+)
+
+// engineSweep runs the standard engine workload (workload.EngineSweep:
+// every dimension, both directions) on S_n under the given executor
+// and returns the machine's final counters, a register checksum and
+// the wall time.
+func engineSweep(n int, exec simd.Executor) (simd.Stats, int64, time.Duration) {
+	m := starsim.New(n, simd.WithExecutor(exec))
+	start := time.Now()
+	workload.EngineSweep(m)
+	elapsed := time.Since(start)
+	return m.Stats(), workload.RegChecksum(m, "W"), elapsed
+}
+
+// EngineParity compares the sharded parallel execution engine
+// against the sequential reference on star machines of growing size:
+// identical Stats and register checksums are required (the engine's
+// determinism contract), and the measured speedup is reported for
+// context (timings vary by host; the table's correctness columns do
+// not).
+func EngineParity(w io.Writer) error {
+	t := exptab.New("Execution engine: sharded parallel vs sequential (mesh-route sweep on S_n)",
+		"n", "PEs", "unit-routes", "conflicts", "stats-identical", "regs-identical")
+	workers := runtime.GOMAXPROCS(0)
+	type timing struct {
+		n                int
+		seqTime, parTime time.Duration
+	}
+	var timings []timing
+	for n := 4; n <= 7; n++ {
+		seqStats, seqSum, seqTime := engineSweep(n, simd.Sequential())
+		parStats, parSum, parTime := engineSweep(n, simd.Parallel(0))
+		statsOK := seqStats == parStats
+		regsOK := seqSum == parSum
+		t.Add(n, int(perm.Factorial(n)), seqStats.UnitRoutes,
+			seqStats.ReceiveConflicts, statsOK, regsOK)
+		if !statsOK || !regsOK {
+			return fmt.Errorf("parallel engine diverged from sequential at n=%d", n)
+		}
+		timings = append(timings, timing{n, seqTime, parTime})
+	}
+	t.Fprint(w)
+	fmt.Fprintf(w, "\nmeasured on this host with %d workers (informative, not part of the parity check):\n", workers)
+	for _, tm := range timings {
+		speedup := float64(tm.seqTime) / float64(tm.parTime)
+		fmt.Fprintf(w, "  n=%d: sequential %v, parallel %v (speedup %.2fx)\n",
+			tm.n, tm.seqTime.Round(time.Microsecond), tm.parTime.Round(time.Microsecond), speedup)
+	}
+	return nil
+}

@@ -41,6 +41,7 @@ func All() []exptab.Experiment {
 		{ID: "mdshear", Name: "Section 5: naive d-dimensional shearsort (conjecture test)", Run: MultiDimShear},
 		{ID: "virtual", Name: "Extension: D_{n+1} on S_n via processor virtualization", Run: Virtualization},
 		{ID: "utilization", Name: "Extension: generator utilization under embedded-mesh traffic", Run: Utilization},
+		{ID: "engine", Name: "Infrastructure: parallel execution engine parity and speedup", Run: EngineParity},
 	}
 }
 

@@ -45,9 +45,10 @@ type Machine struct {
 	M *mesh.Mesh
 }
 
-// New builds a machine over the given mesh.
-func New(m *mesh.Mesh) *Machine {
-	return &Machine{Machine: simd.New(Topo{M: m}), M: m}
+// New builds a machine over the given mesh. Options select the
+// simd execution engine (default sequential).
+func New(m *mesh.Mesh, opts ...simd.Option) *Machine {
+	return &Machine{Machine: simd.New(Topo{M: m}, opts...), M: m}
 }
 
 // UnitRoute moves register src one step along dimension dim in
@@ -80,7 +81,7 @@ func (m *Machine) CompareExchange(key string, dim, phase int, ascending func(pe 
 	m.RouteA(key, tmp, Port(dim, -1), isHigh)
 	k := m.Reg(key)
 	t := m.Reg(tmp)
-	for pe := range k {
+	m.Apply(func(pe int) {
 		var keepMin bool
 		switch {
 		case isLow(pe):
@@ -88,7 +89,7 @@ func (m *Machine) CompareExchange(key string, dim, phase int, ascending func(pe 
 		case isHigh(pe):
 			keepMin = !(ascending == nil || ascending(pe))
 		default:
-			continue
+			return
 		}
 		if keepMin {
 			if t[pe] < k[pe] {
@@ -99,5 +100,5 @@ func (m *Machine) CompareExchange(key string, dim, phase int, ascending func(pe 
 				k[pe] = t[pe]
 			}
 		}
-	}
+	})
 }

@@ -1,0 +1,46 @@
+package meshsim
+
+import (
+	"reflect"
+	"testing"
+
+	"starmesh/internal/mesh"
+	"starmesh/internal/simd"
+)
+
+// meshProgram runs unit routes along every dimension plus a full
+// odd-even transposition pass built from CompareExchange.
+func meshProgram(m *Machine) (simd.Stats, [][]int64) {
+	m.AddReg("K")
+	m.AddReg("B")
+	m.Set("K", func(pe int) int64 { return int64((pe*2654435761 + 11) % 1000) })
+	m.Set("B", func(pe int) int64 { return 0 })
+	for dim := 0; dim < m.M.Dims(); dim++ {
+		m.UnitRoute("K", "B", dim, +1)
+		m.UnitRoute("B", "K", dim, -1)
+	}
+	for phase := 0; phase < m.M.Size(0); phase++ {
+		m.CompareExchange("K", 0, phase%2, nil)
+		m.CompareExchange("K", m.M.Dims()-1, phase%2, func(pe int) bool { return pe%3 != 0 })
+	}
+	return m.Stats(), [][]int64{
+		append([]int64(nil), m.Reg("K")...),
+		append([]int64(nil), m.Reg("B")...),
+	}
+}
+
+func TestParallelMeshMachineMatchesSequential(t *testing.T) {
+	for _, sizes := range [][]int{{8}, {4, 5}, {2, 3, 4}} {
+		seqStats, seqRegs := meshProgram(New(mesh.New(sizes...)))
+		for _, workers := range []int{0, 2, 3} {
+			m := New(mesh.New(sizes...), simd.WithExecutor(simd.Parallel(workers)))
+			parStats, parRegs := meshProgram(m)
+			if seqStats != parStats {
+				t.Errorf("sizes=%v workers=%d: stats %+v != sequential %+v", sizes, workers, parStats, seqStats)
+			}
+			if !reflect.DeepEqual(seqRegs, parRegs) {
+				t.Errorf("sizes=%v workers=%d: register contents diverged", sizes, workers)
+			}
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Execution engine: the pluggable strategy that carries out the
+// per-PE work of a Machine — the transmit/deliver phases of a unit
+// route and the per-PE sweeps of Set/SetMasked/Apply.
+//
+// Two executors are provided:
+//
+//   - Sequential(): the reference implementation, one pass over the
+//     PEs in ascending order. This is the semantic ground truth.
+//   - Parallel(workers): a sharded implementation that splits the PE
+//     range into contiguous blocks, resolves every PE's selected
+//     port and destination concurrently (one goroutine per shard),
+//     and then merges the per-shard results deterministically: the
+//     conflict scan walks senders in ascending PE order exactly like
+//     the sequential executor, so Stats, PortUses, register contents
+//     and receive-conflict diagnostics are bit-identical to
+//     Sequential() for any program whose port/mask/assignment
+//     functions are pure (no shared mutable state, no dependence on
+//     evaluation order). Every port function in this repository is
+//     pure; user programs that close over an *rand.Rand or other
+//     order-sensitive state must use Sequential().
+//
+// The parallel executor pays off when port resolution is expensive
+// (the star machine's Lemma-2 role tests cost O(n²) per PE) or the
+// machine is large (S_9 has 362,880 PEs); the merge phase is a cheap
+// linear scan either way.
+package simd
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Executor carries out the per-PE work of a Machine. Implementations
+// are stateless configuration values and may be shared across
+// machines; per-machine scratch lives in the Machine itself.
+type Executor interface {
+	// Name identifies the executor in diagnostics and bench records.
+	Name() string
+
+	// route executes the transmit+deliver phases of one unit route,
+	// updating m.stats.Sent, m.portUses and the inbox/touched
+	// scratch, and returns the number of receive conflicts.
+	route(m *Machine, sr, dr []int64, portOf PortFunc) int
+
+	// apply runs fn(pe) for every pe in [0, m.Size()).
+	apply(m *Machine, fn func(pe int))
+}
+
+// Option configures a Machine at construction time.
+type Option func(*Machine)
+
+// WithExecutor selects the machine's execution engine. The default
+// is Sequential().
+func WithExecutor(e Executor) Option {
+	return func(m *Machine) {
+		if e != nil {
+			m.exec = e
+		}
+	}
+}
+
+// Sequential returns the reference executor: one pass over the PEs
+// in ascending order, no goroutines.
+func Sequential() Executor { return seqExecutor{} }
+
+// Parallel returns the sharded executor running the given number of
+// worker goroutines per unit route; workers <= 0 selects
+// runtime.GOMAXPROCS(0). Results are bit-identical to Sequential()
+// for pure per-PE functions (see the package comment above).
+func Parallel(workers int) Executor { return parExecutor{workers: workers} }
+
+// --- sequential ---------------------------------------------------
+
+type seqExecutor struct{}
+
+func (seqExecutor) Name() string { return "sequential" }
+
+func (seqExecutor) route(m *Machine, sr, dr []int64, portOf PortFunc) int {
+	n := m.topo.Size()
+	for i := 0; i < n; i++ {
+		m.touched[i] = false
+	}
+	conflicts := 0
+	for pe := 0; pe < n; pe++ {
+		p := portOf(pe)
+		if p < 0 {
+			continue
+		}
+		to := m.topo.Neighbor(pe, p)
+		if to < 0 {
+			panic(fmt.Sprintf("simd: PE %d transmits through unconnected port %d", pe, p))
+		}
+		m.stats.Sent++
+		m.portUses[p]++
+		if m.touched[to] {
+			conflicts++
+			continue // first message wins; conflict recorded
+		}
+		m.touched[to] = true
+		m.inbox[to] = sr[pe]
+	}
+	for pe := 0; pe < n; pe++ {
+		if m.touched[pe] {
+			dr[pe] = m.inbox[pe]
+		}
+	}
+	return conflicts
+}
+
+func (seqExecutor) apply(m *Machine, fn func(pe int)) {
+	n := m.topo.Size()
+	for pe := 0; pe < n; pe++ {
+		fn(pe)
+	}
+}
+
+// --- parallel -----------------------------------------------------
+
+type parExecutor struct{ workers int }
+
+func (e parExecutor) Name() string {
+	if e.workers <= 0 {
+		return "parallel"
+	}
+	return fmt.Sprintf("parallel-%d", e.workers)
+}
+
+func (e parExecutor) workerCount(n int) int {
+	w := e.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parScratch is the per-machine buffer set of the parallel executor,
+// allocated lazily on the first parallel route/apply.
+type parScratch struct {
+	ports   []int32   // resolved port per sender; -1 = silent
+	dests   []int32   // resolved destination per sender
+	sent    []int64   // per-shard transmission count
+	uses    [][]int64 // per-shard per-port use count
+	badPE   []int     // per-shard lowest PE with an unconnected port
+	badPort []int
+	panics  []any // per-shard recovered panic value
+}
+
+func (m *Machine) parScratchFor(w int) *parScratch {
+	n := m.topo.Size()
+	s := m.par
+	if s == nil || len(s.sent) < w {
+		s = &parScratch{
+			ports:   make([]int32, n),
+			dests:   make([]int32, n),
+			sent:    make([]int64, w),
+			uses:    make([][]int64, w),
+			badPE:   make([]int, w),
+			badPort: make([]int, w),
+			panics:  make([]any, w),
+		}
+		for i := range s.uses {
+			s.uses[i] = make([]int64, m.topo.Ports())
+		}
+		m.par = s
+	}
+	return s
+}
+
+// shardRange returns the contiguous PE block of shard sh out of w.
+func shardRange(n, w, sh int) (lo, hi int) {
+	return sh * n / w, (sh + 1) * n / w
+}
+
+// rethrow re-raises the lowest-shard worker panic, if any, on the
+// caller's goroutine so route/apply panics surface like sequential
+// execution instead of crashing the process.
+func (s *parScratch) rethrow(w int) {
+	for sh := 0; sh < w; sh++ {
+		if r := s.panics[sh]; r != nil {
+			s.panics[sh] = nil
+			panic(r)
+		}
+	}
+}
+
+func (e parExecutor) route(m *Machine, sr, dr []int64, portOf PortFunc) int {
+	n := m.topo.Size()
+	w := e.workerCount(n)
+	if w == 1 {
+		return seqExecutor{}.route(m, sr, dr, portOf)
+	}
+	s := m.parScratchFor(w)
+	topo := m.topo
+
+	// Phase 1 (parallel): each shard clears its slice of the touched
+	// buffer, then resolves its senders' ports and destinations,
+	// accumulating shard-local counters.
+	var wg sync.WaitGroup
+	for sh := 0; sh < w; sh++ {
+		lo, hi := shardRange(n, w, sh)
+		wg.Add(1)
+		go func(sh, lo, hi int) {
+			defer wg.Done()
+			defer func() { s.panics[sh] = recover() }()
+			for pe := lo; pe < hi; pe++ {
+				m.touched[pe] = false
+			}
+			sent := int64(0)
+			// Clear this shard's counters here, not in the merge:
+			// a panicking route never reaches the merge, and stale
+			// counts would corrupt the next route's PortUses if the
+			// caller recovers.
+			uses := s.uses[sh]
+			for p := range uses {
+				uses[p] = 0
+			}
+			bad, badPort := -1, 0
+			for pe := lo; pe < hi; pe++ {
+				p := portOf(pe)
+				s.ports[pe] = int32(p)
+				if p < 0 {
+					continue
+				}
+				to := topo.Neighbor(pe, p)
+				if to < 0 {
+					if bad < 0 {
+						bad, badPort = pe, p
+					}
+					s.ports[pe] = -1
+					continue
+				}
+				s.dests[pe] = int32(to)
+				sent++
+				uses[p]++
+			}
+			s.sent[sh] = sent
+			s.badPE[sh], s.badPort[sh] = bad, badPort
+		}(sh, lo, hi)
+	}
+	wg.Wait()
+	s.rethrow(w)
+	for sh := 0; sh < w; sh++ {
+		if s.badPE[sh] >= 0 {
+			panic(fmt.Sprintf("simd: PE %d transmits through unconnected port %d",
+				s.badPE[sh], s.badPort[sh]))
+		}
+	}
+
+	// Merge counters in shard order (sums are order-independent, so
+	// this matches the sequential totals exactly).
+	for sh := 0; sh < w; sh++ {
+		m.stats.Sent += s.sent[sh]
+		uses := s.uses[sh]
+		for p := range uses {
+			m.portUses[p] += uses[p]
+		}
+	}
+
+	// Phase 2 (sequential): conflict scan over senders in ascending
+	// PE order — the same order the sequential executor uses, so the
+	// first-message-wins outcome and the conflict count are
+	// bit-identical.
+	conflicts := 0
+	for pe := 0; pe < n; pe++ {
+		if s.ports[pe] < 0 {
+			continue
+		}
+		to := int(s.dests[pe])
+		if m.touched[to] {
+			conflicts++
+			continue
+		}
+		m.touched[to] = true
+		m.inbox[to] = sr[pe]
+	}
+
+	// Phase 3 (parallel): deliver to the touched destinations,
+	// sharded over the destination range.
+	for sh := 0; sh < w; sh++ {
+		lo, hi := shardRange(n, w, sh)
+		wg.Add(1)
+		go func(sh, lo, hi int) {
+			defer wg.Done()
+			defer func() { s.panics[sh] = recover() }()
+			for pe := lo; pe < hi; pe++ {
+				if m.touched[pe] {
+					dr[pe] = m.inbox[pe]
+				}
+			}
+		}(sh, lo, hi)
+	}
+	wg.Wait()
+	s.rethrow(w)
+	return conflicts
+}
+
+func (e parExecutor) apply(m *Machine, fn func(pe int)) {
+	n := m.topo.Size()
+	w := e.workerCount(n)
+	if w == 1 {
+		seqExecutor{}.apply(m, fn)
+		return
+	}
+	s := m.parScratchFor(w)
+	var wg sync.WaitGroup
+	for sh := 0; sh < w; sh++ {
+		lo, hi := shardRange(n, w, sh)
+		wg.Add(1)
+		go func(sh, lo, hi int) {
+			defer wg.Done()
+			defer func() { s.panics[sh] = recover() }()
+			for pe := lo; pe < hi; pe++ {
+				fn(pe)
+			}
+		}(sh, lo, hi)
+	}
+	wg.Wait()
+	s.rethrow(w)
+}

@@ -47,22 +47,33 @@ type Machine struct {
 	regs     map[string][]int64
 	stats    Stats
 	portUses []int64
+	exec     Executor
 	// scratch buffers reused across routes
 	inbox   []int64
 	touched []bool
+	par     *parScratch // parallel-executor scratch, allocated lazily
 }
 
-// New builds a machine with no registers.
-func New(topo Topology) *Machine {
+// New builds a machine with no registers. Options select the
+// execution engine (default: the sequential reference executor).
+func New(topo Topology, opts ...Option) *Machine {
 	n := topo.Size()
-	return &Machine{
+	m := &Machine{
 		topo:     topo,
 		regs:     make(map[string][]int64),
 		portUses: make([]int64, topo.Ports()),
+		exec:     Sequential(),
 		inbox:    make([]int64, n),
 		touched:  make([]bool, n),
 	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
 }
+
+// Executor returns the machine's execution engine.
+func (m *Machine) Executor() Executor { return m.exec }
 
 // PortUses returns, per port index, the number of transmissions that
 // used it since the last ResetStats — the link-utilization profile
@@ -108,23 +119,32 @@ func (m *Machine) Reg(name string) []int64 {
 }
 
 // Set performs the intraprocessor assignment reg(i) := fn(i) on
-// every PE (fn may close over other registers via Reg).
+// every PE (fn may close over other registers via Reg). Under a
+// parallel executor fn must be pure (see the engine comment).
 func (m *Machine) Set(name string, fn func(pe int) int64) {
 	r := m.Reg(name)
-	for pe := range r {
-		r[pe] = fn(pe)
-	}
+	m.exec.apply(m, func(pe int) { r[pe] = fn(pe) })
 }
 
 // SetMasked assigns reg(i) := fn(i) only where mask(i) holds — the
 // paper's "A(i) := …, (f(i) = y)" masked instruction.
 func (m *Machine) SetMasked(name string, fn func(pe int) int64, mask func(pe int) bool) {
 	r := m.Reg(name)
-	for pe := range r {
+	m.exec.apply(m, func(pe int) {
 		if mask(pe) {
 			r[pe] = fn(pe)
 		}
-	}
+	})
+}
+
+// Apply runs fn once per PE through the machine's executor — the
+// engine-aware way to write per-PE compute loops (compare-exchange
+// combines and the like). fn(pe) may read any register and write
+// state owned by PE pe; under a parallel executor it runs
+// concurrently across shards and must not depend on evaluation
+// order.
+func (m *Machine) Apply(fn func(pe int)) {
+	m.exec.apply(m, fn)
 }
 
 // route executes one unit route: every PE with portOf(pe) >= 0
@@ -134,34 +154,7 @@ func (m *Machine) SetMasked(name string, fn func(pe int) int64, mask func(pe int
 func (m *Machine) route(src, dst string, portOf PortFunc, modelA bool) int {
 	sr := m.Reg(src)
 	dr := m.Reg(dst)
-	n := m.topo.Size()
-	for i := 0; i < n; i++ {
-		m.touched[i] = false
-	}
-	conflicts := 0
-	for pe := 0; pe < n; pe++ {
-		p := portOf(pe)
-		if p < 0 {
-			continue
-		}
-		to := m.topo.Neighbor(pe, p)
-		if to < 0 {
-			panic(fmt.Sprintf("simd: PE %d transmits through unconnected port %d", pe, p))
-		}
-		m.stats.Sent++
-		m.portUses[p]++
-		if m.touched[to] {
-			conflicts++
-			continue // first message wins; conflict recorded
-		}
-		m.touched[to] = true
-		m.inbox[to] = sr[pe]
-	}
-	for pe := 0; pe < n; pe++ {
-		if m.touched[pe] {
-			dr[pe] = m.inbox[pe]
-		}
-	}
+	conflicts := m.exec.route(m, sr, dr, portOf)
 	m.stats.UnitRoutes++
 	if modelA {
 		m.stats.ModelA++

@@ -78,18 +78,72 @@ type Machine struct {
 	N int
 	// perms caches the permutation of every PE id.
 	perms []perm.Perm
+	topo  *Topo
+	// tables caches, per (k, dir), the mesh-neighbor id and partner
+	// port of every PE — the Lemma-2/3 role data every unit route
+	// needs. Built lazily through the engine (so construction is
+	// sharded under a parallel executor) and keyed by topology only,
+	// so it never invalidates. SetRouteCache(false) bypasses it.
+	tables  []*routeTable
+	noCache bool
 }
 
-// New builds the machine for S_n.
-func New(n int) *Machine {
+// routeTable holds the closed-form Lemma-3 data for one (k, dir).
+type routeTable struct {
+	nbr   []int32 // star id of the (k,dir) mesh neighbor, -1 at the boundary
+	pport []int8  // Partner(perm(pe), k, dir), -1 at the boundary
+}
+
+// New builds the machine for S_n. Options select the simd execution
+// engine (default sequential); all of the machine's port and mask
+// functions are pure, so the parallel engine is always safe here.
+func New(n int, opts ...simd.Option) *Machine {
 	topo := NewTopo(n)
-	m := &Machine{Machine: simd.New(topo), N: n}
+	m := &Machine{Machine: simd.New(topo, opts...), N: n, topo: topo}
 	m.perms = make([]perm.Perm, topo.Size())
 	perm.All(n, func(p perm.Perm) bool {
 		m.perms[p.Rank()] = p.Clone()
 		return true
 	})
+	m.tables = make([]*routeTable, 2*(n-1))
 	return m
+}
+
+// SetRouteCache enables or disables the per-(k,dir) route tables.
+// The cache is on by default; disabling it re-routes every unit
+// route through the original closure-per-PE role tests (the
+// reference implementation the cache is tested against, and the
+// baseline the engine benchmarks measure).
+func (m *Machine) SetRouteCache(enabled bool) { m.noCache = !enabled }
+
+// routeTableFor returns (building on first use) the Lemma-3 table
+// for dimension k and direction dir.
+func (m *Machine) routeTableFor(k, dir int) *routeTable {
+	idx := 2 * (k - 1)
+	if dir < 0 {
+		idx++
+	}
+	if t := m.tables[idx]; t != nil {
+		return t
+	}
+	t := &routeTable{
+		nbr:   make([]int32, len(m.perms)),
+		pport: make([]int8, len(m.perms)),
+	}
+	// Built through the engine: each PE's entry is independent, so a
+	// parallel executor shards the O(n!·n²) construction sweep.
+	m.Apply(func(pe int) {
+		p := m.perms[pe]
+		tp := core.Partner(p, k, dir)
+		t.pport[pe] = int8(tp)
+		if tp == -1 {
+			t.nbr[pe] = -1
+			return
+		}
+		t.nbr[pe] = int32(p.SwapPositions(k, tp).Rank())
+	})
+	m.tables[idx] = t
+	return t
 }
 
 // Perm returns the permutation of PE pe (do not mutate).
@@ -118,6 +172,73 @@ func (m *Machine) MaskedMeshUnitRoute(src, dst string, k, dir int, mask func(pe 
 	if dir != 1 && dir != -1 {
 		panic("starsim: dir must be ±1")
 	}
+	if !m.noCache {
+		return m.maskedMeshUnitRouteCached(src, dst, k, dir, mask)
+	}
+	return m.maskedMeshUnitRouteGeneric(src, dst, k, dir, mask)
+}
+
+// maskedMeshUnitRouteCached drives the Lemma-5 schedule from the
+// precomputed route tables: every role test collapses to table
+// lookups, avoiding the per-PE permutation clone and O(n²) rank of
+// the generic path. The step-3 interior test is implicit — a PE
+// whose (k,-dir) mesh neighbor exists is automatically a legal
+// sender along (k,+dir), because mesh neighbor moves invert.
+func (m *Machine) maskedMeshUnitRouteCached(src, dst string, k, dir int, mask func(pe int) bool) (routes, conflicts int) {
+	fwd := m.routeTableFor(k, dir)
+	front := m.N - 1
+	sends := func(pe int) bool {
+		return fwd.nbr[pe] != -1 && (mask == nil || mask(pe))
+	}
+	if k == front {
+		c := m.RouteB(src, dst, func(pe int) int {
+			if !sends(pe) {
+				return -1
+			}
+			return int(fwd.pport[pe])
+		})
+		return 1, c
+	}
+	rev := m.routeTableFor(k, -dir)
+	const t1 = "__mur_t1"
+	const t2 = "__mur_t2"
+	m.EnsureReg(t1)
+	m.EnsureReg(t2)
+	// Step 1: senders π through port k.
+	c1 := m.RouteB(src, t1, func(pe int) int {
+		if !sends(pe) {
+			return -1
+		}
+		return k
+	})
+	// Step 2: X1 forwards through the partner port of π = X1·g_k,
+	// looked up via X1's g_k neighbor id.
+	c2 := m.RouteB(t1, t2, func(pe int) int {
+		ni := int(m.topo.table[pe][k])
+		if !sends(ni) {
+			return -1
+		}
+		return int(fwd.pport[ni])
+	})
+	// Step 3: Y1 forwards through port k when Y1·g_k is a route
+	// destination, i.e. its (k,-dir) mesh neighbor is a selected
+	// sender.
+	c3 := m.RouteB(t2, dst, func(pe int) int {
+		ni := int(m.topo.table[pe][k])
+		sender := rev.nbr[ni]
+		if sender == -1 || (mask != nil && !mask(int(sender))) {
+			return -1
+		}
+		return k
+	})
+	return 3, c1 + c2 + c3
+}
+
+// maskedMeshUnitRouteGeneric is the original closure-per-PE
+// implementation, kept as the semantic reference for the cached
+// path (and as the measured baseline of the engine benchmarks).
+func (m *Machine) maskedMeshUnitRouteGeneric(src, dst string, k, dir int, mask func(pe int) bool) (routes, conflicts int) {
+	n := m.N
 	sends := func(pe int) bool {
 		return core.Partner(m.perms[pe], k, dir) != -1 && (mask == nil || mask(pe))
 	}
@@ -178,6 +299,85 @@ func (m *Machine) MeshUnitRouteModelA(src, dst string, k, dir int) int {
 // MaskedMeshUnitRouteModelA is MeshUnitRouteModelA restricted to the
 // mesh nodes selected by mask (nil = all).
 func (m *Machine) MaskedMeshUnitRouteModelA(src, dst string, k, dir int, mask func(pe int) bool) int {
+	if !m.noCache {
+		return m.maskedModelACached(src, dst, k, dir, mask)
+	}
+	return m.maskedModelAGeneric(src, dst, k, dir, mask)
+}
+
+// maskedModelACached is the table-driven SIMD-A schedule; the
+// generator-usage scans that dominated the generic path become
+// linear passes over the cached partner ports.
+func (m *Machine) maskedModelACached(src, dst string, k, dir int, mask func(pe int) bool) int {
+	n := m.N
+	front := n - 1
+	fwd := m.routeTableFor(k, dir)
+	portAt := func(id int) int {
+		if fwd.nbr[id] == -1 || (mask != nil && !mask(id)) {
+			return -1
+		}
+		return int(fwd.pport[id])
+	}
+	if k == front {
+		routes := 0
+		for g := 0; g < n-1; g++ {
+			used := false
+			for pe := range m.perms {
+				if portAt(pe) == g {
+					used = true
+					break
+				}
+			}
+			if !used {
+				continue
+			}
+			m.RouteA(src, dst, g, func(pe int) bool {
+				return portAt(pe) == g
+			})
+			routes++
+		}
+		return routes
+	}
+	rev := m.routeTableFor(k, -dir)
+	const t1 = "__mura_t1"
+	const t2 = "__mura_t2"
+	m.EnsureReg(t1)
+	m.EnsureReg(t2)
+	routes := 0
+	m.RouteA(src, t1, k, func(pe int) bool {
+		return portAt(pe) != -1
+	})
+	routes++
+	for g := 0; g < k; g++ {
+		used := false
+		for pe := range m.perms {
+			if portAt(int(m.topo.table[pe][k])) == g {
+				used = true
+				break
+			}
+		}
+		if !used {
+			continue
+		}
+		m.RouteA(t1, t2, g, func(pe int) bool {
+			return portAt(int(m.topo.table[pe][k])) == g
+		})
+		routes++
+	}
+	m.RouteA(t2, dst, k, func(pe int) bool {
+		sender := rev.nbr[int(m.topo.table[pe][k])]
+		if sender == -1 {
+			return false
+		}
+		return mask == nil || mask(int(sender))
+	})
+	routes++
+	return routes
+}
+
+// maskedModelAGeneric is the original implementation, kept as the
+// reference for the cached path.
+func (m *Machine) maskedModelAGeneric(src, dst string, k, dir int, mask func(pe int) bool) int {
 	n := m.N
 	front := n - 1
 	partnerPort := func(pi perm.Perm) int {

@@ -21,6 +21,7 @@ import (
 
 	"starmesh/internal/core"
 	"starmesh/internal/mesh"
+	"starmesh/internal/simd"
 	"starmesh/internal/starsim"
 )
 
@@ -33,10 +34,11 @@ type Machine struct {
 	small *mesh.Mesh // D_n
 }
 
-// New builds the virtualized machine over S_n.
-func New(n int) *Machine {
+// New builds the virtualized machine over S_n. Options select the
+// simd execution engine of the underlying star machine.
+func New(n int, opts ...simd.Option) *Machine {
 	return &Machine{
-		SM:    starsim.New(n),
+		SM:    starsim.New(n, opts...),
 		N:     n,
 		Slots: n + 1,
 		Big:   mesh.D(n + 1),

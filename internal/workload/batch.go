@@ -1,0 +1,282 @@
+// Batch scenario runner: executes many independent machine
+// instances concurrently — the large-batch evaluation mode the
+// engine exists for. Each Scenario builds its own machine (so
+// instances share nothing and scale across workers), runs a
+// workload, self-checks the result and reports unit-route costs.
+// The per-scenario results are deterministic regardless of worker
+// count; only the wall-clock changes.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"starmesh/internal/core"
+	"starmesh/internal/mesh"
+	"starmesh/internal/meshsim"
+	"starmesh/internal/simd"
+	"starmesh/internal/sorting"
+	"starmesh/internal/star"
+	"starmesh/internal/starsim"
+)
+
+// Scenario is one independently runnable workload instance.
+type Scenario struct {
+	Name string
+	Run  func() (ScenarioResult, error)
+}
+
+// ScenarioResult reports one scenario's cost and self-check outcome.
+type ScenarioResult struct {
+	Name       string `json:"name"`
+	UnitRoutes int    `json:"unit_routes"`
+	Conflicts  int    `json:"conflicts"`
+	OK         bool   `json:"ok"`
+	ElapsedNs  int64  `json:"elapsed_ns"`
+}
+
+// BatchResult aggregates a concurrent batch run.
+type BatchResult struct {
+	Workers   int              `json:"workers"`
+	ElapsedNs int64            `json:"elapsed_ns"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+	Errors    []string         `json:"errors,omitempty"`
+}
+
+// RunBatch executes the scenarios on a pool of the given number of
+// workers (<= 0 selects GOMAXPROCS). Results keep the input order;
+// failures are collected, not fatal.
+func RunBatch(scenarios []Scenario, workers int) BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]ScenarioResult, len(scenarios))
+	errs := make([]error, len(scenarios))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sc := scenarios[i]
+				t0 := time.Now()
+				res, err := sc.Run()
+				res.Name = sc.Name
+				res.ElapsedNs = time.Since(t0).Nanoseconds()
+				results[i] = res
+				errs[i] = err
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	out := BatchResult{
+		Workers:   workers,
+		ElapsedNs: time.Since(start).Nanoseconds(),
+		Scenarios: results,
+	}
+	for i, err := range errs {
+		if err != nil {
+			out.Errors = append(out.Errors, fmt.Sprintf("%s: %v", scenarios[i].Name, err))
+		}
+	}
+	return out
+}
+
+// SortScenario snake-sorts n! keys of the given distribution on the
+// star machine S_n through the paper's embedding.
+func SortScenario(n int, d Dist, seed int64, opts ...simd.Option) Scenario {
+	name := fmt.Sprintf("sort-star-n%d-%s-seed%d", n, distName(d), seed)
+	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
+		sm := starsim.New(n, opts...)
+		keys := Keys(d, sm.Size(), seed)
+		meshID := make([]int, sm.Size())
+		for pe := range meshID {
+			meshID[pe] = core.UnmapID(n, pe)
+		}
+		sm.AddReg("K")
+		sm.Set("K", func(pe int) int64 { return keys[pe] })
+		res := sorting.SnakeSortStar(sm, "K", meshID)
+		if !res.Sorted {
+			return ScenarioResult{}, fmt.Errorf("snake sort left keys unsorted")
+		}
+		return ScenarioResult{
+			UnitRoutes: res.UnitRoutes,
+			Conflicts:  res.Conflicts,
+			OK:         res.Sorted && res.Conflicts == 0,
+		}, nil
+	}}
+}
+
+// ShearScenario shear-sorts a rows×cols mesh machine.
+func ShearScenario(rows, cols int, d Dist, seed int64, opts ...simd.Option) Scenario {
+	name := fmt.Sprintf("shear-mesh-%dx%d-%s-seed%d", rows, cols, distName(d), seed)
+	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
+		mm := meshsim.New(mesh.New(rows, cols), opts...)
+		keys := Keys(d, mm.Size(), seed)
+		mm.AddReg("K")
+		mm.Set("K", func(pe int) int64 { return keys[pe] })
+		res := sorting.ShearSort2D(mm, "K")
+		if !res.Sorted {
+			return ScenarioResult{}, fmt.Errorf("shear sort left keys unsorted")
+		}
+		return ScenarioResult{
+			UnitRoutes: res.UnitRoutes,
+			Conflicts:  res.Conflicts,
+			OK:         res.Sorted && res.Conflicts == 0,
+		}, nil
+	}}
+}
+
+// BroadcastScenario floods one value from the given source PE across
+// the star machine S_n and checks every PE received it.
+func BroadcastScenario(n, source int, opts ...simd.Option) Scenario {
+	name := fmt.Sprintf("broadcast-star-n%d-src%d", n, source)
+	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
+		sm := starsim.New(n, opts...)
+		sm.AddReg("V")
+		sm.AddReg("W")
+		const payload = 42
+		sm.Reg("V")[source] = payload
+		routes := sm.Broadcast("V", "W", source)
+		for pe, v := range sm.Reg("W") {
+			if v != payload {
+				return ScenarioResult{}, fmt.Errorf("PE %d missed the broadcast (got %d)", pe, v)
+			}
+		}
+		st := sm.Stats()
+		return ScenarioResult{
+			UnitRoutes: routes,
+			Conflicts:  st.ReceiveConflicts,
+			OK:         st.ReceiveConflicts == 0,
+		}, nil
+	}}
+}
+
+// FaultRouteScenario routes the given number of random source/target
+// pairs through S_n while avoiding a random set of faulty nodes
+// (at most n-2, so a path always exists). The reported unit routes
+// are the total hops across all pairs.
+func FaultRouteScenario(n, faults, pairs int, seed int64) Scenario {
+	name := fmt.Sprintf("faultroute-star-n%d-f%d-p%d-seed%d", n, faults, pairs, seed)
+	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
+		if faults > n-2 {
+			return ScenarioResult{}, fmt.Errorf("faults %d exceed the survivable n-2 = %d", faults, n-2)
+		}
+		g := star.New(n)
+		rng := rand.New(rand.NewSource(seed))
+		hops := 0
+		for i := 0; i < pairs; i++ {
+			faulty := make(map[int]bool, faults)
+			for len(faulty) < faults {
+				faulty[rng.Intn(g.Order())] = true
+			}
+			src := rng.Intn(g.Order())
+			for faulty[src] {
+				src = rng.Intn(g.Order())
+			}
+			dst := rng.Intn(g.Order())
+			for faulty[dst] {
+				dst = rng.Intn(g.Order())
+			}
+			path := g.RouteAvoiding(g.Node(src), g.Node(dst), faulty)
+			if path == nil {
+				return ScenarioResult{}, fmt.Errorf("no healthy route from %d to %d around %d faults", src, dst, faults)
+			}
+			hops += len(path) - 1
+		}
+		return ScenarioResult{UnitRoutes: hops, OK: true}, nil
+	}}
+}
+
+// StandardBatch assembles a representative mixed batch: snake sorts
+// across distributions, shear sorts, broadcasts and fault routing.
+func StandardBatch(n int, seed int64, opts ...simd.Option) []Scenario {
+	var scs []Scenario
+	for _, d := range Dists {
+		scs = append(scs, SortScenario(n, d.D, seed, opts...))
+	}
+	scs = append(scs,
+		ShearScenario(16, 16, Uniform, seed, opts...),
+		ShearScenario(32, 8, Reversed, seed+1, opts...),
+		BroadcastScenario(n, 0, opts...),
+		BroadcastScenario(n, 1, opts...),
+		FaultRouteScenario(n, n-2, 16, seed),
+	)
+	return scs
+}
+
+func distName(d Dist) string {
+	for _, e := range Dists {
+		if e.D == d {
+			return e.Name
+		}
+	}
+	return fmt.Sprintf("dist%d", int(d))
+}
+
+// EngineSweep drives one full mesh-unit-route sweep — every
+// dimension, both directions — on the star machine: the standard
+// workload of the engine benchmarks and the `engine` parity
+// experiment (register V routed into W).
+func EngineSweep(m *starsim.Machine) {
+	m.EnsureReg("V")
+	m.EnsureReg("W")
+	m.Set("V", func(pe int) int64 { return int64(pe) })
+	for k := 1; k <= m.N-1; k++ {
+		m.MeshUnitRoute("V", "W", k, +1)
+		m.MeshUnitRoute("V", "W", k, -1)
+	}
+}
+
+// RegChecksum folds a register into an order-sensitive checksum, for
+// cheap whole-register equality checks across executors.
+func RegChecksum(m *starsim.Machine, name string) int64 {
+	sum := int64(0)
+	for _, v := range m.Reg(name) {
+		sum = sum*31 + v
+	}
+	return sum
+}
+
+// BenchRecord is the schema of BENCH_engine.json: the perf record
+// the engine benchmarks emit for an S_8-or-larger workload.
+type BenchRecord struct {
+	Benchmark       string       `json:"benchmark"`
+	Timestamp       string       `json:"timestamp"`
+	GoMaxProcs      int          `json:"gomaxprocs"`
+	N               int          `json:"n"`
+	PEs             int          `json:"pes"`
+	Reps            int          `json:"reps"`
+	BaselineNs      int64        `json:"baseline_generic_ns"`
+	SequentialNs    int64        `json:"sequential_ns"`
+	ParallelNs      int64        `json:"parallel_ns"`
+	SpeedupEngine   float64      `json:"speedup_engine_vs_baseline"`
+	SpeedupParallel float64      `json:"speedup_parallel_vs_sequential"`
+	Batch           *BatchResult `json:"batch,omitempty"`
+}
+
+// WriteJSON writes the record as indented JSON.
+func (r *BenchRecord) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

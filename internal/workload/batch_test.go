@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"starmesh/internal/simd"
+)
+
+// stripTiming zeroes the wall-clock fields so runs can be compared.
+func stripTiming(b BatchResult) BatchResult {
+	b.ElapsedNs = 0
+	b.Workers = 0
+	out := append([]ScenarioResult(nil), b.Scenarios...)
+	for i := range out {
+		out[i].ElapsedNs = 0
+	}
+	b.Scenarios = out
+	return b
+}
+
+func TestStandardBatchRunsCleanAndDeterministic(t *testing.T) {
+	batch := StandardBatch(4, 7)
+	one := RunBatch(batch, 1)
+	if len(one.Errors) != 0 {
+		t.Fatalf("batch errors: %v", one.Errors)
+	}
+	for _, sc := range one.Scenarios {
+		if !sc.OK {
+			t.Errorf("scenario %s not ok: %+v", sc.Name, sc)
+		}
+		if sc.UnitRoutes <= 0 {
+			t.Errorf("scenario %s reports no work: %+v", sc.Name, sc)
+		}
+	}
+	for _, workers := range []int{2, 5, 0} {
+		many := RunBatch(StandardBatch(4, 7), workers)
+		if len(many.Errors) != 0 {
+			t.Fatalf("workers=%d batch errors: %v", workers, many.Errors)
+		}
+		a, b := stripTiming(one), stripTiming(many)
+		if len(a.Scenarios) != len(b.Scenarios) {
+			t.Fatalf("workers=%d: scenario count diverged", workers)
+		}
+		for i := range a.Scenarios {
+			if a.Scenarios[i] != b.Scenarios[i] {
+				t.Errorf("workers=%d scenario %d: %+v != %+v",
+					workers, i, b.Scenarios[i], a.Scenarios[i])
+			}
+		}
+	}
+}
+
+func TestStandardBatchParallelEngineMatches(t *testing.T) {
+	seqBatch := RunBatch(StandardBatch(4, 11), 2)
+	parBatch := RunBatch(StandardBatch(4, 11, simd.WithExecutor(simd.Parallel(3))), 2)
+	if len(parBatch.Errors) != 0 {
+		t.Fatalf("parallel-engine batch errors: %v", parBatch.Errors)
+	}
+	a, b := stripTiming(seqBatch), stripTiming(parBatch)
+	for i := range a.Scenarios {
+		if a.Scenarios[i] != b.Scenarios[i] {
+			t.Errorf("scenario %d diverged under parallel engine: %+v != %+v",
+				i, b.Scenarios[i], a.Scenarios[i])
+		}
+	}
+}
+
+func TestRunBatchCollectsErrors(t *testing.T) {
+	boom := Scenario{Name: "boom", Run: func() (ScenarioResult, error) {
+		return ScenarioResult{}, errors.New("deliberate failure")
+	}}
+	res := RunBatch([]Scenario{BroadcastScenario(3, 0), boom}, 2)
+	if len(res.Errors) != 1 {
+		t.Fatalf("errors = %v, want exactly one", res.Errors)
+	}
+	if res.Scenarios[0].Name != "broadcast-star-n3-src0" || !res.Scenarios[0].OK {
+		t.Errorf("healthy scenario result corrupted: %+v", res.Scenarios[0])
+	}
+}
+
+func TestBenchRecordWriteJSON(t *testing.T) {
+	rec := BenchRecord{
+		Benchmark:       "engine-test",
+		Timestamp:       "2026-01-01T00:00:00Z",
+		GoMaxProcs:      1,
+		N:               8,
+		PEs:             40320,
+		Reps:            3,
+		BaselineNs:      300,
+		SequentialNs:    100,
+		ParallelNs:      100,
+		SpeedupEngine:   3.0,
+		SpeedupParallel: 1.0,
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	if err := rec.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != rec {
+		t.Errorf("round trip: %+v != %+v", back, rec)
+	}
+}

@@ -8,10 +8,34 @@ import (
 	"starmesh/internal/mesh"
 	"starmesh/internal/meshsim"
 	"starmesh/internal/perm"
+	"starmesh/internal/simd"
 	"starmesh/internal/star"
 	"starmesh/internal/starsim"
 	"starmesh/internal/virtual"
 )
+
+// EngineOption selects the execution engine of a SIMD machine: the
+// strategy that carries out the per-PE work of every unit route.
+// All machine constructors accept engine options; the default is the
+// sequential reference engine.
+type EngineOption = simd.Option
+
+// SequentialEngine selects the single-threaded reference executor —
+// the semantic ground truth every other engine must match
+// bit-for-bit.
+func SequentialEngine() EngineOption {
+	return simd.WithExecutor(simd.Sequential())
+}
+
+// ParallelEngine selects the sharded goroutine executor: each unit
+// route splits the PE range across the given number of workers
+// (<= 0 selects GOMAXPROCS) and merges per-shard results
+// deterministically, so Stats, register contents and conflict
+// diagnostics are identical to SequentialEngine. Programs must use
+// pure per-PE functions (every algorithm in this module qualifies).
+func ParallelEngine(workers int) EngineOption {
+	return simd.WithExecutor(simd.Parallel(workers))
+}
 
 // Perm is a star-graph node label: a permutation of {0..n-1} with
 // Perm[i] the symbol at position i and position n-1 the front. Its
@@ -143,10 +167,14 @@ type MeshMachine = meshsim.Machine
 
 // NewMeshMachine builds a machine over an arbitrary rectangular mesh
 // with the given dimension sizes.
-func NewMeshMachine(sizes ...int) *MeshMachine { return meshsim.New(mesh.New(sizes...)) }
+func NewMeshMachine(sizes []int, opts ...EngineOption) *MeshMachine {
+	return meshsim.New(mesh.New(sizes...), opts...)
+}
 
 // NewDMeshMachine builds a machine over D_n.
-func NewDMeshMachine(n int) *MeshMachine { return meshsim.New(mesh.D(n)) }
+func NewDMeshMachine(n int, opts ...EngineOption) *MeshMachine {
+	return meshsim.New(mesh.D(n), opts...)
+}
 
 // StarMachine is a star-connected SIMD computer; its MeshUnitRoute
 // performs the Theorem-6 three-route simulation of a mesh unit
@@ -154,7 +182,7 @@ func NewDMeshMachine(n int) *MeshMachine { return meshsim.New(mesh.D(n)) }
 type StarMachine = starsim.Machine
 
 // NewStarMachine builds a machine over S_n.
-func NewStarMachine(n int) *StarMachine { return starsim.New(n) }
+func NewStarMachine(n int, opts ...EngineOption) *StarMachine { return starsim.New(n, opts...) }
 
 // VirtualMachine runs the larger mesh D_{n+1} on S_n with n+1
 // virtual mesh nodes per PE (amortized route factor ≤ 3; the extra
@@ -162,4 +190,6 @@ func NewStarMachine(n int) *StarMachine { return starsim.New(n) }
 type VirtualMachine = virtual.Machine
 
 // NewVirtualMachine builds the virtualized machine over S_n.
-func NewVirtualMachine(n int) *VirtualMachine { return virtual.New(n) }
+func NewVirtualMachine(n int, opts ...EngineOption) *VirtualMachine {
+	return virtual.New(n, opts...)
+}

@@ -100,7 +100,7 @@ func TestFacadeDMesh(t *testing.T) {
 }
 
 func TestFacadeMachines(t *testing.T) {
-	mm := starmesh.NewMeshMachine(2, 3)
+	mm := starmesh.NewMeshMachine([]int{2, 3})
 	mm.AddReg("A")
 	mm.AddReg("B")
 	mm.Set("A", func(pe int) int64 { return int64(pe) })
@@ -131,6 +131,45 @@ func TestFacadeRectEmbedding(t *testing.T) {
 	}
 	if err := e.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeEngineOptions drives machines built with the exported
+// engine options and checks the parallel engine's determinism
+// contract through the facade.
+func TestFacadeEngineOptions(t *testing.T) {
+	run := func(opts ...starmesh.EngineOption) ([]int64, int) {
+		sm := starmesh.NewStarMachine(4, opts...)
+		sm.AddReg("A")
+		sm.AddReg("B")
+		sm.Set("A", func(pe int) int64 { return int64(2*pe + 1) })
+		total := 0
+		for k := 1; k <= 3; k++ {
+			routes, conflicts := sm.MeshUnitRoute("A", "B", k, +1)
+			if conflicts != 0 {
+				t.Fatalf("conflicts on dim %d", k)
+			}
+			total += routes
+		}
+		return append([]int64(nil), sm.Reg("B")...), total
+	}
+	seqRegs, seqRoutes := run(starmesh.SequentialEngine())
+	parRegs, parRoutes := run(starmesh.ParallelEngine(3))
+	if seqRoutes != parRoutes {
+		t.Fatalf("route counts diverged: %d vs %d", seqRoutes, parRoutes)
+	}
+	for pe := range seqRegs {
+		if seqRegs[pe] != parRegs[pe] {
+			t.Fatalf("PE %d register diverged: %d vs %d", pe, seqRegs[pe], parRegs[pe])
+		}
+	}
+
+	mm := starmesh.NewMeshMachine([]int{3, 4}, starmesh.ParallelEngine(2))
+	mm.AddReg("K")
+	mm.Set("K", func(pe int) int64 { return int64(12 - pe) })
+	mm.UnitRoute("K", "K", 0, +1)
+	if mm.Stats().UnitRoutes != 1 {
+		t.Fatalf("mesh machine with parallel engine: %+v", mm.Stats())
 	}
 }
 
