@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fmt vet
+.PHONY: all build test race bench bench-plans lint fmt vet
 
 all: build test
 
@@ -22,6 +22,14 @@ race:
 bench:
 	BENCH_ENGINE_RECORD=1 $(GO) test -run TestEngineBenchRecord .
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+## bench-plans: the compiled-route-plan perf gate. Runs multi-worker
+## (GOMAXPROCS=2): writes BENCH_plans.json, fails if plan replay is
+## slower than closure resolution on the S_8 sweep, then runs the
+## plans parity experiment on the pooled parallel engine.
+bench-plans:
+	GOMAXPROCS=2 BENCH_PLANS_RECORD=1 $(GO) test -run TestPlanBenchRecord .
+	GOMAXPROCS=2 $(GO) run ./cmd/experiments -run plans -engine parallel
 
 ## lint: gofmt divergence fails the build; vet catches the rest.
 lint: vet

@@ -173,7 +173,7 @@ func BenchmarkUtilization(b *testing.B)   { benchExperiment(b, "utilization") }
 const engineBenchN = 8
 
 func BenchmarkEngineSweepS8Baseline(b *testing.B) {
-	m := starsim.New(engineBenchN)
+	m := starsim.New(engineBenchN, simd.WithPlans(false))
 	m.SetRouteCache(false)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -183,7 +183,7 @@ func BenchmarkEngineSweepS8Baseline(b *testing.B) {
 }
 
 func BenchmarkEngineSweepS8Sequential(b *testing.B) {
-	m := starsim.New(engineBenchN)
+	m := starsim.New(engineBenchN, simd.WithPlans(false))
 	workload.EngineSweep(m) // warm the route tables outside the timer
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -193,7 +193,31 @@ func BenchmarkEngineSweepS8Sequential(b *testing.B) {
 }
 
 func BenchmarkEngineSweepS8Parallel(b *testing.B) {
+	m := starsim.New(engineBenchN, simd.WithExecutor(simd.Parallel(0)), simd.WithPlans(false))
+	defer m.Close()
+	workload.EngineSweep(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.EngineSweep(m)
+	}
+}
+
+// Plan replay on the same sweep: the route schedule is compiled on
+// the warm-up pass and replayed as dense delivery tables afterwards.
+func BenchmarkEngineSweepS8Replay(b *testing.B) {
+	m := starsim.New(engineBenchN)
+	workload.EngineSweep(m) // records the plans
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.EngineSweep(m)
+	}
+}
+
+func BenchmarkEngineSweepS8ReplayParallel(b *testing.B) {
 	m := starsim.New(engineBenchN, simd.WithExecutor(simd.Parallel(0)))
+	defer m.Close()
 	workload.EngineSweep(m)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -206,6 +230,30 @@ func BenchmarkEngineBatch(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := workload.RunBatch(workload.StandardBatch(5, 42), 0)
+		if len(res.Errors) != 0 {
+			b.Fatalf("batch errors: %v", res.Errors)
+		}
+	}
+}
+
+// Pooled vs spawn-per-route parallel execution on a multi-worker
+// batch: each scenario machine runs the sharded executor with two
+// workers; the pool variant parks them, the spawn variant creates
+// fresh goroutines for every phase of every route.
+func BenchmarkEngineBatchPool(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := workload.RunBatch(workload.StandardBatch(5, 42, simd.WithExecutor(simd.Parallel(2))), 0)
+		if len(res.Errors) != 0 {
+			b.Fatalf("batch errors: %v", res.Errors)
+		}
+	}
+}
+
+func BenchmarkEngineBatchSpawn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := workload.RunBatch(workload.StandardBatch(5, 42, simd.WithExecutor(simd.ParallelSpawn(2))), 0)
 		if len(res.Errors) != 0 {
 			b.Fatalf("batch errors: %v", res.Errors)
 		}
@@ -235,11 +283,16 @@ func TestEngineBenchRecord(t *testing.T) {
 		return time.Since(start), m.Stats(), workload.RegChecksum(m, "W")
 	}
 
-	base := starsim.New(engineBenchN)
+	// Plans off throughout: this record measures the engine's closure
+	// resolution (route cache, executors); BENCH_plans.json covers
+	// plan replay.
+	base := starsim.New(engineBenchN, simd.WithPlans(false))
 	base.SetRouteCache(false)
 	baseTime, baseStats, baseSum := measure(base)
-	seqTime, seqStats, seqSum := measure(starsim.New(engineBenchN))
-	parTime, parStats, parSum := measure(starsim.New(engineBenchN, simd.WithExecutor(simd.Parallel(0))))
+	seqTime, seqStats, seqSum := measure(starsim.New(engineBenchN, simd.WithPlans(false)))
+	par := starsim.New(engineBenchN, simd.WithExecutor(simd.Parallel(0)), simd.WithPlans(false))
+	defer par.Close()
+	parTime, parStats, parSum := measure(par)
 
 	if seqStats != parStats || seqSum != parSum {
 		t.Fatalf("parallel executor diverged from sequential on S_%d:\nseq %+v sum %d\npar %+v sum %d",
@@ -250,7 +303,7 @@ func TestEngineBenchRecord(t *testing.T) {
 			engineBenchN, baseStats, baseSum, seqStats, seqSum)
 	}
 
-	batch := workload.RunBatch(workload.StandardBatch(5, 42), 0)
+	batch := workload.RunBatch(workload.StandardBatch(5, 42, simd.WithPlans(false)), 0)
 	if len(batch.Errors) != 0 {
 		t.Fatalf("batch errors: %v", batch.Errors)
 	}
@@ -279,6 +332,128 @@ func TestEngineBenchRecord(t *testing.T) {
 	t.Logf("S_%d sweep ×%d: baseline %v, sequential %v (%.2fx), parallel %v (%.2fx, %d workers) → %s",
 		engineBenchN, reps, baseTime, seqTime, rec.SpeedupEngine, parTime, rec.SpeedupParallel,
 		rec.GoMaxProcs, path)
+}
+
+// TestPlanBenchRecord measures compiled route plans and the
+// persistent worker pool on the S_8 sweep and a multi-worker batch
+// run, asserts parity (bit-identical stats and registers) and the
+// perf gate — plan replay must not be slower than closure resolution
+// — and emits the perf record. It writes BENCH_plans.json at the
+// repository root when BENCH_PLANS_RECORD is set (CI's bench job and
+// the Makefile's bench-plans target set it, with GOMAXPROCS > 1);
+// otherwise the record goes to a scratch directory and the test only
+// checks parity and the gate.
+func TestPlanBenchRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping S_8 plan measurement in -short mode")
+	}
+	const reps = 2
+	measure := func(m *starsim.Machine) (time.Duration, simd.Stats, int64) {
+		workload.EngineSweep(m) // warm: records plans / builds route tables
+		m.ResetStats()
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			workload.EngineSweep(m)
+		}
+		return time.Since(start), m.Stats(), workload.RegChecksum(m, "W")
+	}
+
+	closure := starsim.New(engineBenchN, simd.WithPlans(false))
+	closureTime, closureStats, closureSum := measure(closure)
+	replay := starsim.New(engineBenchN)
+	replayTime, replayStats, replaySum := measure(replay)
+
+	parityOK := closureStats == replayStats && closureSum == replaySum
+	if !parityOK {
+		t.Fatalf("plan replay diverged from closure resolution on S_%d:\nclosure %+v sum %d\nreplay  %+v sum %d",
+			engineBenchN, closureStats, closureSum, replayStats, replaySum)
+	}
+	if replayTime > closureTime {
+		// Hard perf gate only in the bench job (BENCH_PLANS_RECORD
+		// set): a timing assertion has no place in the tier-1 / race
+		// runs, where scheduler noise could fail an unrelated change.
+		msg := fmt.Sprintf("plan replay slower than closure resolution on the S_%d sweep: replay %v, closure %v",
+			engineBenchN, replayTime, closureTime)
+		if os.Getenv("BENCH_PLANS_RECORD") != "" {
+			t.Fatal(msg)
+		}
+		t.Log("WARNING: " + msg)
+	}
+
+	// Persistent pool vs spawn-per-route on a multi-worker batch:
+	// every scenario machine shards its routes across 2 workers, with
+	// plans disabled so every unit route actually dispatches to the
+	// workers (replayed small-machine steps would bypass them). The
+	// batch is measured best-of-3 to denoise scheduler jitter.
+	const batchWorkers = 2
+	runBatch := func(exec simd.Executor) (time.Duration, workload.BatchResult) {
+		best := time.Duration(0)
+		var res workload.BatchResult
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			r := workload.RunBatch(workload.StandardBatch(5, 42,
+				simd.WithExecutor(exec), simd.WithPlans(false)), 0)
+			elapsed := time.Since(start)
+			if len(r.Errors) != 0 {
+				t.Fatalf("batch errors under %s: %v", exec.Name(), r.Errors)
+			}
+			if best == 0 || elapsed < best {
+				best, res = elapsed, r
+			}
+		}
+		return best, res
+	}
+	spawnTime, spawnRes := runBatch(simd.ParallelSpawn(batchWorkers))
+	poolTime, poolRes := runBatch(simd.Parallel(batchWorkers))
+	batchParity := len(spawnRes.Scenarios) == len(poolRes.Scenarios)
+	sortRoutes := 0
+	for i := range spawnRes.Scenarios {
+		sp, po := spawnRes.Scenarios[i], poolRes.Scenarios[i]
+		if sp.Name != po.Name || sp.UnitRoutes != po.UnitRoutes || sp.Conflicts != po.Conflicts || sp.OK != po.OK {
+			batchParity = false
+		}
+		if i == 0 {
+			sortRoutes = po.UnitRoutes
+		}
+	}
+	if !batchParity {
+		t.Fatalf("pool batch results diverged from spawn batch:\nspawn %+v\npool  %+v", spawnRes, poolRes)
+	}
+	if poolTime > spawnTime {
+		t.Logf("WARNING: pooled batch (%v) slower than spawn-per-route (%v) on this host", poolTime, spawnTime)
+	}
+
+	rec := workload.PlanBenchRecord{
+		Benchmark:       fmt.Sprintf("plans-S%d-mesh-route-sweep", engineBenchN),
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		N:               engineBenchN,
+		PEs:             int(perm.Factorial(engineBenchN)),
+		Reps:            reps,
+		ClosureNs:       closureTime.Nanoseconds(),
+		ReplayNs:        replayTime.Nanoseconds(),
+		SpeedupReplay:   float64(closureTime) / float64(replayTime),
+		ParityOK:        parityOK,
+		BatchWorkers:    batchWorkers,
+		SpawnBatchNs:    spawnTime.Nanoseconds(),
+		PoolBatchNs:     poolTime.Nanoseconds(),
+		SpeedupPool:     float64(spawnTime) / float64(poolTime),
+		BatchParityOK:   batchParity,
+		PlansCached:     simd.SharedPlans.Len(),
+		BatchScenarios:  len(poolRes.Scenarios),
+		BatchBatchSize:  3,
+		BatchSortRoutes: sortRoutes,
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_plans.json")
+	if os.Getenv("BENCH_PLANS_RECORD") != "" {
+		path = "BENCH_plans.json"
+	}
+	if err := rec.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("S_%d sweep ×%d: closure %v, replay %v (%.2fx); batch ×%d workers: spawn %v, pool %v (%.2fx) → %s",
+		engineBenchN, reps, closureTime, replayTime, rec.SpeedupReplay,
+		batchWorkers, spawnTime, poolTime, rec.SpeedupPool, path)
 }
 
 // Scaling sub-benchmarks: the O(n²) conversions and O(n) neighbor

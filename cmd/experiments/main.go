@@ -7,6 +7,7 @@
 //	experiments -run fig7
 //	experiments -run all
 //	experiments -run sorting -engine parallel -workers 4
+//	experiments -run plans -plan=false   // closure-resolved baseline
 package main
 
 import (
@@ -21,17 +22,27 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	run := flag.String("run", "all", "experiment id to run, or 'all'")
-	engine := flag.String("engine", "sequential", "execution engine: sequential or parallel (bit-identical results)")
+	engine := flag.String("engine", "sequential", "execution engine: sequential, parallel or parallel-spawn (bit-identical results)")
 	workers := flag.Int("workers", 0, "parallel engine worker count (0 = GOMAXPROCS)")
+	plan := flag.Bool("plan", true, "compiled route plans: record each pure schedule once, replay dense tables (bit-identical results)")
 	flag.Parse()
 
+	var opts []simd.Option
 	switch *engine {
 	case "sequential", "seq":
 	case "parallel", "par":
-		experiments.SetEngine(simd.WithExecutor(simd.Parallel(*workers)))
+		opts = append(opts, simd.WithExecutor(simd.Parallel(*workers)))
+	case "parallel-spawn", "spawn":
+		opts = append(opts, simd.WithExecutor(simd.ParallelSpawn(*workers)))
 	default:
-		fmt.Fprintf(os.Stderr, "experiments: unknown engine %q (want sequential or parallel)\n", *engine)
+		fmt.Fprintf(os.Stderr, "experiments: unknown engine %q (want sequential, parallel or parallel-spawn)\n", *engine)
 		os.Exit(2)
+	}
+	if !*plan {
+		opts = append(opts, simd.WithPlans(false))
+	}
+	if len(opts) > 0 {
+		experiments.SetEngine(opts...)
 	}
 
 	if *list {

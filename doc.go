@@ -24,15 +24,36 @@
 //     paper's complexity measure, and
 //   - engine options (SequentialEngine, ParallelEngine) selecting
 //     the execution strategy of every machine: the parallel engine
-//     shards each unit route across worker goroutines and merges
-//     per-shard results deterministically, so its Stats, register
-//     contents and conflict diagnostics are bit-identical to the
-//     sequential reference.
+//     shards each unit route across a persistent per-machine worker
+//     pool and merges per-shard results deterministically, so its
+//     Stats, register contents and conflict diagnostics are
+//     bit-identical to the sequential reference.
+//
+// # Plans
+//
+// The machines compile pure unit-route schedules ahead of time
+// (WithPlans, on by default): the first execution records each route
+// as a dense table of resolved deliveries — validated against the
+// topology — and later executions replay the tables with a tight
+// array walk, skipping closure dispatch, Neighbor calls and
+// register-map lookups entirely. Record when a schedule will repeat
+// (sort phases, sweeps, broadcasts); replay is bit-identical to
+// closure resolution, and compiled plans are shared across machines
+// of the same shape through SharedPlans. Purity is the contract: a
+// recordable schedule consists of unit routes whose port/mask
+// functions depend only on the topology; schedules that run
+// Set/Apply while recording are marked impure and never replayed.
+// Machines running a parallel engine own a lazily started worker
+// pool reused across routes — release it with Close when a machine
+// is done (garbage collection also reclaims it).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every figure and table;
-// cmd/experiments regenerates all of them (its -engine flag selects
-// the execution engine). BENCH_engine.json records the engine's
-// measured performance on an S_8 workload; `make bench` regenerates
-// it.
+// cmd/experiments regenerates all of them (its -engine and -plan
+// flags select the execution engine and the plan layer; the engine
+// and plans experiments assert both are bit-identical to the
+// sequential closure reference). BENCH_engine.json records the
+// engine's measured performance on an S_8 workload and
+// BENCH_plans.json the plan layer's; `make bench` and
+// `make bench-plans` regenerate them.
 package starmesh

@@ -29,11 +29,29 @@ func (t Topo) Ports() int { return t.D }
 // Neighbor implements simd.Topology.
 func (t Topo) Neighbor(pe, port int) int { return pe ^ (1 << port) }
 
+// PlanKey implements simd.PlanKeyer: hypercubes of equal dimension
+// share compiled route plans.
+func (t Topo) PlanKey() string { return fmt.Sprintf("cube:%d", t.D) }
+
 // Machine is a hypercube-connected SIMD computer.
 type Machine struct {
 	*simd.Machine
 	D int
+	// xPlans memoizes the compiled bit-exchange plans (shared across
+	// machines of the same dimension via simd.SharedPlans).
+	xPlans map[xKey]*simd.Plan
 }
+
+// xKey identifies a bit-exchange schedule.
+type xKey struct {
+	src, dst string
+	bit      int
+}
+
+// bitonicTmp is the bitonic-sort scratch register, declared at
+// machine construction so the sort's hot loop never pays the
+// EnsureReg lookup.
+const bitonicTmp = "__bitonic_tmp"
 
 // New builds the machine for Q_d. Options select the simd execution
 // engine (default sequential).
@@ -41,29 +59,39 @@ func New(d int, opts ...simd.Option) *Machine {
 	if d < 0 || d > 24 {
 		panic(fmt.Sprintf("cubesim: unsupported dimension %d", d))
 	}
-	return &Machine{Machine: simd.New(Topo{D: d}, opts...), D: d}
+	m := &Machine{Machine: simd.New(Topo{D: d}, opts...), D: d, xPlans: make(map[xKey]*simd.Plan)}
+	m.AddReg(bitonicTmp)
+	return m
 }
 
 // ExchangeBit delivers every PE its bit-b partner's src value into
 // dst — a single SIMD-A unit route, since the bit-b pairing is an
-// involution.
+// involution. With plans enabled (the default) the route is compiled
+// once per (src, dst, b) and replayed; bitonic sort revisits each
+// bit many times.
 func (m *Machine) ExchangeBit(src, dst string, b int) {
-	m.RouteA(src, dst, b, nil)
+	if !m.PlansEnabled() {
+		m.RouteA(src, dst, b, nil)
+		return
+	}
+	simd.RunMemoized(m.Machine, simd.SharedPlans, m.xPlans,
+		xKey{src: src, dst: dst, bit: b},
+		func() string { return fmt.Sprintf("xbit:%s:%s:%d", src, dst, b) },
+		func() { m.RouteA(src, dst, b, nil) })
 }
 
 // BitonicSort sorts register key ascending by PE address using
 // Batcher's bitonic network: (d(d+1))/2 compare-exchange stages, one
 // unit route each.
 func (m *Machine) BitonicSort(key string) int {
-	const tmp = "__bitonic_tmp"
-	m.EnsureReg(tmp)
+	const tmp = bitonicTmp
 	before := m.Stats().UnitRoutes
 	n := m.Size()
+	kk, tt := m.Reg(key), m.Reg(tmp)
 	for k := 2; k <= n; k <<= 1 {
 		for j := k >> 1; j > 0; j >>= 1 {
 			bit := trailingBit(j)
 			m.ExchangeBit(key, tmp, bit)
-			kk, tt := m.Reg(key), m.Reg(tmp)
 			m.Apply(func(pe int) {
 				up := pe&k == 0 // ascending block?
 				lower := pe&j == 0

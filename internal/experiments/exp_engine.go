@@ -18,7 +18,10 @@ import (
 // and returns the machine's final counters, a register checksum and
 // the wall time.
 func engineSweep(n int, exec simd.Executor) (simd.Stats, int64, time.Duration) {
-	m := starsim.New(n, simd.WithExecutor(exec))
+	// Plans off: this experiment measures the executors' closure
+	// resolution; the plans experiment covers replay.
+	m := starsim.New(n, simd.WithExecutor(exec), simd.WithPlans(false))
+	defer m.Close()
 	start := time.Now()
 	workload.EngineSweep(m)
 	elapsed := time.Since(start)

@@ -42,6 +42,7 @@ func All() []exptab.Experiment {
 		{ID: "virtual", Name: "Extension: D_{n+1} on S_n via processor virtualization", Run: Virtualization},
 		{ID: "utilization", Name: "Extension: generator utilization under embedded-mesh traffic", Run: Utilization},
 		{ID: "engine", Name: "Infrastructure: parallel execution engine parity and speedup", Run: EngineParity},
+		{ID: "plans", Name: "Infrastructure: compiled route plans parity and speedup", Run: PlansParity},
 	}
 }
 

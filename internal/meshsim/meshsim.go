@@ -8,6 +8,9 @@
 package meshsim
 
 import (
+	"fmt"
+	"strings"
+
 	"starmesh/internal/mesh"
 	"starmesh/internal/simd"
 )
@@ -31,6 +34,20 @@ func (t Topo) Neighbor(pe, port int) int {
 	return t.M.Step(pe, dim, dir)
 }
 
+// PlanKey implements simd.PlanKeyer: meshes of the same shape share
+// compiled route plans.
+func (t Topo) PlanKey() string {
+	var b strings.Builder
+	b.WriteString("mesh:")
+	for j := 0; j < t.M.Dims(); j++ {
+		if j > 0 {
+			b.WriteByte('x')
+		}
+		fmt.Fprintf(&b, "%d", t.M.Size(j))
+	}
+	return b.String()
+}
+
 // Port returns the port index for a step along dim in direction dir.
 func Port(dim, dir int) int {
 	if dir > 0 {
@@ -43,20 +60,60 @@ func Port(dim, dir int) int {
 type Machine struct {
 	*simd.Machine
 	M *mesh.Mesh
+	// ceTmp is the compare-exchange scratch register, declared at
+	// construction and cached here so the per-phase hot path never
+	// pays the EnsureReg/Reg map lookups.
+	ceTmp []int64
+	// urPlans/cePlans memoize compiled route plans per schedule (the
+	// plans themselves live in simd.SharedPlans, shared across
+	// machines of the same shape).
+	urPlans map[urKey]*simd.Plan
+	cePlans map[ceKey]*simd.Plan
 }
+
+// urKey identifies a unit-route schedule; ceKey a compare-exchange
+// route pair.
+type urKey struct {
+	src, dst string
+	dim, dir int
+}
+type ceKey struct {
+	key        string
+	dim, phase int
+}
+
+// ceTmpReg is the compare-exchange scratch register name.
+const ceTmpReg = "__ce_tmp"
 
 // New builds a machine over the given mesh. Options select the
 // simd execution engine (default sequential).
 func New(m *mesh.Mesh, opts ...simd.Option) *Machine {
-	return &Machine{Machine: simd.New(Topo{M: m}, opts...), M: m}
+	mm := &Machine{
+		Machine: simd.New(Topo{M: m}, opts...),
+		M:       m,
+		urPlans: make(map[urKey]*simd.Plan),
+		cePlans: make(map[ceKey]*simd.Plan),
+	}
+	mm.AddReg(ceTmpReg)
+	mm.ceTmp = mm.Reg(ceTmpReg)
+	return mm
 }
 
 // UnitRoute moves register src one step along dimension dim in
 // direction dir on every PE that has such a neighbor, storing into
 // dst — the SIMD-A mesh unit route, "B(i^(2)) ← B(i)" in the paper's
-// notation. Costs exactly 1 unit route.
+// notation. Costs exactly 1 unit route. With plans enabled (the
+// default) the route is compiled once per (src, dst, dim, dir) and
+// replayed as a dense array walk.
 func (m *Machine) UnitRoute(src, dst string, dim, dir int) {
-	m.RouteA(src, dst, Port(dim, dir), nil)
+	if !m.PlansEnabled() {
+		m.RouteA(src, dst, Port(dim, dir), nil)
+		return
+	}
+	simd.RunMemoized(m.Machine, simd.SharedPlans, m.urPlans,
+		urKey{src: src, dst: dst, dim: dim, dir: dir},
+		func() string { return fmt.Sprintf("ur:%s:%s:%d:%d", src, dst, dim, dir) },
+		func() { m.RouteA(src, dst, Port(dim, dir), nil) })
 }
 
 // CompareExchange performs one odd-even transposition half-step
@@ -64,10 +121,11 @@ func (m *Machine) UnitRoute(src, dst string, dim, dir int) {
 // c%2 == phase pairs with its c+1 neighbor; the pair sorts its two
 // keys so that the PE for which ascending(pe) holds keeps the
 // smaller one. ascending == nil means ascending everywhere. Costs 2
-// unit routes (one transmission in each direction).
+// unit routes (one transmission in each direction); the route pair
+// depends only on (dim, phase), so with plans enabled it is compiled
+// once and replayed — ascending only shapes the local combine.
 func (m *Machine) CompareExchange(key string, dim, phase int, ascending func(pe int) bool) {
-	const tmp = "__ce_tmp"
-	m.EnsureReg(tmp)
+	const tmp = ceTmpReg
 	isLow := func(pe int) bool {
 		return m.M.Coord(pe, dim)%2 == phase && m.M.Step(pe, dim, +1) != -1
 	}
@@ -77,10 +135,20 @@ func (m *Machine) CompareExchange(key string, dim, phase int, ascending func(pe 
 	}
 	// Lows send keys up; highs send keys down. After both routes each
 	// paired PE holds its partner's key in tmp.
-	m.RouteA(key, tmp, Port(dim, +1), isLow)
-	m.RouteA(key, tmp, Port(dim, -1), isHigh)
+	routes := func() {
+		m.RouteA(key, tmp, Port(dim, +1), isLow)
+		m.RouteA(key, tmp, Port(dim, -1), isHigh)
+	}
+	if !m.PlansEnabled() {
+		routes()
+	} else {
+		simd.RunMemoized(m.Machine, simd.SharedPlans, m.cePlans,
+			ceKey{key: key, dim: dim, phase: phase},
+			func() string { return fmt.Sprintf("ce:%s:%d:%d", key, dim, phase) },
+			routes)
+	}
 	k := m.Reg(key)
-	t := m.Reg(tmp)
+	t := m.ceTmp
 	m.Apply(func(pe int) {
 		var keepMin bool
 		switch {

@@ -1,23 +1,30 @@
 // Execution engine: the pluggable strategy that carries out the
 // per-PE work of a Machine — the transmit/deliver phases of a unit
-// route and the per-PE sweeps of Set/SetMasked/Apply.
+// route, the per-PE sweeps of Set/SetMasked/Apply, and the delivery
+// walk of compiled plan steps (see plan.go).
 //
-// Two executors are provided:
+// Executors provided:
 //
 //   - Sequential(): the reference implementation, one pass over the
 //     PEs in ascending order. This is the semantic ground truth.
 //   - Parallel(workers): a sharded implementation that splits the PE
 //     range into contiguous blocks, resolves every PE's selected
-//     port and destination concurrently (one goroutine per shard),
-//     and then merges the per-shard results deterministically: the
-//     conflict scan walks senders in ascending PE order exactly like
-//     the sequential executor, so Stats, PortUses, register contents
-//     and receive-conflict diagnostics are bit-identical to
-//     Sequential() for any program whose port/mask/assignment
-//     functions are pure (no shared mutable state, no dependence on
-//     evaluation order). Every port function in this repository is
-//     pure; user programs that close over an *rand.Rand or other
-//     order-sensitive state must use Sequential().
+//     port and destination concurrently on the machine's persistent
+//     worker pool (started lazily, reused across routes, released by
+//     Close), and then merges the per-shard results
+//     deterministically: the conflict scan walks senders in
+//     ascending PE order exactly like the sequential executor, so
+//     Stats, PortUses, register contents and receive-conflict
+//     diagnostics are bit-identical to Sequential() for any program
+//     whose port/mask/assignment functions are pure (no shared
+//     mutable state, no dependence on evaluation order). Every port
+//     function in this repository is pure; user programs that close
+//     over an *rand.Rand or other order-sensitive state must use
+//     Sequential().
+//   - ParallelSpawn(workers): the historical variant that spawns
+//     fresh goroutines for every phase of every route instead of
+//     using the pool. Semantically identical to Parallel; kept as
+//     the measured baseline of the pool (BENCH_plans.json).
 //
 // The parallel executor pays off when port resolution is expensive
 // (the star machine's Lemma-2 role tests cost O(n²) per PE) or the
@@ -33,7 +40,8 @@ import (
 
 // Executor carries out the per-PE work of a Machine. Implementations
 // are stateless configuration values and may be shared across
-// machines; per-machine scratch lives in the Machine itself.
+// machines; per-machine scratch (including the worker pool) lives in
+// the Machine itself.
 type Executor interface {
 	// Name identifies the executor in diagnostics and bench records.
 	Name() string
@@ -45,6 +53,11 @@ type Executor interface {
 
 	// apply runs fn(pe) for every pe in [0, m.Size()).
 	apply(m *Machine, fn func(pe int))
+
+	// replayStep delivers one compiled plan step: dr[to] := sr[from]
+	// for every pair, reads-before-writes when sr and dr alias.
+	// Counter updates belong to Machine.execStep, not here.
+	replayStep(m *Machine, st *planStep, sr, dr []int64)
 }
 
 // Option configures a Machine at construction time.
@@ -65,10 +78,17 @@ func WithExecutor(e Executor) Option {
 func Sequential() Executor { return seqExecutor{} }
 
 // Parallel returns the sharded executor running the given number of
-// worker goroutines per unit route; workers <= 0 selects
-// runtime.GOMAXPROCS(0). Results are bit-identical to Sequential()
-// for pure per-PE functions (see the package comment above).
+// workers per unit route on the machine's persistent pool; workers
+// <= 0 selects runtime.GOMAXPROCS(0). Results are bit-identical to
+// Sequential() for pure per-PE functions (see the package comment
+// above). Call Machine.Close when done to release the pool promptly.
 func Parallel(workers int) Executor { return parExecutor{workers: workers} }
+
+// ParallelSpawn returns the sharded executor in its historical
+// spawn-per-route mode: fresh goroutines for every phase of every
+// route, no pool. Bit-identical to Parallel(workers); it exists as
+// the measured baseline the persistent pool is benchmarked against.
+func ParallelSpawn(workers int) Executor { return parExecutor{workers: workers, spawn: true} }
 
 // --- sequential ---------------------------------------------------
 
@@ -78,9 +98,7 @@ func (seqExecutor) Name() string { return "sequential" }
 
 func (seqExecutor) route(m *Machine, sr, dr []int64, portOf PortFunc) int {
 	n := m.topo.Size()
-	for i := 0; i < n; i++ {
-		m.touched[i] = false
-	}
+	m.clearTouched()
 	conflicts := 0
 	for pe := 0; pe < n; pe++ {
 		p := portOf(pe)
@@ -98,13 +116,13 @@ func (seqExecutor) route(m *Machine, sr, dr []int64, portOf PortFunc) int {
 			continue // first message wins; conflict recorded
 		}
 		m.touched[to] = true
+		m.touchedDirty = append(m.touchedDirty, int32(to))
 		m.inbox[to] = sr[pe]
 	}
-	for pe := 0; pe < n; pe++ {
-		if m.touched[pe] {
-			dr[pe] = m.inbox[pe]
-		}
+	for _, to := range m.touchedDirty {
+		dr[to] = m.inbox[to]
 	}
+	m.resetTouched()
 	return conflicts
 }
 
@@ -115,15 +133,44 @@ func (seqExecutor) apply(m *Machine, fn func(pe int)) {
 	}
 }
 
+func (seqExecutor) replayStep(m *Machine, st *planStep, sr, dr []int64) {
+	if aliased(sr, dr) {
+		// Reads precede writes: stage through the inbox, indexed by
+		// pair position (pairs never outnumber PEs).
+		for i, pr := range st.pairs {
+			m.inbox[i] = sr[pr.from]
+		}
+		for i, pr := range st.pairs {
+			dr[pr.to] = m.inbox[i]
+		}
+		return
+	}
+	for _, pr := range st.pairs {
+		dr[pr.to] = sr[pr.from]
+	}
+}
+
+// aliased reports whether two registers share backing storage.
+func aliased(a, b []int64) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
 // --- parallel -----------------------------------------------------
 
-type parExecutor struct{ workers int }
+type parExecutor struct {
+	workers int
+	spawn   bool // spawn-per-route baseline instead of the pool
+}
 
 func (e parExecutor) Name() string {
-	if e.workers <= 0 {
-		return "parallel"
+	name := "parallel"
+	if e.spawn {
+		name = "parallel-spawn"
 	}
-	return fmt.Sprintf("parallel-%d", e.workers)
+	if e.workers <= 0 {
+		return name
+	}
+	return fmt.Sprintf("%s-%d", name, e.workers)
 }
 
 func (e parExecutor) workerCount(n int) int {
@@ -138,6 +185,26 @@ func (e parExecutor) workerCount(n int) int {
 		w = 1
 	}
 	return w
+}
+
+// dispatch runs fn(0) … fn(w-1) concurrently: on the machine's
+// persistent pool, or on freshly spawned goroutines in spawn mode.
+// fn must not let panics escape (route/apply shards recover into
+// parScratch.panics; replay shards cannot panic).
+func (e parExecutor) dispatch(m *Machine, w int, fn func(sh int)) {
+	if !e.spawn {
+		m.poolFor(w).run(w, fn)
+		return
+	}
+	var wg sync.WaitGroup
+	for sh := 0; sh < w; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			fn(sh)
+		}(sh)
+	}
+	wg.Wait()
 }
 
 // parScratch is the per-machine buffer set of the parallel executor,
@@ -173,7 +240,7 @@ func (m *Machine) parScratchFor(w int) *parScratch {
 	return s
 }
 
-// shardRange returns the contiguous PE block of shard sh out of w.
+// shardRange returns the contiguous block of shard sh out of w.
 func shardRange(n, w, sh int) (lo, hi int) {
 	return sh * n / w, (sh + 1) * n / w
 }
@@ -199,52 +266,53 @@ func (e parExecutor) route(m *Machine, sr, dr []int64, portOf PortFunc) int {
 	s := m.parScratchFor(w)
 	topo := m.topo
 
-	// Phase 1 (parallel): each shard clears its slice of the touched
-	// buffer, then resolves its senders' ports and destinations,
-	// accumulating shard-local counters.
-	var wg sync.WaitGroup
-	for sh := 0; sh < w; sh++ {
+	// Phase 1 (parallel): each shard resolves its senders' ports and
+	// destinations, accumulating shard-local counters. The touched
+	// buffer is normally already clear (the previous route reset
+	// exactly the entries it dirtied); only a route that panicked
+	// mid-flight forces the sharded full clear.
+	needClear := !m.touchedClean
+	m.touchedDirty = m.touchedDirty[:0]
+	m.touchedClean = false
+	e.dispatch(m, w, func(sh int) {
+		defer func() { s.panics[sh] = recover() }()
 		lo, hi := shardRange(n, w, sh)
-		wg.Add(1)
-		go func(sh, lo, hi int) {
-			defer wg.Done()
-			defer func() { s.panics[sh] = recover() }()
+		if needClear {
 			for pe := lo; pe < hi; pe++ {
 				m.touched[pe] = false
 			}
-			sent := int64(0)
-			// Clear this shard's counters here, not in the merge:
-			// a panicking route never reaches the merge, and stale
-			// counts would corrupt the next route's PortUses if the
-			// caller recovers.
-			uses := s.uses[sh]
-			for p := range uses {
-				uses[p] = 0
+		}
+		sent := int64(0)
+		// Clear this shard's counters here, not in the merge: a
+		// panicking route never reaches the merge, and stale counts
+		// would corrupt the next route's PortUses if the caller
+		// recovers.
+		uses := s.uses[sh]
+		for p := range uses {
+			uses[p] = 0
+		}
+		bad, badPort := -1, 0
+		for pe := lo; pe < hi; pe++ {
+			p := portOf(pe)
+			s.ports[pe] = int32(p)
+			if p < 0 {
+				continue
 			}
-			bad, badPort := -1, 0
-			for pe := lo; pe < hi; pe++ {
-				p := portOf(pe)
-				s.ports[pe] = int32(p)
-				if p < 0 {
-					continue
+			to := topo.Neighbor(pe, p)
+			if to < 0 {
+				if bad < 0 {
+					bad, badPort = pe, p
 				}
-				to := topo.Neighbor(pe, p)
-				if to < 0 {
-					if bad < 0 {
-						bad, badPort = pe, p
-					}
-					s.ports[pe] = -1
-					continue
-				}
-				s.dests[pe] = int32(to)
-				sent++
-				uses[p]++
+				s.ports[pe] = -1
+				continue
 			}
-			s.sent[sh] = sent
-			s.badPE[sh], s.badPort[sh] = bad, badPort
-		}(sh, lo, hi)
-	}
-	wg.Wait()
+			s.dests[pe] = int32(to)
+			sent++
+			uses[p]++
+		}
+		s.sent[sh] = sent
+		s.badPE[sh], s.badPort[sh] = bad, badPort
+	})
 	s.rethrow(w)
 	for sh := 0; sh < w; sh++ {
 		if s.badPE[sh] >= 0 {
@@ -278,26 +346,35 @@ func (e parExecutor) route(m *Machine, sr, dr []int64, portOf PortFunc) int {
 			continue
 		}
 		m.touched[to] = true
+		m.touchedDirty = append(m.touchedDirty, int32(to))
 		m.inbox[to] = sr[pe]
 	}
 
-	// Phase 3 (parallel): deliver to the touched destinations,
-	// sharded over the destination range.
-	for sh := 0; sh < w; sh++ {
-		lo, hi := shardRange(n, w, sh)
-		wg.Add(1)
-		go func(sh, lo, hi int) {
-			defer wg.Done()
+	// Phase 3 (parallel): deliver to the dirtied destinations only,
+	// sharded over the dirty list (each destination appears once, so
+	// shards never collide), clearing the touched marks in the same
+	// pass.
+	dirty := m.touchedDirty
+	nd := len(dirty)
+	if nd < parDeliverMin {
+		for _, to := range dirty {
+			dr[to] = m.inbox[to]
+			m.touched[to] = false
+		}
+	} else {
+		e.dispatch(m, w, func(sh int) {
 			defer func() { s.panics[sh] = recover() }()
-			for pe := lo; pe < hi; pe++ {
-				if m.touched[pe] {
-					dr[pe] = m.inbox[pe]
-				}
+			lo, hi := shardRange(nd, w, sh)
+			for i := lo; i < hi; i++ {
+				to := dirty[i]
+				dr[to] = m.inbox[to]
+				m.touched[to] = false
 			}
-		}(sh, lo, hi)
+		})
+		s.rethrow(w)
 	}
-	wg.Wait()
-	s.rethrow(w)
+	m.touchedDirty = m.touchedDirty[:0]
+	m.touchedClean = true
 	return conflicts
 }
 
@@ -309,18 +386,50 @@ func (e parExecutor) apply(m *Machine, fn func(pe int)) {
 		return
 	}
 	s := m.parScratchFor(w)
-	var wg sync.WaitGroup
-	for sh := 0; sh < w; sh++ {
+	e.dispatch(m, w, func(sh int) {
+		defer func() { s.panics[sh] = recover() }()
 		lo, hi := shardRange(n, w, sh)
-		wg.Add(1)
-		go func(sh, lo, hi int) {
-			defer wg.Done()
-			defer func() { s.panics[sh] = recover() }()
-			for pe := lo; pe < hi; pe++ {
-				fn(pe)
-			}
-		}(sh, lo, hi)
-	}
-	wg.Wait()
+		for pe := lo; pe < hi; pe++ {
+			fn(pe)
+		}
+	})
 	s.rethrow(w)
+}
+
+// parDeliverMin and parReplayMin bound the work below which sharding
+// a delivery walk costs more than it saves.
+const (
+	parDeliverMin = 2048
+	parReplayMin  = 2048
+)
+
+func (e parExecutor) replayStep(m *Machine, st *planStep, sr, dr []int64) {
+	np := len(st.pairs)
+	w := e.workerCount(np)
+	if w == 1 || np < parReplayMin {
+		seqExecutor{}.replayStep(m, st, sr, dr)
+		return
+	}
+	pairs := st.pairs
+	if aliased(sr, dr) {
+		e.dispatch(m, w, func(sh int) {
+			lo, hi := shardRange(np, w, sh)
+			for i := lo; i < hi; i++ {
+				m.inbox[i] = sr[pairs[i].from]
+			}
+		})
+		e.dispatch(m, w, func(sh int) {
+			lo, hi := shardRange(np, w, sh)
+			for i := lo; i < hi; i++ {
+				dr[pairs[i].to] = m.inbox[i]
+			}
+		})
+		return
+	}
+	e.dispatch(m, w, func(sh int) {
+		lo, hi := shardRange(np, w, sh)
+		for i := lo; i < hi; i++ {
+			dr[pairs[i].to] = sr[pairs[i].from]
+		}
+	})
 }

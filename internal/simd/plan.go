@@ -1,0 +1,412 @@
+// Route-plan compilation: the machine's ahead-of-time layer.
+//
+// The paper's complexity measure is the unit route, and the repo's
+// workloads (snake/shear sorts, broadcasts, mesh-route sweeps) run
+// the *same* unit-route schedule thousands of times. Executing such
+// a schedule through PortFunc closures re-resolves every PE's port
+// and destination — closure dispatch, Neighbor() calls, role tests —
+// on every repetition. A Plan performs that resolution exactly once:
+//
+//   - Record(schedule) runs the schedule normally while capturing
+//     each unit route as a dense table of (to, from, port) delivery
+//     triples with precomputed Sent/PortUses/conflict counters. The
+//     recording pass itself executes through the same step code as
+//     replay, so a recorded run is bit-identical to a replayed one.
+//   - Replay(plan) re-executes the captured schedule with a tight
+//     array walk: no closure calls, no Neighbor() calls, no map
+//     lookups (registers are bound to []int64 handles at plan-bind
+//     time, once per machine).
+//   - PlanCache shares compiled plans across machines of the same
+//     shape, keyed by (topology identity, schedule key); SharedPlans
+//     is the process-wide instance the machine layers use.
+//
+// Purity requirements. Replay reproduces exactly what the recording
+// observed, so a recordable schedule must be a pure function of the
+// topology: its port/mask functions may not depend on register
+// contents, external mutable state, or evaluation order, and the
+// schedule must consist of unit routes only. Set/SetMasked/Apply
+// inside a recording mark the plan impure — the schedule still
+// executes correctly, but the plan is rejected by Replay and never
+// cached (RunPlanned simply records again on the next call, which
+// self-heals schedules whose first run triggers lazy one-time
+// initialization through Apply). Direct register writes outside
+// machine instructions are invisible to the recorder and must stay
+// outside the recorded region. Schedule keys must uniquely determine
+// the route sequence for the keyed topology: two schedules that can
+// differ (e.g. via different masks or vertex maps) need different
+// keys.
+package simd
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PlanKeyer is an optional Topology extension: a stable identity of
+// the topology's shape (e.g. "star:8", "mesh:16x16"), letting
+// compiled plans be cached and shared across machines of the same
+// shape. Topologies without it can still use the explicit
+// Record/Replay API, but RunPlanned (and RunMemoized) has no cache
+// key for them and simply runs the schedule through the closures.
+type PlanKeyer interface{ PlanKey() string }
+
+// planPair is one winning delivery of a compiled unit route:
+// dst[to] := src[from], transmitted through the sender's port.
+type planPair struct {
+	to, from int32
+	port     int16
+}
+
+// planStep is one compiled unit route. pairs holds only the winning
+// deliveries (first message wins, in ascending sender order, exactly
+// like the sequential executor); conflicting and silent senders are
+// folded into the precomputed counters.
+type planStep struct {
+	src, dst  int // indices into Plan.regs
+	modelA    bool
+	conflicts int
+	sent      int64
+	pairs     []planPair
+	uses      []int64 // per-port transmission counts
+}
+
+// Plan is a compiled sequence of unit routes: dense delivery tables
+// resolved once from the schedule's PortFuncs and topology. Plans
+// are immutable after Record and safe to replay concurrently from
+// many machines of the same shape.
+type Plan struct {
+	topoKey string // "" when the topology has no PlanKey
+	size    int
+	ports   int
+	impure  bool // schedule ran Set/SetMasked/Apply while recording
+	regs    []string
+	steps   []planStep
+}
+
+// Routes returns the number of unit routes the plan replays.
+func (p *Plan) Routes() int { return len(p.steps) }
+
+// Conflicts returns the total receive conflicts one replay adds.
+func (p *Plan) Conflicts() int {
+	c := 0
+	for i := range p.steps {
+		c += p.steps[i].conflicts
+	}
+	return c
+}
+
+// Regs returns the names of the registers the plan reads and writes.
+func (p *Plan) Regs() []string { return append([]string(nil), p.regs...) }
+
+// Impure reports whether the recorded schedule performed per-PE
+// assignments (Set/SetMasked/Apply) that a replay cannot reproduce.
+// Impure plans are rejected by Replay and never cached.
+func (p *Plan) Impure() bool { return p.impure }
+
+// Validate checks the plan against a topology: matching shape, ports
+// in range, and every delivery travelling over a real link (no
+// unconnected ports). Machines run it automatically when a plan is
+// first bound.
+func (p *Plan) Validate(topo Topology) error {
+	if topo.Size() != p.size || topo.Ports() != p.ports {
+		return fmt.Errorf("simd: plan compiled for %d PEs × %d ports, topology has %d × %d",
+			p.size, p.ports, topo.Size(), topo.Ports())
+	}
+	for si := range p.steps {
+		for _, pr := range p.steps[si].pairs {
+			if pr.port < 0 || int(pr.port) >= p.ports {
+				return fmt.Errorf("simd: plan step %d uses port %d of %d", si, pr.port, p.ports)
+			}
+			if got := topo.Neighbor(int(pr.from), int(pr.port)); got != int(pr.to) {
+				return fmt.Errorf("simd: plan step %d delivers PE %d → %d through port %d, but the topology routes it to %d",
+					si, pr.from, pr.to, pr.port, got)
+			}
+		}
+	}
+	return nil
+}
+
+// planRecorder captures unit routes into a plan under construction.
+type planRecorder struct {
+	plan   *Plan
+	regIdx map[string]int
+}
+
+func (r *planRecorder) reg(name string) int {
+	if i, ok := r.regIdx[name]; ok {
+		return i
+	}
+	i := len(r.plan.regs)
+	r.plan.regs = append(r.plan.regs, name)
+	r.regIdx[name] = i
+	return i
+}
+
+// markImpure flags the plan under construction, if any, as
+// non-replayable (see the package comment on purity).
+func (m *Machine) markImpure() {
+	if m.rec != nil {
+		m.rec.plan.impure = true
+	}
+}
+
+// MarkImpure is the exported hook for schedule steps the recorder
+// cannot capture — direct register writes outside machine
+// instructions. Machine layers call it when such a step executes
+// during a recording, so the resulting plan is rejected instead of
+// silently replaying an incomplete schedule. A no-op outside
+// recordings.
+func (m *Machine) MarkImpure() { m.markImpure() }
+
+// Recording reports whether the machine is currently recording.
+func (m *Machine) Recording() bool { return m.rec != nil }
+
+// PlansEnabled reports whether plan recording/replay is enabled on
+// this machine (it is by default; see WithPlans/SetPlans).
+func (m *Machine) PlansEnabled() bool { return !m.plansOff }
+
+// SetPlans enables or disables the plan layer at runtime. Disabling
+// it re-routes every planned operation through the original
+// closure-resolved path — the reference implementation plans are
+// tested against, and the baseline the plan benchmarks measure.
+func (m *Machine) SetPlans(enabled bool) { m.plansOff = !enabled }
+
+// WithPlans is the construction-time form of SetPlans.
+func WithPlans(enabled bool) Option {
+	return func(m *Machine) { m.plansOff = !enabled }
+}
+
+// Record runs schedule with plan recording enabled and returns the
+// compiled plan. The schedule executes normally — registers, Stats,
+// PortUses and conflict diagnostics advance exactly as they would
+// without recording — while every unit route is additionally
+// resolved into the plan's dense delivery tables.
+func (m *Machine) Record(schedule func()) *Plan {
+	if m.rec != nil {
+		panic("simd: Record called while already recording")
+	}
+	tk := ""
+	if k, ok := m.topo.(PlanKeyer); ok {
+		tk = k.PlanKey()
+	}
+	rec := &planRecorder{
+		plan:   &Plan{topoKey: tk, size: m.topo.Size(), ports: m.topo.Ports()},
+		regIdx: make(map[string]int),
+	}
+	m.rec = rec
+	defer func() { m.rec = nil }()
+	schedule()
+	return rec.plan
+}
+
+// recordRoute resolves one unit route into a plan step (ascending
+// sender order, first message wins — the sequential executor's
+// semantics) and executes it through the same step code replay uses.
+func (m *Machine) recordRoute(src, dst string, portOf PortFunc, modelA bool) int {
+	n := m.topo.Size()
+	st := planStep{
+		src:    m.rec.reg(src),
+		dst:    m.rec.reg(dst),
+		modelA: modelA,
+		uses:   make([]int64, m.topo.Ports()),
+	}
+	m.clearTouched()
+	for pe := 0; pe < n; pe++ {
+		p := portOf(pe)
+		if p < 0 {
+			continue
+		}
+		to := m.topo.Neighbor(pe, p)
+		if to < 0 {
+			panic(fmt.Sprintf("simd: PE %d transmits through unconnected port %d", pe, p))
+		}
+		st.sent++
+		st.uses[p]++
+		if m.touched[to] {
+			st.conflicts++
+			continue
+		}
+		m.touched[to] = true
+		m.touchedDirty = append(m.touchedDirty, int32(to))
+		st.pairs = append(st.pairs, planPair{to: int32(to), from: int32(pe), port: int16(p)})
+	}
+	m.resetTouched()
+	m.execStep(&st, m.Reg(src), m.Reg(dst))
+	m.rec.plan.steps = append(m.rec.plan.steps, st)
+	return st.conflicts
+}
+
+// execStep applies one compiled step: delivery through the executor
+// plus every counter update. Shared by replay and the recording pass
+// itself, so a recorded run and its replays are bit-identical.
+func (m *Machine) execStep(st *planStep, sr, dr []int64) {
+	m.exec.replayStep(m, st, sr, dr)
+	m.stats.UnitRoutes++
+	if st.modelA {
+		m.stats.ModelA++
+	} else {
+		m.stats.ModelB++
+	}
+	m.stats.Sent += st.sent
+	m.stats.ReceiveConflicts += st.conflicts
+	for p, u := range st.uses {
+		if u != 0 {
+			m.portUses[p] += u
+		}
+	}
+}
+
+// boundPlan holds a plan's register names resolved to this machine's
+// backing slices — the map lookups paid once at bind time.
+type boundPlan struct {
+	regs [][]int64
+}
+
+// bindPlan resolves and validates a plan against this machine, once
+// per (machine, plan) pair. Registers the plan references are
+// declared if missing (plans recorded on one machine routinely
+// reference scratch registers a fresh machine has not created yet).
+func (m *Machine) bindPlan(p *Plan) *boundPlan {
+	if bp, ok := m.bound[p]; ok {
+		return bp
+	}
+	if p.impure {
+		panic("simd: cannot replay an impure plan (schedule ran Set/Apply while recording)")
+	}
+	if err := p.Validate(m.topo); err != nil {
+		panic(err.Error())
+	}
+	bp := &boundPlan{regs: make([][]int64, len(p.regs))}
+	for i, name := range p.regs {
+		m.EnsureReg(name)
+		bp.regs[i] = m.Reg(name)
+	}
+	if m.bound == nil {
+		m.bound = make(map[*Plan]*boundPlan)
+	}
+	m.bound[p] = bp
+	return bp
+}
+
+// Replay executes a compiled plan on this machine: the tight
+// array-walk loop that replaces closure resolution. Stats, PortUses,
+// register contents and conflict diagnostics advance bit-identically
+// to running the recorded schedule. Returns the unit routes executed
+// and the receive conflicts observed. Replaying inside an active
+// recording splices the plan's steps into the plan under
+// construction.
+func (m *Machine) Replay(p *Plan) (routes, conflicts int) {
+	bp := m.bindPlan(p)
+	if m.rec != nil {
+		for i := range p.steps {
+			st := p.steps[i] // copy; pairs/uses stay shared (read-only)
+			st.src = m.rec.reg(p.regs[p.steps[i].src])
+			st.dst = m.rec.reg(p.regs[p.steps[i].dst])
+			m.execStep(&st, bp.regs[p.steps[i].src], bp.regs[p.steps[i].dst])
+			m.rec.plan.steps = append(m.rec.plan.steps, st)
+			conflicts += st.conflicts
+		}
+		return len(p.steps), conflicts
+	}
+	for i := range p.steps {
+		st := &p.steps[i]
+		m.execStep(st, bp.regs[st.src], bp.regs[st.dst])
+		conflicts += st.conflicts
+	}
+	return len(p.steps), conflicts
+}
+
+// PlanCache stores compiled plans keyed by (topology identity,
+// schedule key), sharing one-time compilation across machines of the
+// same shape. Safe for concurrent use.
+type PlanCache struct {
+	mu    sync.Mutex
+	plans map[planCacheKey]*Plan
+}
+
+type planCacheKey struct{ topo, schedule string }
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{plans: make(map[planCacheKey]*Plan)}
+}
+
+// SharedPlans is the process-wide plan cache every machine layer
+// records into by default.
+var SharedPlans = NewPlanCache()
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.plans)
+}
+
+// Reset drops every cached plan.
+func (c *PlanCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plans = make(map[planCacheKey]*Plan)
+}
+
+func (c *PlanCache) get(topoKey, schedule string) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.plans[planCacheKey{topoKey, schedule}]
+}
+
+// put stores a plan; the first writer wins, so concurrent recorders
+// of the same schedule converge on one shared plan.
+func (c *PlanCache) put(topoKey, schedule string, p *Plan) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := planCacheKey{topoKey, schedule}
+	if existing, ok := c.plans[k]; ok {
+		return existing
+	}
+	c.plans[k] = p
+	return p
+}
+
+// RunPlanned executes schedule exactly once through the plan layer:
+// a cache hit replays the compiled plan, a miss records the schedule
+// (executing it) and caches the result. Either way the machine
+// advances exactly as if schedule had run directly. The returned
+// plan is nil when planning was unavailable — plans disabled, a
+// topology without PlanKey, a recording already in progress (the
+// outer recording captures the routes), or an impure schedule.
+// routes and conflicts report what the execution added to Stats.
+func (m *Machine) RunPlanned(c *PlanCache, key string, schedule func()) (p *Plan, routes, conflicts int) {
+	before := m.stats
+	tk, keyed := m.topo.(PlanKeyer)
+	switch {
+	case m.plansOff || m.rec != nil || c == nil || !keyed:
+		schedule()
+	default:
+		topoKey := tk.PlanKey()
+		if cached := c.get(topoKey, key); cached != nil {
+			m.Replay(cached)
+			p = cached
+		} else if rec := m.Record(schedule); !rec.impure {
+			p = c.put(topoKey, key, rec)
+		}
+	}
+	return p, m.stats.UnitRoutes - before.UnitRoutes, m.stats.ReceiveConflicts - before.ReceiveConflicts
+}
+
+// RunMemoized is RunPlanned with a caller-held memo map: a memo hit
+// replays the plan directly, skipping the key formatting and the
+// shared cache's lock on the hot path; a miss delegates to
+// RunPlanned(c, key(), schedule) and memoizes any plan it returns.
+// The memo key K must capture everything the schedule's route
+// sequence depends on (the same contract as the string key).
+func RunMemoized[K comparable](m *Machine, c *PlanCache, memo map[K]*Plan, k K, key func() string, schedule func()) (routes, conflicts int) {
+	if p := memo[k]; p != nil && !m.plansOff {
+		return m.Replay(p)
+	}
+	p, routes, conflicts := m.RunPlanned(c, key(), schedule)
+	if p != nil {
+		memo[k] = p
+	}
+	return routes, conflicts
+}

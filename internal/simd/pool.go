@@ -1,0 +1,99 @@
+// Persistent worker pool: the parallel executor's goroutines.
+//
+// The original parallel executor spawned fresh goroutines for every
+// phase of every unit route — cheap individually, but the workloads
+// here execute thousands of routes, so spawn/teardown churn became a
+// measurable fraction of the per-route cost (BENCH_engine.json's
+// speedup_parallel_vs_sequential ≈ 0.94 on the S_8 sweep). The pool
+// keeps the workers parked on a channel instead: a machine starts it
+// lazily on its first parallel route, reuses it across every
+// route/apply/replay, and shuts it down via Close (with a GC cleanup
+// as a backstop for machines that are never closed).
+//
+// The caller always executes shard 0 inline, so a pool for w-way
+// sharding holds w-1 helper goroutines and the dispatching thread
+// stays busy instead of sleeping in Wait.
+package simd
+
+import (
+	"runtime"
+	"sync"
+)
+
+// poolJob is one shard of a sharded phase.
+type poolJob struct {
+	fn func(sh int)
+	sh int
+	wg *sync.WaitGroup
+}
+
+// workerPool is a set of parked goroutines executing poolJobs. One
+// pool belongs to one machine; machines are single-threaded by
+// contract, so run is never called concurrently on the same pool.
+type workerPool struct {
+	jobs    chan poolJob
+	helpers int // worker goroutines (the caller is shard 0)
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+func newWorkerPool(helpers int) *workerPool {
+	p := &workerPool{jobs: make(chan poolJob, helpers), helpers: helpers}
+	for i := 0; i < helpers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	for j := range p.jobs {
+		p.runJob(j)
+	}
+}
+
+// runJob guarantees the Done even if fn panics; shard functions with
+// user code recover internally (see parScratch.panics), so a panic
+// escaping here is an invariant violation and crashes the process
+// like any unrecovered goroutine panic — but without deadlocking the
+// dispatcher first.
+func (p *workerPool) runJob(j poolJob) {
+	defer j.wg.Done()
+	j.fn(j.sh)
+}
+
+// run executes fn(0) … fn(w-1): shards 1..w-1 on the pool's helpers,
+// shard 0 on the calling goroutine.
+func (p *workerPool) run(w int, fn func(sh int)) {
+	if w <= 1 {
+		fn(0)
+		return
+	}
+	p.wg.Add(w - 1)
+	for sh := 1; sh < w; sh++ {
+		p.jobs <- poolJob{fn: fn, sh: sh, wg: &p.wg}
+	}
+	fn(0)
+	p.wg.Wait()
+}
+
+// close releases the helper goroutines. Idempotent.
+func (p *workerPool) close() {
+	p.once.Do(func() { close(p.jobs) })
+}
+
+// poolFor returns the machine's persistent pool, starting (or
+// growing) it so at least w-1 helpers are available.
+func (m *Machine) poolFor(w int) *workerPool {
+	if m.pool == nil || m.pool.helpers < w-1 {
+		if m.pool != nil {
+			m.pool.close()
+		}
+		pool := newWorkerPool(w - 1)
+		// Backstop for machines that are never Closed: release the
+		// helpers when the machine is collected. The cleanup must not
+		// reference m itself, only the pool.
+		runtime.AddCleanup(m, func(p *workerPool) { p.close() }, pool)
+		m.pool = pool
+	}
+	return m.pool
+}

@@ -49,9 +49,23 @@ type Machine struct {
 	portUses []int64
 	exec     Executor
 	// scratch buffers reused across routes
-	inbox   []int64
-	touched []bool
-	par     *parScratch // parallel-executor scratch, allocated lazily
+	inbox []int64
+	// touched marks destinations that received a message in the
+	// current route. Between routes every entry is false; instead of
+	// an O(n) clear per route, touchedDirty lists the marked entries
+	// so they can be reset selectively after delivery. touchedClean
+	// records that the selective reset completed (a panicking route
+	// leaves it false, forcing the next route to do a full clear).
+	touched      []bool
+	touchedDirty []int32
+	touchedClean bool
+	par          *parScratch // parallel-executor scratch, allocated lazily
+	pool         *workerPool // persistent parallel workers, started lazily
+	// plan state: the recorder active during Record, per-plan register
+	// bindings, and the plans-enabled flag (plans are on by default).
+	rec      *planRecorder
+	bound    map[*Plan]*boundPlan
+	plansOff bool
 }
 
 // New builds a machine with no registers. Options select the
@@ -59,17 +73,56 @@ type Machine struct {
 func New(topo Topology, opts ...Option) *Machine {
 	n := topo.Size()
 	m := &Machine{
-		topo:     topo,
-		regs:     make(map[string][]int64),
-		portUses: make([]int64, topo.Ports()),
-		exec:     Sequential(),
-		inbox:    make([]int64, n),
-		touched:  make([]bool, n),
+		topo:         topo,
+		regs:         make(map[string][]int64),
+		portUses:     make([]int64, topo.Ports()),
+		exec:         Sequential(),
+		inbox:        make([]int64, n),
+		touched:      make([]bool, n),
+		touchedDirty: make([]int32, 0, n),
+		touchedClean: true,
 	}
 	for _, opt := range opts {
 		opt(m)
 	}
 	return m
+}
+
+// Close releases the machine's persistent worker pool, if one was
+// started by a parallel executor. The machine remains usable — a
+// later parallel route lazily starts a fresh pool. Close is
+// idempotent and a no-op on sequential machines. (An unclosed pool
+// is also released when the machine is garbage collected, so Close
+// is an optimization for prompt shutdown, not a correctness
+// requirement.)
+func (m *Machine) Close() {
+	if m.pool != nil {
+		m.pool.close()
+		m.pool = nil
+	}
+}
+
+// clearTouched prepares the touched buffer for a new route. The
+// previous route's resetTouched normally already cleared every
+// marked entry, so the full O(n) sweep runs only after a route that
+// panicked before its reset.
+func (m *Machine) clearTouched() {
+	if !m.touchedClean {
+		for i := range m.touched {
+			m.touched[i] = false
+		}
+	}
+	m.touchedDirty = m.touchedDirty[:0]
+	m.touchedClean = false
+}
+
+// resetTouched clears exactly the entries the current route marked.
+func (m *Machine) resetTouched() {
+	for _, to := range m.touchedDirty {
+		m.touched[to] = false
+	}
+	m.touchedDirty = m.touchedDirty[:0]
+	m.touchedClean = true
 }
 
 // Executor returns the machine's execution engine.
@@ -123,6 +176,7 @@ func (m *Machine) Reg(name string) []int64 {
 // parallel executor fn must be pure (see the engine comment).
 func (m *Machine) Set(name string, fn func(pe int) int64) {
 	r := m.Reg(name)
+	m.markImpure()
 	m.exec.apply(m, func(pe int) { r[pe] = fn(pe) })
 }
 
@@ -130,6 +184,7 @@ func (m *Machine) Set(name string, fn func(pe int) int64) {
 // paper's "A(i) := …, (f(i) = y)" masked instruction.
 func (m *Machine) SetMasked(name string, fn func(pe int) int64, mask func(pe int) bool) {
 	r := m.Reg(name)
+	m.markImpure()
 	m.exec.apply(m, func(pe int) {
 		if mask(pe) {
 			r[pe] = fn(pe)
@@ -144,6 +199,7 @@ func (m *Machine) SetMasked(name string, fn func(pe int) int64, mask func(pe int
 // concurrently across shards and must not depend on evaluation
 // order.
 func (m *Machine) Apply(fn func(pe int)) {
+	m.markImpure()
 	m.exec.apply(m, fn)
 }
 
@@ -152,6 +208,9 @@ func (m *Machine) Apply(fn func(pe int)) {
 // value into dst. Messages are delivered simultaneously (all reads
 // precede all writes). Returns the number of receive conflicts.
 func (m *Machine) route(src, dst string, portOf PortFunc, modelA bool) int {
+	if m.rec != nil {
+		return m.recordRoute(src, dst, portOf, modelA)
+	}
 	sr := m.Reg(src)
 	dr := m.Reg(dst)
 	conflicts := m.exec.route(m, sr, dr, portOf)

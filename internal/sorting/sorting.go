@@ -18,6 +18,9 @@
 package sorting
 
 import (
+	"fmt"
+	"hash/fnv"
+
 	"starmesh/internal/mesh"
 	"starmesh/internal/meshsim"
 	"starmesh/internal/simd"
@@ -160,6 +163,11 @@ type exchanger interface {
 	maskedStep(src, dst string, dim, dir int, mask func(meshID int) bool)
 	machine() *simd.Machine
 	theMesh() *mesh.Mesh
+	// planTag distinguishes schedules that share a topology but move
+	// data differently (mesh vs star exchange, SIMD model, vertex
+	// map), so compiled phase plans never collide in the shared
+	// cache.
+	planTag() string
 }
 
 // meshExchanger runs on the mesh machine itself; PE ids are mesh ids.
@@ -167,6 +175,7 @@ type meshExchanger struct{ mm *meshsim.Machine }
 
 func (e meshExchanger) machine() *simd.Machine { return e.mm.Machine }
 func (e meshExchanger) theMesh() *mesh.Mesh    { return e.mm.M }
+func (e meshExchanger) planTag() string        { return "mesh" }
 func (e meshExchanger) maskedStep(src, dst string, dim, dir int, mask func(int) bool) {
 	e.mm.RouteA(src, dst, meshsim.Port(dim, dir), mask)
 }
@@ -184,6 +193,19 @@ type starExchanger struct {
 
 func (e starExchanger) machine() *simd.Machine { return e.sm.Machine }
 func (e starExchanger) theMesh() *mesh.Mesh    { return e.dn }
+func (e starExchanger) planTag() string {
+	// The meshID vertex map shapes every mask, so it is part of the
+	// schedule identity.
+	h := fnv.New64a()
+	for _, id := range e.meshID {
+		var buf [8]byte
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(id >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("star:modelA=%t:vm=%x", e.modelA, h.Sum64())
+}
 func (e starExchanger) maskedStep(src, dst string, dim, dir int, mask func(int) bool) {
 	starMask := func(pe int) bool { return mask(e.meshID[pe]) }
 	if e.modelA {
@@ -203,6 +225,19 @@ func snakeSort(e exchanger, key string, meshOf func(pe int) int) Result {
 	mach.EnsureReg(tmp)
 	n := m.Order()
 	before := mach.Stats()
+	// Register slices hoisted out of the phase loop (the map lookups
+	// would otherwise run n times).
+	k := mach.Reg(key)
+	t := mach.Reg(tmp)
+	// The route block of a phase depends only on the phase's parity,
+	// so the whole odd-even transposition replays two compiled
+	// schedules: record parity 0 and 1 once, replay them for the
+	// remaining n-2 phases (and across machines of the same shape via
+	// the shared plan cache).
+	var phaseKeys [2]string
+	for par := range phaseKeys {
+		phaseKeys[par] = fmt.Sprintf("snakephase:%s:%s:%d", e.planTag(), key, par)
+	}
 	for phase := 0; phase < n; phase++ {
 		lowMask := func(meshID int) bool {
 			s := plan.index[meshID]
@@ -218,28 +253,33 @@ func snakeSort(e exchanger, key string, meshOf func(pe int) int) Result {
 		}
 		// Each (dim,dir) class of snake steps is one masked route in
 		// each direction.
-		for j := 0; j < m.Dims(); j++ {
-			for _, dir := range []int{+1, -1} {
-				dirMaskLow := func(meshID int) bool {
-					return lowMask(meshID) && plan.dim[meshID] == j && plan.dir[meshID] == dir
-				}
-				dirMaskHigh := func(meshID int) bool {
-					s := plan.index[meshID]
-					if s == 0 {
-						return false
+		routeBlock := func() {
+			for j := 0; j < m.Dims(); j++ {
+				for _, dir := range []int{+1, -1} {
+					dirMaskLow := func(meshID int) bool {
+						return lowMask(meshID) && plan.dim[meshID] == j && plan.dir[meshID] == dir
 					}
-					return dirMaskLow(m.SnakeIDAt(s - 1))
+					dirMaskHigh := func(meshID int) bool {
+						s := plan.index[meshID]
+						if s == 0 {
+							return false
+						}
+						return dirMaskLow(m.SnakeIDAt(s - 1))
+					}
+					if !anyMesh(m, dirMaskLow) {
+						continue
+					}
+					e.maskedStep(key, tmp, j, dir, dirMaskLow)
+					e.maskedStep(key, tmp, j, -dir, dirMaskHigh)
 				}
-				if !anyMesh(m, dirMaskLow) {
-					continue
-				}
-				e.maskedStep(key, tmp, j, dir, dirMaskLow)
-				e.maskedStep(key, tmp, j, -dir, dirMaskHigh)
 			}
 		}
+		if mach.PlansEnabled() {
+			mach.RunPlanned(simd.SharedPlans, phaseKeys[phase%2], routeBlock)
+		} else {
+			routeBlock()
+		}
 		// Local compare: lows keep min, highs keep max.
-		k := mach.Reg(key)
-		t := mach.Reg(tmp)
 		for pe := range k {
 			id := meshOf(pe)
 			if lowMask(id) {
@@ -257,7 +297,7 @@ func snakeSort(e exchanger, key string, meshOf func(pe int) int) Result {
 	// Gather keys in mesh-id order for the sortedness check.
 	keys := make([]int64, n)
 	for pe := 0; pe < mach.Size(); pe++ {
-		keys[meshOf(pe)] = mach.Reg(key)[pe]
+		keys[meshOf(pe)] = k[pe]
 	}
 	return Result{
 		Sorted:     IsSortedBySnake(m, keys),

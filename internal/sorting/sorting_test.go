@@ -2,11 +2,13 @@ package sorting
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"starmesh/internal/core"
 	"starmesh/internal/mesh"
 	"starmesh/internal/meshsim"
+	"starmesh/internal/simd"
 	"starmesh/internal/starsim"
 )
 
@@ -269,5 +271,92 @@ func TestSnakeSortStarModelA(t *testing.T) {
 				t.Fatalf("n=%d: model A/B final keys differ", n)
 			}
 		}
+	}
+}
+
+// TestSnakeSortPlansMatchClosure pins the per-parity phase plans:
+// sorting with plan replay (the default) must produce the same
+// Result and final keys as closure-resolved routing, on both the
+// mesh machine and the star machine through the embedding.
+func TestSnakeSortPlansMatchClosure(t *testing.T) {
+	keys := []int64{9, 3, 7, 1, 12, 0, 5, 11, 2, 8, 10, 4, 6, 23, 13, 17, 21, 14, 19, 15, 22, 16, 20, 18}
+
+	load := func(m *simd.Machine) {
+		kr := m.Reg("K")
+		copy(kr, keys)
+	}
+
+	// Mesh machine.
+	mmPlan := meshsim.New(mesh.D(4))
+	mmPlan.AddReg("K")
+	load(mmPlan.Machine)
+	resPlan := SnakeSortMesh(mmPlan, "K")
+
+	mmClosure := meshsim.New(mesh.D(4), simd.WithPlans(false))
+	mmClosure.AddReg("K")
+	load(mmClosure.Machine)
+	resClosure := SnakeSortMesh(mmClosure, "K")
+
+	if resPlan != resClosure {
+		t.Fatalf("mesh results diverged: plan %+v, closure %+v", resPlan, resClosure)
+	}
+	if !reflect.DeepEqual(mmPlan.Reg("K"), mmClosure.Reg("K")) {
+		t.Fatalf("mesh keys diverged")
+	}
+	if mmPlan.Stats() != mmClosure.Stats() {
+		t.Fatalf("mesh stats diverged: %+v vs %+v", mmPlan.Stats(), mmClosure.Stats())
+	}
+
+	// Star machine through the embedding.
+	meshID := make([]int, 24)
+	for pe := range meshID {
+		meshID[pe] = core.UnmapID(4, pe)
+	}
+	smPlan := starsim.New(4)
+	smPlan.AddReg("K")
+	load(smPlan.Machine)
+	starPlan := SnakeSortStar(smPlan, "K", meshID)
+
+	smClosure := starsim.New(4, simd.WithPlans(false))
+	smClosure.AddReg("K")
+	load(smClosure.Machine)
+	starClosure := SnakeSortStar(smClosure, "K", meshID)
+
+	if starPlan != starClosure {
+		t.Fatalf("star results diverged: plan %+v, closure %+v", starPlan, starClosure)
+	}
+	if !reflect.DeepEqual(smPlan.Reg("K"), smClosure.Reg("K")) {
+		t.Fatalf("star keys diverged")
+	}
+	if smPlan.Stats() != smClosure.Stats() {
+		t.Fatalf("star stats diverged: %+v vs %+v", smPlan.Stats(), smClosure.Stats())
+	}
+	if !starPlan.Sorted || starPlan.Conflicts != 0 {
+		t.Fatalf("star plan sort unsound: %+v", starPlan)
+	}
+}
+
+// TestShearSortPlansMatchClosure does the same for the shear sort's
+// compare-exchange plans.
+func TestShearSortPlansMatchClosure(t *testing.T) {
+	n := 8 * 4
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64((i*13 + 5) % n)
+	}
+	run := func(opts ...simd.Option) (Result, []int64, simd.Stats) {
+		m := meshsim.New(mesh.New(4, 8), opts...)
+		m.AddReg("K")
+		copy(m.Reg("K"), keys)
+		res := ShearSort2D(m, "K")
+		return res, append([]int64(nil), m.Reg("K")...), m.Stats()
+	}
+	resPlan, keysPlan, statsPlan := run()
+	resClosure, keysClosure, statsClosure := run(simd.WithPlans(false))
+	if resPlan != resClosure || statsPlan != statsClosure || !reflect.DeepEqual(keysPlan, keysClosure) {
+		t.Fatalf("shear sort diverged:\nplan    %+v %+v\nclosure %+v %+v", resPlan, statsPlan, resClosure, statsClosure)
+	}
+	if !resPlan.Sorted {
+		t.Fatalf("shear sort failed to sort")
 	}
 }

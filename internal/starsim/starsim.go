@@ -71,6 +71,10 @@ func (t *Topo) Ports() int { return t.n - 1 }
 // Neighbor implements simd.Topology.
 func (t *Topo) Neighbor(pe, port int) int { return int(t.table[pe][port]) }
 
+// PlanKey implements simd.PlanKeyer: every S_n has the same shape,
+// so compiled route plans are shared across machines of equal n.
+func (t *Topo) PlanKey() string { return fmt.Sprintf("star:%d", t.n) }
+
 // Machine is a star-connected SIMD computer hosting the embedded
 // mesh D_n.
 type Machine struct {
@@ -86,6 +90,29 @@ type Machine struct {
 	// so it never invalidates. SetRouteCache(false) bypasses it.
 	tables  []*routeTable
 	noCache bool
+	// murPlans/muraPlans/bcastPlans memoize compiled route plans per
+	// schedule, skipping the shared-cache key formatting and lookup
+	// on the hot path. The plans themselves live in simd.SharedPlans
+	// and are shared across machines of the same n.
+	murPlans   map[murKey]*simd.Plan
+	muraPlans  map[murKey]*simd.Plan
+	bcastPlans map[bcastKey]*simd.Plan
+}
+
+// murKey identifies a mesh-unit-route schedule (unmasked). generic
+// records which closure path (Lemma-3 tables vs the original role
+// tests) the plan was compiled from, so toggling SetRouteCache never
+// replays a plan recorded through the other path.
+type murKey struct {
+	k, dir   int
+	src, dst string
+	generic  bool
+}
+
+// bcastKey identifies a broadcast schedule.
+type bcastKey struct {
+	src, dst string
+	source   int
 }
 
 // routeTable holds the closed-form Lemma-3 data for one (k, dir).
@@ -106,14 +133,37 @@ func New(n int, opts ...simd.Option) *Machine {
 		return true
 	})
 	m.tables = make([]*routeTable, 2*(n-1))
+	m.murPlans = make(map[murKey]*simd.Plan)
+	m.muraPlans = make(map[murKey]*simd.Plan)
+	m.bcastPlans = make(map[bcastKey]*simd.Plan)
+	// Declare the schedule scratch registers once, here, so the
+	// per-route helpers never pay the EnsureReg map lookups on the
+	// hot path.
+	m.AddReg(regT1)
+	m.AddReg(regT2)
+	m.AddReg(regAT1)
+	m.AddReg(regAT2)
 	return m
 }
+
+// Scratch registers of the unit-route schedules, declared at
+// machine construction.
+const (
+	regT1  = "__mur_t1"
+	regT2  = "__mur_t2"
+	regAT1 = "__mura_t1"
+	regAT2 = "__mura_t2"
+)
 
 // SetRouteCache enables or disables the per-(k,dir) route tables.
 // The cache is on by default; disabling it re-routes every unit
 // route through the original closure-per-PE role tests (the
 // reference implementation the cache is tested against, and the
-// baseline the engine benchmarks measure).
+// baseline the engine benchmarks measure). With plans enabled (the
+// default) the toggle selects which closure path *records* — plans
+// compiled from either path are kept apart and replay identically —
+// so closure-resolution measurements must also disable plans
+// (simd.WithPlans(false)).
 func (m *Machine) SetRouteCache(enabled bool) { m.noCache = !enabled }
 
 // routeTableFor returns (building on first use) the Lemma-3 table
@@ -172,10 +222,49 @@ func (m *Machine) MaskedMeshUnitRoute(src, dst string, k, dir int, mask func(pe 
 	if dir != 1 && dir != -1 {
 		panic("starsim: dir must be ±1")
 	}
+	if mask == nil && m.PlansEnabled() {
+		return m.plannedMeshUnitRoute(src, dst, k, dir)
+	}
 	if !m.noCache {
 		return m.maskedMeshUnitRouteCached(src, dst, k, dir, mask)
 	}
 	return m.maskedMeshUnitRouteGeneric(src, dst, k, dir, mask)
+}
+
+// plannedMeshUnitRoute runs the unmasked Theorem-6 schedule through
+// a compiled plan: recorded once per (k, dir, src, dst) — via the
+// closure path selected by SetRouteCache — then replayed as a dense
+// array walk, shared across machines of the same n.
+func (m *Machine) plannedMeshUnitRoute(src, dst string, k, dir int) (routes, conflicts int) {
+	return m.plannedRoute(m.murPlans, "mur", src, dst, k, dir,
+		func() { m.maskedMeshUnitRouteCached(src, dst, k, dir, nil) },
+		func() { m.maskedMeshUnitRouteGeneric(src, dst, k, dir, nil) })
+}
+
+// plannedRoute is the shared memoized-plan shape of the unmasked
+// unit-route schedules (SIMD-B and Model-A): warm the Lemma-3 tables
+// outside the recording — their lazy build runs through Apply, which
+// would mark the plan impure — then record or replay the closure
+// path SetRouteCache selects, keeping the two paths' plans apart.
+func (m *Machine) plannedRoute(memo map[murKey]*simd.Plan, prefix, src, dst string, k, dir int, cached, generic func()) (routes, conflicts int) {
+	if !m.noCache {
+		m.routeTableFor(k, dir)
+		if k != m.N-1 {
+			m.routeTableFor(k, -dir)
+		}
+	}
+	mk := murKey{k: k, dir: dir, src: src, dst: dst, generic: m.noCache}
+	return simd.RunMemoized(m.Machine, simd.SharedPlans, memo, mk,
+		func() string {
+			return fmt.Sprintf("%s:%d:%d:%s:%s:generic=%t", prefix, k, dir, src, dst, m.noCache)
+		},
+		func() {
+			if m.noCache {
+				generic()
+			} else {
+				cached()
+			}
+		})
 }
 
 // maskedMeshUnitRouteCached drives the Lemma-5 schedule from the
@@ -200,10 +289,8 @@ func (m *Machine) maskedMeshUnitRouteCached(src, dst string, k, dir int, mask fu
 		return 1, c
 	}
 	rev := m.routeTableFor(k, -dir)
-	const t1 = "__mur_t1"
-	const t2 = "__mur_t2"
-	m.EnsureReg(t1)
-	m.EnsureReg(t2)
+	const t1 = regT1
+	const t2 = regT2
 	// Step 1: senders π through port k.
 	c1 := m.RouteB(src, t1, func(pe int) int {
 		if !sends(pe) {
@@ -254,10 +341,8 @@ func (m *Machine) maskedMeshUnitRouteGeneric(src, dst string, k, dir int, mask f
 		})
 		return 1, c
 	}
-	const t1 = "__mur_t1"
-	const t2 = "__mur_t2"
-	m.EnsureReg(t1)
-	m.EnsureReg(t2)
+	const t1 = regT1
+	const t2 = regT2
 	// Step 1: senders π (selected, mesh-interior along (k,dir))
 	// through port k.
 	c1 := m.RouteB(src, t1, func(pe int) int {
@@ -299,6 +384,12 @@ func (m *Machine) MeshUnitRouteModelA(src, dst string, k, dir int) int {
 // MaskedMeshUnitRouteModelA is MeshUnitRouteModelA restricted to the
 // mesh nodes selected by mask (nil = all).
 func (m *Machine) MaskedMeshUnitRouteModelA(src, dst string, k, dir int, mask func(pe int) bool) int {
+	if mask == nil && m.PlansEnabled() {
+		routes, _ := m.plannedRoute(m.muraPlans, "mura", src, dst, k, dir,
+			func() { m.maskedModelACached(src, dst, k, dir, nil) },
+			func() { m.maskedModelAGeneric(src, dst, k, dir, nil) })
+		return routes
+	}
 	if !m.noCache {
 		return m.maskedModelACached(src, dst, k, dir, mask)
 	}
@@ -339,10 +430,8 @@ func (m *Machine) maskedModelACached(src, dst string, k, dir int, mask func(pe i
 		return routes
 	}
 	rev := m.routeTableFor(k, -dir)
-	const t1 = "__mura_t1"
-	const t2 = "__mura_t2"
-	m.EnsureReg(t1)
-	m.EnsureReg(t2)
+	const t1 = regAT1
+	const t2 = regAT2
 	routes := 0
 	m.RouteA(src, t1, k, func(pe int) bool {
 		return portAt(pe) != -1
@@ -410,10 +499,8 @@ func (m *Machine) maskedModelAGeneric(src, dst string, k, dir int, mask func(pe 
 		}
 		return routes
 	}
-	const t1 = "__mura_t1"
-	const t2 = "__mura_t2"
-	m.EnsureReg(t1)
-	m.EnsureReg(t2)
+	const t1 = regAT1
+	const t2 = regAT2
 	routes := 0
 	m.RouteA(src, t1, k, func(pe int) bool {
 		return partnerPort(m.perms[pe]) != -1
@@ -458,7 +545,28 @@ func (m *Machine) maskedModelAGeneric(src, dst string, k, dir int, mask func(pe 
 func (m *Machine) Broadcast(src, dst string, source int) int {
 	sr := m.Reg(src)
 	dr := m.Reg(dst)
+	// The source's self-copy is a direct register write the plan
+	// recorder cannot capture; a plan recorded over a Broadcast must
+	// therefore be rejected (the internal planned path below keeps
+	// the write outside its recorded region instead).
+	m.MarkImpure()
 	dr[source] = sr[source]
+	if m.PlansEnabled() {
+		// The greedy schedule construction (informedAt bookkeeping,
+		// neighbor scans) is purely topological, so it runs only at
+		// record time; replay walks the compiled rounds directly.
+		routes, _ := simd.RunMemoized(m.Machine, simd.SharedPlans, m.bcastPlans,
+			bcastKey{src: src, dst: dst, source: source},
+			func() string { return fmt.Sprintf("bcast:%s:%s:%d", src, dst, source) },
+			func() { m.broadcastRoutes(dst, source) })
+		return routes
+	}
+	return m.broadcastRoutes(dst, source)
+}
+
+// broadcastRoutes issues the greedy flood's unit routes (one RouteB
+// per round), assuming dst at the source already holds the payload.
+func (m *Machine) broadcastRoutes(dst string, source int) int {
 	informedAt := make([]int, m.Size())
 	for i := range informedAt {
 		informedAt[i] = -1

@@ -105,6 +105,7 @@ func SortScenario(n int, d Dist, seed int64, opts ...simd.Option) Scenario {
 	name := fmt.Sprintf("sort-star-n%d-%s-seed%d", n, distName(d), seed)
 	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
 		sm := starsim.New(n, opts...)
+		defer sm.Close()
 		keys := Keys(d, sm.Size(), seed)
 		meshID := make([]int, sm.Size())
 		for pe := range meshID {
@@ -129,6 +130,7 @@ func ShearScenario(rows, cols int, d Dist, seed int64, opts ...simd.Option) Scen
 	name := fmt.Sprintf("shear-mesh-%dx%d-%s-seed%d", rows, cols, distName(d), seed)
 	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
 		mm := meshsim.New(mesh.New(rows, cols), opts...)
+		defer mm.Close()
 		keys := Keys(d, mm.Size(), seed)
 		mm.AddReg("K")
 		mm.Set("K", func(pe int) int64 { return keys[pe] })
@@ -150,6 +152,7 @@ func BroadcastScenario(n, source int, opts ...simd.Option) Scenario {
 	name := fmt.Sprintf("broadcast-star-n%d-src%d", n, source)
 	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
 		sm := starsim.New(n, opts...)
+		defer sm.Close()
 		sm.AddReg("V")
 		sm.AddReg("W")
 		const payload = 42
@@ -274,7 +277,43 @@ type BenchRecord struct {
 
 // WriteJSON writes the record as indented JSON.
 func (r *BenchRecord) WriteJSON(path string) error {
-	data, err := json.MarshalIndent(r, "", "  ")
+	return writeJSON(r, path)
+}
+
+// PlanBenchRecord is the schema of BENCH_plans.json: the measured
+// effect of compiled route plans (replay vs closure resolution on
+// the S_8 mesh-route sweep) and of the persistent worker pool
+// (pooled vs spawn-per-route parallel execution on a multi-worker
+// batch run), with parity asserted before any timing is reported.
+type PlanBenchRecord struct {
+	Benchmark       string  `json:"benchmark"`
+	Timestamp       string  `json:"timestamp"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	N               int     `json:"n"`
+	PEs             int     `json:"pes"`
+	Reps            int     `json:"reps"`
+	ClosureNs       int64   `json:"closure_ns"`
+	ReplayNs        int64   `json:"replay_ns"`
+	SpeedupReplay   float64 `json:"speedup_replay_vs_closure"`
+	ParityOK        bool    `json:"parity_ok"`
+	BatchWorkers    int     `json:"batch_workers"`
+	SpawnBatchNs    int64   `json:"spawn_batch_ns"`
+	PoolBatchNs     int64   `json:"pool_batch_ns"`
+	SpeedupPool     float64 `json:"speedup_pool_vs_spawn"`
+	BatchParityOK   bool    `json:"batch_parity_ok"`
+	PlansCached     int     `json:"plans_cached"`
+	BatchScenarios  int     `json:"batch_scenarios"`
+	BatchBatchSize  int     `json:"batch_reps"`
+	BatchSortRoutes int     `json:"batch_sort_unit_routes"`
+}
+
+// WriteJSON writes the record as indented JSON.
+func (r *PlanBenchRecord) WriteJSON(path string) error {
+	return writeJSON(r, path)
+}
+
+func writeJSON(v any, path string) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -27,15 +27,48 @@ func SequentialEngine() EngineOption {
 	return simd.WithExecutor(simd.Sequential())
 }
 
-// ParallelEngine selects the sharded goroutine executor: each unit
-// route splits the PE range across the given number of workers
-// (<= 0 selects GOMAXPROCS) and merges per-shard results
+// ParallelEngine selects the sharded executor: each unit route
+// splits the PE range across the given number of workers (<= 0
+// selects GOMAXPROCS) running on a persistent per-machine pool
+// (started lazily, reused across routes, released by the machine's
+// Close method or at GC), and merges per-shard results
 // deterministically, so Stats, register contents and conflict
 // diagnostics are identical to SequentialEngine. Programs must use
 // pure per-PE functions (every algorithm in this module qualifies).
 func ParallelEngine(workers int) EngineOption {
 	return simd.WithExecutor(simd.Parallel(workers))
 }
+
+// SpawnParallelEngine selects the historical parallel executor that
+// spawns fresh goroutines for every route instead of pooling them.
+// Bit-identical to ParallelEngine; kept as the measured baseline of
+// the persistent pool (see BENCH_plans.json).
+func SpawnParallelEngine(workers int) EngineOption {
+	return simd.WithExecutor(simd.ParallelSpawn(workers))
+}
+
+// WithPlans enables or disables compiled route plans (default
+// enabled): machines record each pure unit-route schedule once —
+// resolving every PE's port and destination into dense delivery
+// tables via the existing closures — and replay it afterwards with a
+// tight array walk, sharing compiled plans across machines of the
+// same shape through SharedPlans. Replay is bit-identical to closure
+// resolution (Stats, PortUses, registers, conflicts); disabling
+// plans restores the per-route closure path.
+func WithPlans(enabled bool) EngineOption { return simd.WithPlans(enabled) }
+
+// RoutePlan is a compiled unit-route schedule: the value returned by
+// a machine's Record method and accepted by Replay. See
+// internal/simd's plan layer for the recording/replay contract.
+type RoutePlan = simd.Plan
+
+// PlanCache shares compiled route plans across machines of the same
+// shape, keyed by (topology identity, schedule key).
+type PlanCache = simd.PlanCache
+
+// SharedPlans is the process-wide plan cache every machine records
+// into by default.
+var SharedPlans = simd.SharedPlans
 
 // Perm is a star-graph node label: a permutation of {0..n-1} with
 // Perm[i] the symbol at position i and position n-1 the front. Its
