@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-plans lint fmt vet
+.PHONY: all build test race bench bench-plans bench-serve lint fmt vet
 
 all: build test
 
@@ -30,6 +30,14 @@ bench:
 bench-plans:
 	GOMAXPROCS=2 BENCH_PLANS_RECORD=1 $(GO) test -run TestPlanBenchRecord .
 	GOMAXPROCS=2 $(GO) run ./cmd/experiments -run plans -engine parallel
+
+## bench-serve: the job-service load smoke. Starts the service
+## in-process, drives the closed-loop HTTP load generator with
+## per-shape machine pooling on and off (GOMAXPROCS=2), writes
+## BENCH_serve.json, and fails if pooled throughput falls below
+## build-per-job or any job result diverges from a standalone run.
+bench-serve:
+	GOMAXPROCS=2 BENCH_SERVE_GATE=1 $(GO) run ./cmd/experiments -run serve
 
 ## lint: gofmt divergence fails the build; vet catches the rest.
 lint: vet

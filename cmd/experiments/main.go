@@ -8,6 +8,7 @@
 //	experiments -run all
 //	experiments -run sorting -engine parallel -workers 4
 //	experiments -run plans -plan=false   // closure-resolved baseline
+//	experiments -run serve               // job-service load, writes BENCH_serve.json
 package main
 
 import (

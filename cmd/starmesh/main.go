@@ -9,6 +9,10 @@
 //	starmesh info n                   properties of S_n and D_n
 //	starmesh dot n                    Graphviz DOT of S_n (n <= 5)
 //	starmesh fig7                     the Figure-7 table
+//	starmesh surface n                distance distribution of S_n
+//	starmesh broadcast n              measured broadcast rounds vs bounds
+//	starmesh saferoute f a... b...    route avoiding f random faults
+//	starmesh serve [flags]            run the simulation job service (HTTP)
 //
 // Node symbols are given in display order (front first), matching
 // the paper: `starmesh unmap 0 3 1 2` is the node (0 3 1 2).
@@ -51,13 +55,15 @@ func main() {
 		cmdBroadcast(os.Args[2:])
 	case "saferoute":
 		cmdSafeRoute(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: starmesh <map|unmap|route|path|info|dot|fig7> [args]
+	fmt.Fprintln(os.Stderr, `usage: starmesh <map|unmap|route|path|info|dot|fig7|surface|broadcast|saferoute|serve> [args]
   map d_{n-1} ... d_1        mesh node -> star node
   unmap a_{n-1} ... a_0      star node -> mesh node
   route a... b...            shortest star route (two nodes of equal length)
@@ -67,7 +73,8 @@ func usage() {
   fig7                       regenerate Figure 7
   surface n                  distance distribution of S_n
   broadcast n                measured broadcast rounds vs bounds
-  saferoute f a... b...      route avoiding f random faults`)
+  saferoute f a... b...      route avoiding f random faults
+  serve [flags]              simulation job service over HTTP (see serve -h)`)
 	os.Exit(2)
 }
 

@@ -1,0 +1,53 @@
+// The serve subcommand: the long-running simulation job service
+// over HTTP. SIGINT/SIGTERM triggers a graceful drain — admission
+// stops, every admitted job completes, machine pools release.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"starmesh/internal/serve"
+)
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	workers := fs.Int("workers", 0, "concurrent job executors (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "admission queue depth (full queue returns 429)")
+	pool := fs.Bool("pool", true, "per-shape machine pooling (false builds a machine per job)")
+	engine := fs.String("engine", "sequential", "execution engine: sequential, parallel or parallel-spawn")
+	engineWorkers := fs.Int("engine-workers", 0, "parallel engine worker count (0 = GOMAXPROCS)")
+	plan := fs.Bool("plan", true, "compiled route plans on the job machines")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fatalf("serve takes no positional arguments")
+	}
+
+	svc, err := serve.NewService(serve.Config{
+		Workers:       *workers,
+		Queue:         *queue,
+		NoPool:        !*pool,
+		Engine:        *engine,
+		EngineWorkers: *engineWorkers,
+		NoPlans:       !*plan,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "starmesh: job service on %s (workers=%d queue=%d pool=%t engine=%s plan=%t)\n",
+		*addr, *workers, *queue, *pool, *engine, *plan)
+	err = svc.ListenAndServe(ctx, *addr)
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, http.ErrServerClosed) {
+		fatalf("%v", err)
+	}
+	fmt.Fprintln(os.Stderr, "starmesh: drained cleanly")
+}

@@ -47,6 +47,27 @@
 // pool reused across routes — release it with Close when a machine
 // is done (garbage collection also reclaims it).
 //
+// # Service
+//
+// The serve layer (internal/serve; `starmesh serve` on the CLI;
+// NewJobService/ServeJobs on the facade) runs the simulators as a
+// long-running job service: typed JobSpecs — the workload scenarios
+// as data — admitted through a bounded scheduler with backpressure
+// (a full queue rejects immediately) and cancellation, executed on
+// per-shape machine pools, and exposed over an HTTP JSON API
+// (POST /jobs, GET /jobs/{id}, GET /stats, GET /healthz) with
+// graceful drain on shutdown. The pools amortize everything
+// expensive about a machine — topology tables, Lemma-3 route
+// tables, the embedding's vertex map, compiled-plan binding, engine
+// worker pools — across jobs of the same (topology, engine) shape:
+// a machine is checked out, runs one job, is Reset (registers and
+// stats zeroed, amortized state kept) and parked for the next job.
+// Pooled results are bit-identical to building a fresh machine per
+// job, because both paths run the same workload runners; the serve
+// experiment asserts that parity and BENCH_serve.json records the
+// measured closed-loop throughput of pooling on vs off
+// (`make bench-serve` regenerates it).
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every figure and table;
 // cmd/experiments regenerates all of them (its -engine and -plan

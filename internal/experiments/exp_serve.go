@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"starmesh/internal/exptab"
+	"starmesh/internal/serve"
+)
+
+// serveSpecs is the mixed workload the load generator drives. The
+// S_7 sweep and broadcast jobs are the service's bread and butter:
+// 5040-PE machines whose construction (neighbor table, permutation
+// cache, Lemma-3 route tables, plan binding/validation) costs far
+// more than their short replayed schedules — exactly the fraction
+// per-shape pooling amortizes away. Sort/shear/faultroute jobs mix
+// in longer schedules and the other machine shapes.
+func serveSpecs() []serve.JobSpec {
+	return []serve.JobSpec{
+		{Kind: serve.KindSweep, N: 7},
+		{Kind: serve.KindBroadcast, N: 7, Source: 0},
+		{Kind: serve.KindBroadcast, N: 7, Source: 1},
+		{Kind: serve.KindSort, N: 5, Dist: "uniform", Seed: 42},
+		{Kind: serve.KindShear, Rows: 16, Cols: 16, Dist: "reversed", Seed: 7},
+		{Kind: serve.KindFaultRoute, N: 6, Faults: 4, Pairs: 16, Seed: 9},
+	}
+}
+
+// ServeLoad measures the simulation job service end to end: a
+// closed-loop load generator drives the HTTP API — submit, honor
+// 429 backpressure, poll to completion — against two services, one
+// with per-shape machine pooling and one building a machine per job.
+// Parity is asserted before any timing is reported: every job
+// result, pooled and unpooled, must be bit-identical (unit routes,
+// conflicts, self-check) to a standalone workload run of the same
+// seed. The record lands in BENCH_serve.json (path overridable via
+// BENCH_SERVE_PATH); when BENCH_SERVE_GATE is set — CI's serve
+// load-smoke job sets it — the experiment fails if pooled throughput
+// falls below build-per-job. The service runs its own engine
+// configuration (sequential, plans on), so the -engine flag does not
+// apply here.
+func ServeLoad(w io.Writer) error {
+	svcCfg := serve.Config{Workers: 0, Queue: 32}
+	load := serve.LoadConfig{
+		Clients:       2 * runtime.GOMAXPROCS(0),
+		JobsPerClient: 10,
+		Specs:         serveSpecs(),
+	}
+	cmp, err := serve.RunComparison(svcCfg, load)
+	if err != nil {
+		return err
+	}
+	rec := serve.NewBenchRecord(svcCfg, load, cmp, runtime.GOMAXPROCS(0),
+		time.Now().UTC().Format(time.RFC3339))
+
+	t := exptab.New(fmt.Sprintf("Job service: closed-loop load, %d clients × %d jobs, %d spec shapes",
+		load.Clients, load.JobsPerClient, len(load.Specs)),
+		"mode", "jobs", "elapsed-ms", "jobs/s", "p50-ms", "p99-ms", "builds", "reuses")
+	t.Add("pooled", cmp.Pooled.Jobs, cmp.Pooled.ElapsedNs/1e6,
+		fmt.Sprintf("%.1f", cmp.Pooled.ThroughputJobsPerSec),
+		cmp.Pooled.LatencyP50Ns/1e6, cmp.Pooled.LatencyP99Ns/1e6,
+		cmp.PoolBuilds, cmp.PoolReuses)
+	t.Add("build-per-job", cmp.Unpooled.Jobs, cmp.Unpooled.ElapsedNs/1e6,
+		fmt.Sprintf("%.1f", cmp.Unpooled.ThroughputJobsPerSec),
+		cmp.Unpooled.LatencyP50Ns/1e6, cmp.Unpooled.LatencyP99Ns/1e6,
+		cmp.UnpooledBuilds, int64(0))
+	t.Fprint(w)
+	fmt.Fprintf(w, "\nparity vs standalone runs: %t   pooled speedup: %.2fx   backpressure rejections: %d+%d\n",
+		cmp.ParityOK, rec.SpeedupPooled, cmp.Pooled.Rejected, cmp.Unpooled.Rejected)
+
+	path := os.Getenv("BENCH_SERVE_PATH")
+	if path == "" {
+		path = "BENCH_serve.json"
+	}
+	if err := rec.WriteJSON(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "record written to %s\n", path)
+
+	if rec.SpeedupPooled < 1 {
+		msg := fmt.Sprintf("pooled throughput (%.1f jobs/s) below build-per-job (%.1f jobs/s)",
+			rec.PooledThroughput, rec.UnpooledThroughput)
+		if os.Getenv("BENCH_SERVE_GATE") != "" {
+			return fmt.Errorf("serve: %s", msg)
+		}
+		fmt.Fprintf(w, "WARNING: %s on this host\n", msg)
+	}
+	return nil
+}

@@ -43,6 +43,7 @@ func All() []exptab.Experiment {
 		{ID: "utilization", Name: "Extension: generator utilization under embedded-mesh traffic", Run: Utilization},
 		{ID: "engine", Name: "Infrastructure: parallel execution engine parity and speedup", Run: EngineParity},
 		{ID: "plans", Name: "Infrastructure: compiled route plans parity and speedup", Run: PlansParity},
+		{ID: "serve", Name: "Infrastructure: job service load, pooled vs build-per-job", Run: ServeLoad},
 	}
 }
 

@@ -2,9 +2,25 @@ package experiments
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestMain routes the serve experiment's perf record to scratch so
+// test runs never litter the package directory with BENCH_serve.json
+// (the CLI and CI bench jobs write it at the repo root on purpose).
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "starmesh-bench")
+	if err != nil {
+		panic(err)
+	}
+	os.Setenv("BENCH_SERVE_PATH", filepath.Join(dir, "BENCH_serve.json"))
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
 
 func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range All() {

@@ -62,7 +62,9 @@ type Machine struct {
 	M *mesh.Mesh
 	// ceTmp is the compare-exchange scratch register, declared at
 	// construction and cached here so the per-phase hot path never
-	// pays the EnsureReg/Reg map lookups.
+	// pays the EnsureReg/Reg map lookups. Reset zeroes registers in
+	// place (it never reallocates), so this alias stays valid on
+	// reused machines.
 	ceTmp []int64
 	// urPlans/cePlans memoize compiled route plans per schedule (the
 	// plans themselves live in simd.SharedPlans, shared across

@@ -1,0 +1,54 @@
+// Package serve is the simulation job service: the long-running
+// layer that turns the starmesh library into a system. It accepts
+// typed JobSpecs (the workload scenarios — snake sort on the
+// embedded mesh, shear sort, broadcast, fault routing, the
+// mesh-route sweep — as data), admits them through a bounded
+// scheduler with backpressure and cancellation, executes them on
+// per-shape machine pools, records every outcome in an in-memory
+// store with latency/cost aggregation, and exposes the whole thing
+// over an HTTP JSON API.
+//
+// # Per-shape machine pools
+//
+// Building a simulation machine is the expensive part of a job: the
+// star topology materializes n!·(n-1) neighbor links, the Lemma-3
+// route tables cost O(n!·n²) per (k, dir), the embedding's vertex
+// map costs another O(n!·n²), and compiled route plans must be bound
+// and validated per machine. All of that state is a pure function of
+// the machine's shape — (topology, engine) — so the service checks
+// machines out of a pool keyed by shape, runs one job, resets the
+// machine (registers and stats zeroed; see simd.Machine.Reset) and
+// checks it back in. Jobs of the same shape then pay construction
+// once, while the paper's cost model guarantees the reported results
+// (unit routes, conflicts, self-check) are bit-identical to a
+// fresh-machine run of the same seed: the runners in
+// internal/workload are the single implementation behind both paths.
+// Disabling pooling (Config.NoPool) restores build-per-job — the
+// measured baseline of BENCH_serve.json.
+//
+// # Scheduler
+//
+// Admission is a bounded queue: Submit either enqueues the job or
+// fails fast with ErrQueueFull (HTTP 429), so overload sheds load
+// instead of accumulating it. A fixed worker set drains the queue;
+// queued jobs can be canceled (HTTP DELETE) up to the moment a
+// worker claims them. Drain performs a graceful shutdown: admission
+// stops (ErrDraining, HTTP 503), every already-admitted job still
+// runs to completion, then the workers exit and the pools release
+// their machines (and the engines' worker goroutines).
+//
+// # API
+//
+//	POST   /jobs        submit a JobSpec        → 202 Job (429 full, 503 draining, 400 invalid)
+//	GET    /jobs/{id}   job status and result   → 200 Job (404 unknown)
+//	DELETE /jobs/{id}   cancel a queued job     → 200 Job (409 not cancelable)
+//	GET    /jobs        recent jobs             → 200 [Job]
+//	GET    /stats       aggregated service view → 200 Stats
+//	GET    /healthz     liveness + drain state  → 200 ok (503 draining)
+//
+// The load generator (RunLoad) drives the API closed-loop —
+// concurrent clients submitting and polling — and RunComparison
+// measures pooled vs build-per-job throughput while asserting both
+// modes return results identical to standalone scenario runs; the
+// serve experiment writes that record to BENCH_serve.json.
+package serve

@@ -1,0 +1,374 @@
+// Closed-loop load generator and the pooled-vs-unpooled comparison
+// harness behind BENCH_serve.json. Clients drive the HTTP API the
+// way real callers would — submit, honor 429 backpressure, poll to
+// completion — so the measured throughput includes admission,
+// scheduling, pooling and the HTTP layer itself.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+)
+
+// LoadConfig shapes one load run.
+type LoadConfig struct {
+	// Clients is the number of concurrent closed-loop clients.
+	Clients int
+	// JobsPerClient is how many jobs each client completes.
+	JobsPerClient int
+	// Specs are assigned round-robin across the job stream, so every
+	// spec runs repeatedly and on every mode.
+	Specs []JobSpec
+	// PollInterval is the GET back-off while waiting on a job
+	// (default 200 µs).
+	PollInterval time.Duration
+}
+
+// LoadResult is one load run's measurement.
+type LoadResult struct {
+	Jobs      int   `json:"jobs"`
+	Failed    int   `json:"failed"`
+	Rejected  int   `json:"rejected_429"`
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// ThroughputJobsPerSec is completed jobs over the run's wall
+	// clock, the headline number of the pooled-vs-unpooled record.
+	ThroughputJobsPerSec float64 `json:"throughput_jobs_per_sec"`
+	// Client-observed latency percentiles (submit → terminal status,
+	// polling included).
+	LatencyP50Ns int64 `json:"latency_p50_ns"`
+	LatencyP99Ns int64 `json:"latency_p99_ns"`
+	// BySpec holds, per spec name, the result every job of that spec
+	// returned; RunLoad fails if two runs of one spec ever disagree
+	// (the service determinism contract).
+	BySpec map[string]ScenarioResult `json:"-"`
+}
+
+// RunLoad drives the API at baseURL closed-loop and reports
+// throughput, latency and per-spec results. Each client submits a
+// job, retries briefly on 429 (counting the rejections — that is the
+// backpressure working), polls until the job is terminal, and moves
+// on.
+func RunLoad(baseURL string, cfg LoadConfig) (LoadResult, error) {
+	if cfg.Clients < 1 || cfg.JobsPerClient < 1 || len(cfg.Specs) == 0 {
+		return LoadResult{}, fmt.Errorf("serve: load config needs clients, jobs per client and specs")
+	}
+	poll := cfg.PollInterval
+	if poll <= 0 {
+		poll = 200 * time.Microsecond
+	}
+	type outcome struct {
+		job      Job // final server snapshot; its Spec is normalized
+		latency  time.Duration
+		rejected int
+		err      error
+	}
+	outcomes := make([]outcome, cfg.Clients*cfg.JobsPerClient)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for j := 0; j < cfg.JobsPerClient; j++ {
+				idx := c*cfg.JobsPerClient + j
+				spec := cfg.Specs[idx%len(cfg.Specs)]
+				var o outcome
+				o.job, o.latency, o.rejected, o.err =
+					runOneJob(client, baseURL, spec, poll)
+				outcomes[idx] = o
+				if o.err != nil {
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	out := LoadResult{
+		ElapsedNs: elapsed.Nanoseconds(),
+		BySpec:    make(map[string]ScenarioResult),
+	}
+	var latencies []time.Duration
+	for _, o := range outcomes {
+		if o.err != nil {
+			return out, o.err
+		}
+		out.Jobs++
+		out.Rejected += o.rejected
+		latencies = append(latencies, o.latency)
+		if o.job.Status != StatusDone {
+			out.Failed++
+			continue
+		}
+		// Key by the server's stored spec, which is the normalized
+		// form (defaults like dist="uniform" applied) — the same form
+		// RunComparison's parity reference is keyed by.
+		key := o.job.Spec.Name()
+		norm := *o.job.Result
+		norm.Name = ""
+		norm.ElapsedNs = 0
+		if prev, ok := out.BySpec[key]; ok {
+			if prev != norm {
+				return out, fmt.Errorf("serve: spec %s returned diverging results: %+v vs %+v", key, prev, norm)
+			}
+		} else {
+			out.BySpec[key] = norm
+		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		out.ThroughputJobsPerSec = float64(out.Jobs-out.Failed) / secs
+	}
+	out.LatencyP50Ns = percentile(latencies, 50).Nanoseconds()
+	out.LatencyP99Ns = percentile(latencies, 99).Nanoseconds()
+	return out, nil
+}
+
+// runOneJob submits one spec and polls it to a terminal status,
+// returning the final server-side job snapshot. A done job always
+// carries a Result.
+func runOneJob(client *http.Client, baseURL string, spec JobSpec, poll time.Duration) (Job, time.Duration, int, error) {
+	var job Job
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return job, 0, 0, err
+	}
+	start := time.Now()
+	rejected := 0
+	for {
+		resp, err := client.Post(baseURL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return job, 0, rejected, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return job, 0, rejected, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			rejected++
+			time.Sleep(poll)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return job, 0, rejected, fmt.Errorf("serve: submit returned %d: %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &job); err != nil {
+			return job, 0, rejected, err
+		}
+		break
+	}
+	for !job.Status.Terminal() {
+		time.Sleep(poll)
+		resp, err := client.Get(baseURL + "/jobs/" + job.ID)
+		if err != nil {
+			return job, 0, rejected, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return job, 0, rejected, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return job, 0, rejected, fmt.Errorf("serve: poll returned %d: %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &job); err != nil {
+			return job, 0, rejected, err
+		}
+	}
+	if job.Status == StatusDone && job.Result == nil {
+		return job, 0, rejected, fmt.Errorf("serve: job %s done without a result", job.ID)
+	}
+	return job, time.Since(start), rejected, nil
+}
+
+// Comparison is the pooled-vs-unpooled measurement plus the parity
+// verdict against standalone scenario runs.
+type Comparison struct {
+	Pooled   LoadResult `json:"pooled"`
+	Unpooled LoadResult `json:"unpooled"`
+	// Pool counters from the pooled service after the run.
+	PoolBuilds int64 `json:"pool_builds"`
+	PoolReuses int64 `json:"pool_reuses"`
+	// UnpooledBuilds counts machine constructions in build-per-job
+	// mode (one per job touching a machine).
+	UnpooledBuilds int64 `json:"unpooled_builds"`
+	// ParityOK means every job result — pooled and unpooled — was
+	// bit-identical (unit routes, conflicts, self-check) to a
+	// standalone workload run of the same spec.
+	ParityOK bool `json:"parity_ok"`
+}
+
+// RunComparison measures the same closed-loop load twice — per-shape
+// pooling on, then off — over a fresh in-process HTTP server each,
+// and verifies both modes reproduce standalone scenario results
+// exactly. The standalone runs happen first: they are the parity
+// reference, and they warm the process-wide SharedPlans cache so
+// neither measured mode pays one-time plan compilation the other
+// would inherit (machine construction, route tables and plan binding
+// remain per-machine costs — the costs pooling amortizes).
+func RunComparison(svcCfg Config, load LoadConfig) (Comparison, error) {
+	var cmp Comparison
+
+	opts, err := svcCfg.engineOptions()
+	if err != nil {
+		return cmp, err
+	}
+	wants := make(map[string]ScenarioResult, len(load.Specs))
+	for _, spec := range load.Specs {
+		sc, err := spec.Scenario(opts...)
+		if err != nil {
+			return cmp, err
+		}
+		want, err := sc.Run()
+		if err != nil {
+			return cmp, fmt.Errorf("standalone %s: %w", sc.Name, err)
+		}
+		want.Name = ""
+		want.ElapsedNs = 0
+		norm, err := spec.normalized()
+		if err != nil {
+			return cmp, err
+		}
+		wants[norm.Name()] = want
+	}
+
+	measure := func(noPool bool) (LoadResult, Stats, error) {
+		cfg := svcCfg
+		cfg.NoPool = noPool
+		svc, err := NewService(cfg)
+		if err != nil {
+			return LoadResult{}, Stats{}, err
+		}
+		ts := httptest.NewServer(svc.Handler())
+		res, err := RunLoad(ts.URL, load)
+		stats := svc.Stats()
+		ts.Close()
+		svc.Drain()
+		return res, stats, err
+	}
+	pooled, pooledStats, err := measure(false)
+	if err != nil {
+		return cmp, fmt.Errorf("pooled run: %w", err)
+	}
+	unpooled, unpooledStats, err := measure(true)
+	if err != nil {
+		return cmp, fmt.Errorf("unpooled run: %w", err)
+	}
+	cmp.Pooled = pooled
+	cmp.Unpooled = unpooled
+	for _, p := range pooledStats.Pools {
+		cmp.PoolBuilds += p.Builds
+		cmp.PoolReuses += p.Reuses
+	}
+	for _, p := range unpooledStats.Pools {
+		cmp.UnpooledBuilds += p.Builds
+	}
+
+	// Parity: every spec's service results must equal its standalone
+	// fresh-machine run.
+	cmp.ParityOK = true
+	for name, want := range wants {
+		for mode, res := range map[string]LoadResult{"pooled": pooled, "unpooled": unpooled} {
+			got, ok := res.BySpec[name]
+			if !ok {
+				return cmp, fmt.Errorf("serve: %s run never completed spec %s", mode, name)
+			}
+			if got != want {
+				cmp.ParityOK = false
+				return cmp, fmt.Errorf("serve: %s result for %s diverged from standalone run: %+v vs %+v",
+					mode, name, got, want)
+			}
+		}
+	}
+	return cmp, nil
+}
+
+// BenchRecord is the schema of BENCH_serve.json: closed-loop service
+// throughput and latency with per-shape machine pooling on vs off,
+// with parity against standalone runs asserted before any timing is
+// reported.
+type BenchRecord struct {
+	Benchmark     string `json:"benchmark"`
+	Timestamp     string `json:"timestamp"`
+	GoMaxProcs    int    `json:"gomaxprocs"`
+	Workers       int    `json:"workers"`
+	Queue         int    `json:"queue"`
+	Engine        string `json:"engine"`
+	Plans         bool   `json:"plans"`
+	Clients       int    `json:"clients"`
+	JobsPerClient int    `json:"jobs_per_client"`
+	Specs         int    `json:"specs"`
+
+	PooledJobs         int     `json:"pooled_jobs"`
+	PooledNs           int64   `json:"pooled_ns"`
+	PooledThroughput   float64 `json:"pooled_jobs_per_sec"`
+	PooledP50Ns        int64   `json:"pooled_latency_p50_ns"`
+	PooledP99Ns        int64   `json:"pooled_latency_p99_ns"`
+	UnpooledJobs       int     `json:"unpooled_jobs"`
+	UnpooledNs         int64   `json:"unpooled_ns"`
+	UnpooledThroughput float64 `json:"unpooled_jobs_per_sec"`
+	UnpooledP50Ns      int64   `json:"unpooled_latency_p50_ns"`
+	UnpooledP99Ns      int64   `json:"unpooled_latency_p99_ns"`
+
+	SpeedupPooled  float64 `json:"speedup_pooled_vs_unpooled"`
+	PoolBuilds     int64   `json:"pool_builds"`
+	PoolReuses     int64   `json:"pool_reuses"`
+	UnpooledBuilds int64   `json:"unpooled_builds"`
+	ParityOK       bool    `json:"parity_ok"`
+}
+
+// NewBenchRecord folds a comparison into the record schema. The
+// reported workers/queue/engine come from Config.withDefaults, so
+// the record always describes the configuration the service
+// actually ran.
+func NewBenchRecord(svcCfg Config, load LoadConfig, cmp Comparison, gomaxprocs int, timestamp string) BenchRecord {
+	eff := svcCfg.withDefaults()
+	rec := BenchRecord{
+		Benchmark:          "serve-closed-loop-pooled-vs-unpooled",
+		Timestamp:          timestamp,
+		GoMaxProcs:         gomaxprocs,
+		Workers:            eff.Workers,
+		Queue:              eff.Queue,
+		Engine:             eff.Engine,
+		Plans:              !svcCfg.NoPlans,
+		Clients:            load.Clients,
+		JobsPerClient:      load.JobsPerClient,
+		Specs:              len(load.Specs),
+		PooledJobs:         cmp.Pooled.Jobs,
+		PooledNs:           cmp.Pooled.ElapsedNs,
+		PooledThroughput:   cmp.Pooled.ThroughputJobsPerSec,
+		PooledP50Ns:        cmp.Pooled.LatencyP50Ns,
+		PooledP99Ns:        cmp.Pooled.LatencyP99Ns,
+		UnpooledJobs:       cmp.Unpooled.Jobs,
+		UnpooledNs:         cmp.Unpooled.ElapsedNs,
+		UnpooledThroughput: cmp.Unpooled.ThroughputJobsPerSec,
+		UnpooledP50Ns:      cmp.Unpooled.LatencyP50Ns,
+		UnpooledP99Ns:      cmp.Unpooled.LatencyP99Ns,
+		PoolBuilds:         cmp.PoolBuilds,
+		PoolReuses:         cmp.PoolReuses,
+		UnpooledBuilds:     cmp.UnpooledBuilds,
+		ParityOK:           cmp.ParityOK,
+	}
+	if cmp.Unpooled.ThroughputJobsPerSec > 0 {
+		rec.SpeedupPooled = cmp.Pooled.ThroughputJobsPerSec / cmp.Unpooled.ThroughputJobsPerSec
+	}
+	return rec
+}
+
+// WriteJSON writes the record as indented JSON.
+func (r *BenchRecord) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+func TestRunLoadClosedLoop(t *testing.T) {
+	svc, err := NewService(Config{Workers: 2, Queue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Drain()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	res, err := RunLoad(ts.URL, LoadConfig{
+		Clients:       3,
+		JobsPerClient: 4,
+		Specs:         testSpecs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 12 || res.Failed != 0 {
+		t.Fatalf("load run incomplete: %+v", res)
+	}
+	if res.ThroughputJobsPerSec <= 0 || res.LatencyP50Ns <= 0 || res.LatencyP99Ns < res.LatencyP50Ns {
+		t.Fatalf("load metrics inconsistent: %+v", res)
+	}
+	if len(res.BySpec) == 0 {
+		t.Fatalf("no per-spec results recorded")
+	}
+}
+
+func TestRunLoadRejectsBadConfig(t *testing.T) {
+	if _, err := RunLoad("http://127.0.0.1:0", LoadConfig{}); err == nil {
+		t.Fatal("empty load config accepted")
+	}
+}
+
+func TestRunComparisonParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison run in -short mode")
+	}
+	// Two specs rely on normalization defaults (dist → uniform,
+	// pairs → 1): parity keying must use the normalized form.
+	specs := append(testSpecs(),
+		JobSpec{Kind: KindSort, N: 4, Seed: 3},
+		JobSpec{Kind: KindFaultRoute, N: 4, Faults: 1, Seed: 5},
+	)
+	cmp, err := RunComparison(
+		Config{Workers: 2, Queue: 16},
+		LoadConfig{Clients: 2, JobsPerClient: 8, Specs: specs},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.ParityOK {
+		t.Fatalf("parity failed: %+v", cmp)
+	}
+	if cmp.Pooled.Jobs != 16 || cmp.Unpooled.Jobs != 16 {
+		t.Fatalf("job counts wrong: %+v", cmp)
+	}
+	if cmp.PoolReuses == 0 {
+		t.Fatalf("pooled run never reused a machine: builds %d, reuses %d", cmp.PoolBuilds, cmp.PoolReuses)
+	}
+	if cmp.UnpooledBuilds != 16 {
+		t.Fatalf("unpooled run built %d machines, want one per job (16)", cmp.UnpooledBuilds)
+	}
+	rec := NewBenchRecord(Config{Workers: 2},
+		LoadConfig{Clients: 2, JobsPerClient: 8, Specs: specs}, cmp, 2, "test")
+	if rec.PooledJobs != 16 || !rec.ParityOK || rec.Engine != "sequential" || !rec.Plans || rec.Queue != 64 {
+		t.Fatalf("bench record malformed: %+v", rec)
+	}
+}

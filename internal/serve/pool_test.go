@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"starmesh/internal/starsim"
+)
+
+// fakeResource records lifecycle calls.
+type fakeResource struct {
+	resets int
+	closes int
+}
+
+func (f *fakeResource) Reset() { f.resets++ }
+func (f *fakeResource) Close() { f.closes++ }
+
+func TestPoolReusesAndResetsMachines(t *testing.T) {
+	spec := JobSpec{Kind: KindSort, N: 4, Dist: "uniform", Seed: 3}
+	p := &pool{shape: spec.Shape(), build: spec.builder(nil), pooled: true}
+
+	r1, err := p.checkout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := spec.run(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := r1.(*starsim.Machine)
+	if sm.Stats().UnitRoutes == 0 {
+		t.Fatal("job left no stats on the machine")
+	}
+	p.checkin(r1)
+
+	r2, err := p.checkout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != r1 {
+		t.Fatal("pool built a new machine instead of reusing the idle one")
+	}
+	// The reset contract: registers and stats really are cleared
+	// between jobs.
+	if got := sm.Stats(); got.UnitRoutes != 0 || got.Sent != 0 || got.ReceiveConflicts != 0 {
+		t.Fatalf("stats survived checkin reset: %+v", got)
+	}
+	for pe, v := range sm.Reg("K") {
+		if v != 0 {
+			t.Fatalf("register K[%d] = %d after checkin reset", pe, v)
+		}
+	}
+	// And a rerun on the reused machine is bit-identical.
+	again, err := spec.run(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatalf("reused machine diverged: %+v != %+v", again, first)
+	}
+	p.checkin(r2)
+
+	st := p.stats()
+	if st.Builds != 1 || st.Reuses != 1 || st.Idle != 1 || st.InUse != 0 {
+		t.Fatalf("pool counters wrong: %+v", st)
+	}
+}
+
+func TestUnpooledCheckinCloses(t *testing.T) {
+	f := &fakeResource{}
+	p := &pool{shape: "fake", build: func() resource { return f }, pooled: false}
+	r, err := p.checkout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.checkin(r)
+	if f.closes != 1 {
+		t.Fatalf("unpooled checkin closed %d times, want 1", f.closes)
+	}
+	if f.resets != 0 {
+		t.Fatalf("unpooled checkin reset a machine about to be closed")
+	}
+	if st := p.stats(); st.Builds != 1 || st.Reuses != 0 || st.Idle != 0 {
+		t.Fatalf("unpooled counters wrong: %+v", st)
+	}
+}
+
+func TestPoolDoubleCloseIsIdempotent(t *testing.T) {
+	f := &fakeResource{}
+	p := &pool{shape: "fake", build: func() resource { return f }, pooled: true}
+	r, _ := p.checkout()
+	p.checkin(r)
+	p.close()
+	p.close()
+	if f.closes != 1 {
+		t.Fatalf("idle machine closed %d times across double close, want 1", f.closes)
+	}
+
+	ps := newPoolSet(true)
+	if _, err := ps.forShape("fake", func() resource { return &fakeResource{} }); err != nil {
+		t.Fatal(err)
+	}
+	ps.closeAll()
+	ps.closeAll() // must not panic or double-close
+}
+
+func TestCheckoutAfterDrainFails(t *testing.T) {
+	ps := newPoolSet(true)
+	p, err := ps.forShape("fake", func() resource { return &fakeResource{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := p.checkout()
+	ps.closeAll()
+	if _, err := p.checkout(); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("checkout after drain returned %v, want ErrPoolClosed", err)
+	}
+	if _, err := ps.forShape("other", func() resource { return &fakeResource{} }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("forShape after drain returned %v, want ErrPoolClosed", err)
+	}
+	// A machine still out at drain time is closed on checkin, not
+	// parked.
+	p.checkin(out)
+	if f := out.(*fakeResource); f.closes != 1 {
+		t.Fatalf("outstanding machine closed %d times after drain checkin, want 1", f.closes)
+	}
+}
+
+func TestGraphResourceIsStateless(t *testing.T) {
+	spec := JobSpec{Kind: KindFaultRoute, N: 4, Faults: 2, Pairs: 4, Seed: 9}
+	p := &pool{shape: spec.Shape(), build: spec.builder(nil), pooled: true}
+	r, err := p.checkout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := spec.run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.checkin(r)
+	r2, _ := p.checkout()
+	again, err := spec.run(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("fault-route rerun diverged on pooled graph: %+v != %+v", first, again)
+	}
+}

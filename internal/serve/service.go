@@ -1,0 +1,259 @@
+// Service: the bounded scheduler tying admission, per-shape pools
+// and the store together. Submit either enqueues or fails fast;
+// fixed workers drain the queue onto pooled machines; Drain stops
+// admission, lets every admitted job finish, then releases the
+// pools.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"starmesh/internal/simd"
+)
+
+// Admission and lookup errors; the HTTP layer maps them to status
+// codes (429, 503, 404, 409, 400).
+var (
+	ErrQueueFull     = errors.New("serve: admission queue full")
+	ErrDraining      = errors.New("serve: service is draining")
+	ErrNotFound      = errors.New("serve: no such job")
+	ErrNotCancelable = errors.New("serve: job not cancelable")
+	ErrInvalidSpec   = errors.New("serve: invalid job spec")
+)
+
+// Config shapes a Service. The zero value is a working default:
+// GOMAXPROCS workers, a 64-deep queue, pooling on, the sequential
+// engine with plans enabled.
+type Config struct {
+	// Workers is the number of concurrent job executors (0 =
+	// GOMAXPROCS).
+	Workers int `json:"workers"`
+	// Queue is the admission queue depth (0 = 64). A full queue
+	// rejects submissions with ErrQueueFull — backpressure, not
+	// buffering.
+	Queue int `json:"queue"`
+	// NoPool disables per-shape machine pooling: every job builds a
+	// fresh machine and closes it (the measured baseline).
+	NoPool bool `json:"no_pool"`
+	// Engine selects the execution engine of the job machines:
+	// "sequential" (default), "parallel" or "parallel-spawn".
+	Engine string `json:"engine"`
+	// EngineWorkers is the parallel engine's worker count (0 =
+	// GOMAXPROCS).
+	EngineWorkers int `json:"engine_workers"`
+	// NoPlans disables compiled route plans on the job machines.
+	NoPlans bool `json:"no_plans"`
+}
+
+// withDefaults resolves the zero values to their effective settings
+// — the single place the running service and the bench record agree
+// on what a default config means.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.Engine == "" {
+		c.Engine = "sequential"
+	}
+	return c
+}
+
+// engineOptions maps the config to simd machine options.
+func (c Config) engineOptions() ([]simd.Option, error) {
+	var opts []simd.Option
+	switch c.Engine {
+	case "", "sequential", "seq":
+	case "parallel", "par":
+		opts = append(opts, simd.WithExecutor(simd.Parallel(c.EngineWorkers)))
+	case "parallel-spawn", "spawn":
+		opts = append(opts, simd.WithExecutor(simd.ParallelSpawn(c.EngineWorkers)))
+	default:
+		return nil, fmt.Errorf("serve: unknown engine %q (want sequential, parallel or parallel-spawn)", c.Engine)
+	}
+	if c.NoPlans {
+		opts = append(opts, simd.WithPlans(false))
+	}
+	return opts, nil
+}
+
+// Service is a running simulation job service.
+type Service struct {
+	cfg        Config
+	workers    int
+	queueCap   int
+	engineOpts []simd.Option
+
+	store *store
+	pools *poolSet
+	queue chan string
+	start time.Time
+
+	mu       sync.Mutex // guards draining + the enqueue/close race
+	draining bool
+
+	wg      sync.WaitGroup
+	drainOf sync.Once
+	drained chan struct{}
+}
+
+// NewService validates the config and starts the worker set.
+func NewService(cfg Config) (*Service, error) {
+	return newService(cfg, true)
+}
+
+// newService optionally holds the workers back — tests use a stopped
+// service to observe queued state deterministically.
+func newService(cfg Config, startWorkers bool) (*Service, error) {
+	eff := cfg.withDefaults()
+	opts, err := eff.engineOptions()
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:        eff,
+		workers:    eff.Workers,
+		queueCap:   eff.Queue,
+		engineOpts: opts,
+		store:      newStore(),
+		pools:      newPoolSet(!eff.NoPool),
+		queue:      make(chan string, eff.Queue),
+		start:      time.Now(),
+		drained:    make(chan struct{}),
+	}
+	if startWorkers {
+		for i := 0; i < s.workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+	}
+	return s, nil
+}
+
+// Submit validates and admits a job, returning its queued snapshot.
+// A full queue fails fast with ErrQueueFull; a draining service with
+// ErrDraining; a bad spec with an error wrapping ErrInvalidSpec.
+func (s *Service) Submit(spec JobSpec) (Job, error) {
+	norm, err := spec.normalized()
+	if err != nil {
+		return Job{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return Job{}, ErrDraining
+	}
+	job := s.store.add(norm, time.Now())
+	select {
+	case s.queue <- job.ID:
+		return job, nil
+	default:
+		s.store.remove(job.ID)
+		return Job{}, ErrQueueFull
+	}
+}
+
+// Job returns a snapshot of a job by id.
+func (s *Service) Job(id string) (Job, bool) { return s.store.get(id) }
+
+// Jobs returns snapshots of the most recent jobs, newest first
+// (limit 0 = all).
+func (s *Service) Jobs(limit int) []Job { return s.store.list(limit) }
+
+// Cancel cancels a queued job. Running jobs are not preemptible —
+// a unit-route schedule has no safe interruption point — and
+// finished jobs are immutable; both return ErrNotCancelable.
+func (s *Service) Cancel(id string) (Job, error) {
+	return s.store.cancel(id, time.Now())
+}
+
+// Stats aggregates the service view: status counts, latency
+// percentiles, unit-route totals and per-shape pool counters.
+func (s *Service) Stats() Stats {
+	st := s.store.aggregate(time.Since(s.start))
+	st.Workers = s.workers
+	st.QueueCap = s.queueCap
+	st.Pooling = !s.cfg.NoPool
+	s.mu.Lock()
+	st.Draining = s.draining
+	s.mu.Unlock()
+	st.Pools = s.pools.stats()
+	return st
+}
+
+// Draining reports whether the service has begun shutting down.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the service down: admission stops
+// (ErrDraining), every already-admitted job runs to completion, the
+// workers exit, and the machine pools close — releasing every
+// engine's worker goroutines. Drain blocks until all of that is done
+// and is safe to call from multiple goroutines; later calls wait for
+// the first.
+func (s *Service) Drain() {
+	s.drainOf.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		close(s.queue) // Submit holds s.mu, so no send can race this
+		s.mu.Unlock()
+		s.wg.Wait()
+		s.pools.closeAll()
+		close(s.drained)
+	})
+	<-s.drained
+}
+
+// Close is Drain (io.Closer-shaped for callers that expect one).
+func (s *Service) Close() error {
+	s.Drain()
+	return nil
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for id := range s.queue {
+		s.runJob(id)
+	}
+}
+
+// runJob claims one queued job, executes it on a pooled machine of
+// the job's shape and records the outcome. Machine panics (the
+// simulators panic on contract violations) are converted into job
+// failures so one bad job cannot take the worker down.
+func (s *Service) runJob(id string) {
+	spec, ok := s.store.claim(id, time.Now())
+	if !ok {
+		return // canceled while queued
+	}
+	res, err := s.execute(spec)
+	s.store.finish(id, res, err, time.Now())
+}
+
+func (s *Service) execute(spec JobSpec) (res ScenarioResult, err error) {
+	pl, err := s.pools.forShape(spec.Shape(), spec.builder(s.engineOpts))
+	if err != nil {
+		return res, err
+	}
+	r, err := pl.checkout()
+	if err != nil {
+		return res, err
+	}
+	defer pl.checkin(r)
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("serve: job panicked: %v", p)
+		}
+	}()
+	return spec.run(r)
+}

@@ -1,0 +1,331 @@
+// In-memory job store: the record of every job the service has
+// admitted, plus the aggregation the /stats endpoint reports —
+// status counts, latency percentiles, unit-route and conflict
+// totals. The store holds the canonical *Job values; everything it
+// hands out is a snapshot copy, so readers never race the workers.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"starmesh/internal/workload"
+)
+
+// Status is the lifecycle state of a job.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Job is one admitted job and its outcome.
+type Job struct {
+	ID     string  `json:"id"`
+	Spec   JobSpec `json:"spec"`
+	Shape  string  `json:"shape"`
+	Status Status  `json:"status"`
+	// Result is set once the job is done; its unit routes, conflicts
+	// and self-check are bit-identical to a standalone run of the
+	// same spec.
+	Result *workload.ScenarioResult `json:"result,omitempty"`
+	Error  string                   `json:"error,omitempty"`
+
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	// WaitNs and RunNs split the total latency into queueing and
+	// execution time (set when the job finishes).
+	WaitNs int64 `json:"wait_ns,omitempty"`
+	RunNs  int64 `json:"run_ns,omitempty"`
+}
+
+// snapshot copies the job for handing outside the store lock.
+func (j *Job) snapshot() Job {
+	out := *j
+	if j.Result != nil {
+		r := *j.Result
+		out.Result = &r
+	}
+	return out
+}
+
+// Retention bounds. The service is long-running, so the store keeps
+// a bounded window of job records and latency samples: once more
+// than maxRetainedJobs are held, the oldest terminal jobs are
+// evicted (their ids then answer 404 — the aggregate counters stay
+// cumulative), and the percentile window holds the most recent
+// maxLatencySamples finishes. Variables rather than constants so
+// tests can shrink them.
+var (
+	maxRetainedJobs   = 4096
+	maxLatencySamples = 4096
+)
+
+// latWindow is a fixed-capacity ring of the most recent latency
+// samples.
+type latWindow struct {
+	samples []time.Duration
+	next    int
+}
+
+func (w *latWindow) add(d time.Duration) {
+	if len(w.samples) < maxLatencySamples {
+		w.samples = append(w.samples, d)
+		return
+	}
+	w.samples[w.next] = d
+	w.next = (w.next + 1) % len(w.samples)
+}
+
+// store is the mutex-guarded job table.
+type store struct {
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // admission order, for listing
+	front int      // index in order of the oldest retained job
+	next  int
+
+	counts     map[Status]int // cumulative, unaffected by eviction
+	finished   int64          // done + failed, cumulative
+	unitRoutes int64
+	conflicts  int64
+	latTotal   latWindow // created→finished of done/failed jobs
+	latRun     latWindow // started→finished
+}
+
+func newStore() *store {
+	return &store{
+		jobs:   make(map[string]*Job),
+		counts: make(map[Status]int),
+	}
+}
+
+// evict drops the oldest terminal jobs beyond the retention bound.
+// Queued or running jobs are never evicted (their population is
+// bounded by the queue depth plus the worker count anyway), so
+// eviction stops at the first live one. Caller holds st.mu.
+func (st *store) evict() {
+	for len(st.jobs) > maxRetainedJobs && st.front < len(st.order) {
+		j := st.jobs[st.order[st.front]]
+		if j != nil && !j.Status.Terminal() {
+			break
+		}
+		if j != nil {
+			delete(st.jobs, j.ID)
+		}
+		st.front++
+	}
+	// Compact the order slice once the dead prefix dominates.
+	if st.front > 1024 && st.front > len(st.order)/2 {
+		st.order = append([]string(nil), st.order[st.front:]...)
+		st.front = 0
+	}
+}
+
+// add admits a job in the queued state and returns its snapshot.
+func (st *store) add(spec JobSpec, now time.Time) Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%06d", st.next),
+		Spec:    spec,
+		Shape:   spec.Shape(),
+		Status:  StatusQueued,
+		Created: now,
+	}
+	st.jobs[j.ID] = j
+	st.order = append(st.order, j.ID)
+	st.counts[StatusQueued]++
+	return j.snapshot()
+}
+
+// remove forgets a job that never made it into the queue (admission
+// rollback after ErrQueueFull).
+func (st *store) remove(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j, ok := st.jobs[id]; ok {
+		st.counts[j.Status]--
+		delete(st.jobs, id)
+		if n := len(st.order); n > 0 && st.order[n-1] == id {
+			st.order = st.order[:n-1]
+		}
+	}
+}
+
+// get returns a snapshot of a job.
+func (st *store) get(id string) (Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.snapshot(), true
+}
+
+// list returns snapshots of the most recent retained jobs, newest
+// first, up to limit (0 means all).
+func (st *store) list(limit int) []Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := len(st.order) - st.front
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]Job, 0, limit)
+	for i := len(st.order) - 1; i >= len(st.order)-limit; i-- {
+		out = append(out, st.jobs[st.order[i]].snapshot())
+	}
+	return out
+}
+
+// claim transitions a queued job to running; false means the job was
+// canceled while waiting and the worker must skip it.
+func (st *store) claim(id string, now time.Time) (JobSpec, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok || j.Status != StatusQueued {
+		return JobSpec{}, false
+	}
+	st.counts[j.Status]--
+	j.Status = StatusRunning
+	j.Started = now
+	st.counts[StatusRunning]++
+	return j.Spec, true
+}
+
+// finish records a job's outcome and folds it into the aggregates.
+func (st *store) finish(id string, res workload.ScenarioResult, err error, now time.Time) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok || j.Status != StatusRunning {
+		return
+	}
+	st.counts[j.Status]--
+	j.Finished = now
+	j.WaitNs = j.Started.Sub(j.Created).Nanoseconds()
+	j.RunNs = j.Finished.Sub(j.Started).Nanoseconds()
+	if err != nil {
+		j.Status = StatusFailed
+		j.Error = err.Error()
+	} else {
+		j.Status = StatusDone
+		res.Name = j.Spec.Name()
+		res.ElapsedNs = j.RunNs
+		j.Result = &res
+		st.unitRoutes += int64(res.UnitRoutes)
+		st.conflicts += int64(res.Conflicts)
+	}
+	st.counts[j.Status]++
+	st.finished++
+	st.latTotal.add(j.Finished.Sub(j.Created))
+	st.latRun.add(j.Finished.Sub(j.Started))
+	st.evict()
+}
+
+// cancel transitions a queued job to canceled; running or finished
+// jobs are not cancelable (a unit-route simulation has no safe
+// preemption point — see the package comment).
+func (st *store) cancel(id string, now time.Time) (Job, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	if j.Status != StatusQueued {
+		return j.snapshot(), fmt.Errorf("%w: job %s is %s", ErrNotCancelable, id, j.Status)
+	}
+	st.counts[j.Status]--
+	j.Status = StatusCanceled
+	j.Finished = now
+	st.counts[StatusCanceled]++
+	snap := j.snapshot()
+	st.evict()
+	return snap, nil
+}
+
+// Stats is the aggregated service view (/stats).
+type Stats struct {
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+
+	UnitRoutes int64 `json:"unit_routes"`
+	Conflicts  int64 `json:"conflicts"`
+
+	// Latency percentiles over the most recent finished (done or
+	// failed) jobs — a bounded window of maxLatencySamples — with
+	// total = admission→finish, run = execution only.
+	LatencyTotalP50Ns int64 `json:"latency_total_p50_ns"`
+	LatencyTotalP99Ns int64 `json:"latency_total_p99_ns"`
+	LatencyRunP50Ns   int64 `json:"latency_run_p50_ns"`
+	LatencyRunP99Ns   int64 `json:"latency_run_p99_ns"`
+
+	// ThroughputJobsPerSec counts finished jobs over the service
+	// uptime.
+	ThroughputJobsPerSec float64 `json:"throughput_jobs_per_sec"`
+
+	Workers  int  `json:"workers"`
+	QueueCap int  `json:"queue_cap"`
+	Pooling  bool `json:"pooling"`
+	Draining bool `json:"draining"`
+
+	Pools []PoolStats `json:"pools"`
+}
+
+// aggregate computes the store's part of Stats.
+func (st *store) aggregate(uptime time.Duration) Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := Stats{
+		Queued:            st.counts[StatusQueued],
+		Running:           st.counts[StatusRunning],
+		Done:              st.counts[StatusDone],
+		Failed:            st.counts[StatusFailed],
+		Canceled:          st.counts[StatusCanceled],
+		UnitRoutes:        st.unitRoutes,
+		Conflicts:         st.conflicts,
+		LatencyTotalP50Ns: percentile(st.latTotal.samples, 50).Nanoseconds(),
+		LatencyTotalP99Ns: percentile(st.latTotal.samples, 99).Nanoseconds(),
+		LatencyRunP50Ns:   percentile(st.latRun.samples, 50).Nanoseconds(),
+		LatencyRunP99Ns:   percentile(st.latRun.samples, 99).Nanoseconds(),
+	}
+	if secs := uptime.Seconds(); secs > 0 {
+		s.ThroughputJobsPerSec = float64(st.finished) / secs
+	}
+	return s
+}
+
+// percentile returns the nearest-rank p-th percentile of the
+// samples (0 for an empty set).
+func percentile(samples []time.Duration, p int) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 · n)
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStoreEvictsOldTerminalJobsKeepsAggregates(t *testing.T) {
+	oldJobs, oldLat := maxRetainedJobs, maxLatencySamples
+	maxRetainedJobs, maxLatencySamples = 4, 3
+	defer func() { maxRetainedJobs, maxLatencySamples = oldJobs, oldLat }()
+
+	st := newStore()
+	now := time.Now()
+	var ids []string
+	for i := 0; i < 10; i++ {
+		j := st.add(JobSpec{Kind: KindSweep, N: 3}, now)
+		ids = append(ids, j.ID)
+		if _, ok := st.claim(j.ID, now.Add(time.Millisecond)); !ok {
+			t.Fatalf("claim %s failed", j.ID)
+		}
+		st.finish(j.ID, ScenarioResult{UnitRoutes: 10, OK: true}, nil,
+			now.Add(time.Duration(i+2)*time.Millisecond))
+	}
+
+	stats := st.aggregate(time.Second)
+	if stats.Done != 10 {
+		t.Fatalf("eviction ate the cumulative done count: %+v", stats)
+	}
+	if stats.UnitRoutes != 100 {
+		t.Fatalf("eviction ate the unit-route total: %+v", stats)
+	}
+	retained := 0
+	for _, id := range ids {
+		if _, ok := st.get(id); ok {
+			retained++
+		}
+	}
+	if retained > maxRetainedJobs {
+		t.Fatalf("retained %d jobs, bound is %d", retained, maxRetainedJobs)
+	}
+	// The oldest jobs are the evicted ones; the newest survive.
+	if _, ok := st.get(ids[0]); ok {
+		t.Fatal("oldest job survived eviction")
+	}
+	if _, ok := st.get(ids[len(ids)-1]); !ok {
+		t.Fatal("newest job was evicted")
+	}
+	// Listing covers only retained jobs, newest first, and never
+	// panics on evicted prefixes.
+	jobs := st.list(0)
+	if len(jobs) != retained || jobs[0].ID != ids[len(ids)-1] {
+		t.Fatalf("list wrong after eviction: %d jobs, first %s", len(jobs), jobs[0].ID)
+	}
+	// The latency window is bounded too.
+	if n := len(st.latTotal.samples); n > maxLatencySamples {
+		t.Fatalf("latency window holds %d samples, bound is %d", n, maxLatencySamples)
+	}
+	if stats.LatencyTotalP50Ns == 0 || stats.ThroughputJobsPerSec != 10 {
+		t.Fatalf("windowed aggregates wrong: %+v", stats)
+	}
+}
+
+func TestLatWindowWrapsToRecentSamples(t *testing.T) {
+	oldLat := maxLatencySamples
+	maxLatencySamples = 4
+	defer func() { maxLatencySamples = oldLat }()
+	var w latWindow
+	for i := 1; i <= 10; i++ {
+		w.add(time.Duration(i))
+	}
+	if len(w.samples) != 4 {
+		t.Fatalf("window holds %d samples, want 4", len(w.samples))
+	}
+	sum := time.Duration(0)
+	for _, d := range w.samples {
+		sum += d
+	}
+	if sum != 7+8+9+10 {
+		t.Fatalf("window holds %v, want the most recent four", w.samples)
+	}
+}

@@ -102,6 +102,27 @@ func (m *Machine) Close() {
 	}
 }
 
+// Reset returns the machine to its post-construction state for
+// reuse: every declared register is zeroed, Stats and PortUses are
+// cleared, and the route scratch is restored to its clean state. The
+// expensive amortizable state — topology, compiled-plan bindings,
+// parallel scratch and the persistent worker pool — is deliberately
+// kept, which is the whole point: a pool of reset machines serves a
+// stream of jobs without paying construction again. Reset must not
+// be called while the machine is recording a plan.
+func (m *Machine) Reset() {
+	if m.rec != nil {
+		panic("simd: Reset called while recording a plan")
+	}
+	for _, r := range m.regs {
+		clear(r)
+	}
+	m.ResetStats()
+	clear(m.touched)
+	m.touchedDirty = m.touchedDirty[:0]
+	m.touchedClean = true
+}
+
 // clearTouched prepares the touched buffer for a new route. The
 // previous route's resetTouched normally already cleared every
 // marked entry, so the full O(n) sweep runs only after a route that

@@ -234,3 +234,85 @@ func TestPortUses(t *testing.T) {
 		}
 	}
 }
+
+func TestResetClearsRegistersAndStats(t *testing.T) {
+	m := New(ring{6})
+	m.AddReg("A")
+	m.AddReg("B")
+	m.Set("A", func(pe int) int64 { return int64(pe + 1) })
+	m.RouteA("A", "B", 0, nil)
+	if m.Stats().UnitRoutes == 0 || m.Stats().Sent == 0 {
+		t.Fatal("route did not run")
+	}
+	m.Reset()
+	if got := m.Stats(); got != (Stats{}) {
+		t.Fatalf("stats survived Reset: %+v", got)
+	}
+	for _, uses := range m.PortUses() {
+		if uses != 0 {
+			t.Fatalf("port uses survived Reset: %v", m.PortUses())
+		}
+	}
+	for _, name := range []string{"A", "B"} {
+		for pe, v := range m.Reg(name) {
+			if v != 0 {
+				t.Fatalf("register %s[%d] = %d after Reset", name, pe, v)
+			}
+		}
+	}
+	// The reset machine must behave exactly like a fresh one.
+	fresh := New(ring{6})
+	fresh.AddReg("A")
+	fresh.AddReg("B")
+	run := func(m *Machine) (Stats, []int64) {
+		m.Set("A", func(pe int) int64 { return int64(2 * pe) })
+		m.RouteA("A", "B", 1, nil)
+		return m.Stats(), append([]int64(nil), m.Reg("B")...)
+	}
+	fs, fb := run(fresh)
+	rs, rb := run(m)
+	if fs != rs {
+		t.Fatalf("reset machine stats diverged: fresh %+v, reset %+v", fs, rs)
+	}
+	for pe := range fb {
+		if fb[pe] != rb[pe] {
+			t.Fatalf("reset machine register diverged at PE %d: %d != %d", pe, rb[pe], fb[pe])
+		}
+	}
+}
+
+func TestResetDuringRecordingPanics(t *testing.T) {
+	m := New(ring{4})
+	m.AddReg("A")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset inside Record did not panic")
+		}
+	}()
+	m.Record(func() { m.Reset() })
+}
+
+func TestResetRecoversDirtyTouchedScratch(t *testing.T) {
+	// A route that panics mid-flight leaves the touched scratch dirty;
+	// Reset must restore the clean state so the next route is exact.
+	m := New(ring{4})
+	m.AddReg("A")
+	m.AddReg("B")
+	func() {
+		defer func() { recover() }()
+		m.RouteB("A", "B", func(pe int) int {
+			if pe == 2 {
+				panic("boom")
+			}
+			return 0
+		})
+	}()
+	m.Reset()
+	m.Set("A", func(pe int) int64 { return int64(pe + 7) })
+	if c := m.RouteA("A", "B", 0, nil); c != 0 {
+		t.Fatalf("conflicts on a clean ring route after Reset: %d", c)
+	}
+	if got := m.Stats().Sent; got != 4 {
+		t.Fatalf("Sent = %d after Reset, want 4", got)
+	}
+}

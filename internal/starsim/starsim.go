@@ -97,6 +97,11 @@ type Machine struct {
 	murPlans   map[murKey]*simd.Plan
 	muraPlans  map[murKey]*simd.Plan
 	bcastPlans map[bcastKey]*simd.Plan
+	// meshIDs lazily caches, per PE, the mesh node the embedding
+	// assigns to it (core.UnmapID) — a pure function of n, so it
+	// survives Reset and is amortized across the jobs of a reused
+	// machine.
+	meshIDs []int
 }
 
 // murKey identifies a mesh-unit-route schedule (unmasked). generic
@@ -194,6 +199,22 @@ func (m *Machine) routeTableFor(k, dir int) *routeTable {
 	})
 	m.tables[idx] = t
 	return t
+}
+
+// MeshIDs returns, indexed by star PE id, the mesh node of D_n that
+// the paper's embedding places on that PE (core.UnmapID) — the
+// vertex map SnakeSortStar and the workload scenarios need. The
+// O(n!·n²) conversion sweep runs once per machine, through the
+// engine (so a parallel executor shards it), and the cached slice is
+// kept across Reset: reused machines never pay it again. Do not
+// mutate the returned slice.
+func (m *Machine) MeshIDs() []int {
+	if m.meshIDs == nil {
+		ids := make([]int, m.Size())
+		m.Apply(func(pe int) { ids[pe] = core.UnmapID(m.N, pe) })
+		m.meshIDs = ids
+	}
+	return m.meshIDs
 }
 
 // Perm returns the permutation of PE pe (do not mutate).

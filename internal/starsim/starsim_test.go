@@ -231,3 +231,18 @@ func BenchmarkNewMachine(b *testing.B) {
 		_ = New(7)
 	}
 }
+
+func TestMeshIDsMatchesUnmapAndSurvivesReset(t *testing.T) {
+	m := New(4)
+	ids := m.MeshIDs()
+	for pe := range ids {
+		if want := core.UnmapID(4, pe); ids[pe] != want {
+			t.Fatalf("MeshIDs[%d] = %d, want %d", pe, ids[pe], want)
+		}
+	}
+	m.Reset()
+	again := m.MeshIDs()
+	if &again[0] != &ids[0] {
+		t.Fatal("MeshIDs rebuilt after Reset; the cache should survive")
+	}
+}

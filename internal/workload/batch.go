@@ -16,7 +16,6 @@ import (
 	"sync"
 	"time"
 
-	"starmesh/internal/core"
 	"starmesh/internal/mesh"
 	"starmesh/internal/meshsim"
 	"starmesh/internal/simd"
@@ -99,6 +98,123 @@ func RunBatch(scenarios []Scenario, workers int) BatchResult {
 	return out
 }
 
+// The Run*On functions execute one scenario on a caller-supplied
+// machine, drawing all randomness from an explicit *rand.Rand. They
+// are the single implementation shared by the standalone Scenario
+// constructors below (which build a fresh machine per run) and the
+// job service's pooled execution (internal/serve, which checks
+// machines out of per-shape pools) — so a pooled run is bit-identical
+// to a standalone run of the same seed by construction. Each runner
+// assumes post-construction machine state (zero registers, zero
+// stats): exactly what a fresh machine or a Reset pooled machine
+// provides.
+
+// RunSortOn snake-sorts keys of the given distribution on a star
+// machine through the paper's embedding.
+func RunSortOn(sm *starsim.Machine, d Dist, rng *rand.Rand) (ScenarioResult, error) {
+	keys := KeysRand(d, sm.Size(), rng)
+	sm.EnsureReg("K")
+	sm.Set("K", func(pe int) int64 { return keys[pe] })
+	res := sorting.SnakeSortStar(sm, "K", sm.MeshIDs())
+	if !res.Sorted {
+		return ScenarioResult{}, fmt.Errorf("snake sort left keys unsorted")
+	}
+	return ScenarioResult{
+		UnitRoutes: res.UnitRoutes,
+		Conflicts:  res.Conflicts,
+		OK:         res.Sorted && res.Conflicts == 0,
+	}, nil
+}
+
+// RunShearOn shear-sorts keys of the given distribution on a 2-D
+// mesh machine.
+func RunShearOn(mm *meshsim.Machine, d Dist, rng *rand.Rand) (ScenarioResult, error) {
+	keys := KeysRand(d, mm.Size(), rng)
+	mm.EnsureReg("K")
+	mm.Set("K", func(pe int) int64 { return keys[pe] })
+	res := sorting.ShearSort2D(mm, "K")
+	if !res.Sorted {
+		return ScenarioResult{}, fmt.Errorf("shear sort left keys unsorted")
+	}
+	return ScenarioResult{
+		UnitRoutes: res.UnitRoutes,
+		Conflicts:  res.Conflicts,
+		OK:         res.Sorted && res.Conflicts == 0,
+	}, nil
+}
+
+// RunBroadcastOn floods one value from the given source PE across a
+// star machine and checks every PE received it. The conflict count
+// covers only this broadcast (stats are diffed), so the runner is
+// exact on reused machines too.
+func RunBroadcastOn(sm *starsim.Machine, source int) (ScenarioResult, error) {
+	if source < 0 || source >= sm.Size() {
+		return ScenarioResult{}, fmt.Errorf("broadcast source %d out of range [0,%d)", source, sm.Size())
+	}
+	sm.EnsureReg("V")
+	sm.EnsureReg("W")
+	const payload = 42
+	sm.Reg("V")[source] = payload
+	before := sm.Stats()
+	routes := sm.Broadcast("V", "W", source)
+	for pe, v := range sm.Reg("W") {
+		if v != payload {
+			return ScenarioResult{}, fmt.Errorf("PE %d missed the broadcast (got %d)", pe, v)
+		}
+	}
+	conflicts := sm.Stats().ReceiveConflicts - before.ReceiveConflicts
+	return ScenarioResult{
+		UnitRoutes: routes,
+		Conflicts:  conflicts,
+		OK:         conflicts == 0,
+	}, nil
+}
+
+// RunSweepOn drives the full mesh-unit-route sweep (EngineSweep) on
+// a star machine and reports the star unit routes it cost.
+func RunSweepOn(sm *starsim.Machine) (ScenarioResult, error) {
+	before := sm.Stats()
+	EngineSweep(sm)
+	after := sm.Stats()
+	conflicts := after.ReceiveConflicts - before.ReceiveConflicts
+	return ScenarioResult{
+		UnitRoutes: after.UnitRoutes - before.UnitRoutes,
+		Conflicts:  conflicts,
+		OK:         conflicts == 0,
+	}, nil
+}
+
+// RunFaultRouteOn routes the given number of random source/target
+// pairs through the star graph while avoiding random fault sets of
+// the given size (at most n-2, so a path always exists). The
+// reported unit routes are the total hops across all pairs.
+func RunFaultRouteOn(g *star.Graph, faults, pairs int, rng *rand.Rand) (ScenarioResult, error) {
+	if faults > g.N()-2 {
+		return ScenarioResult{}, fmt.Errorf("faults %d exceed the survivable n-2 = %d", faults, g.N()-2)
+	}
+	hops := 0
+	for i := 0; i < pairs; i++ {
+		faulty := make(map[int]bool, faults)
+		for len(faulty) < faults {
+			faulty[rng.Intn(g.Order())] = true
+		}
+		src := rng.Intn(g.Order())
+		for faulty[src] {
+			src = rng.Intn(g.Order())
+		}
+		dst := rng.Intn(g.Order())
+		for faulty[dst] {
+			dst = rng.Intn(g.Order())
+		}
+		path := g.RouteAvoiding(g.Node(src), g.Node(dst), faulty)
+		if path == nil {
+			return ScenarioResult{}, fmt.Errorf("no healthy route from %d to %d around %d faults", src, dst, faults)
+		}
+		hops += len(path) - 1
+	}
+	return ScenarioResult{UnitRoutes: hops, OK: true}, nil
+}
+
 // SortScenario snake-sorts n! keys of the given distribution on the
 // star machine S_n through the paper's embedding.
 func SortScenario(n int, d Dist, seed int64, opts ...simd.Option) Scenario {
@@ -106,22 +222,7 @@ func SortScenario(n int, d Dist, seed int64, opts ...simd.Option) Scenario {
 	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
 		sm := starsim.New(n, opts...)
 		defer sm.Close()
-		keys := Keys(d, sm.Size(), seed)
-		meshID := make([]int, sm.Size())
-		for pe := range meshID {
-			meshID[pe] = core.UnmapID(n, pe)
-		}
-		sm.AddReg("K")
-		sm.Set("K", func(pe int) int64 { return keys[pe] })
-		res := sorting.SnakeSortStar(sm, "K", meshID)
-		if !res.Sorted {
-			return ScenarioResult{}, fmt.Errorf("snake sort left keys unsorted")
-		}
-		return ScenarioResult{
-			UnitRoutes: res.UnitRoutes,
-			Conflicts:  res.Conflicts,
-			OK:         res.Sorted && res.Conflicts == 0,
-		}, nil
+		return RunSortOn(sm, d, NewRand(seed))
 	}}
 }
 
@@ -131,18 +232,7 @@ func ShearScenario(rows, cols int, d Dist, seed int64, opts ...simd.Option) Scen
 	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
 		mm := meshsim.New(mesh.New(rows, cols), opts...)
 		defer mm.Close()
-		keys := Keys(d, mm.Size(), seed)
-		mm.AddReg("K")
-		mm.Set("K", func(pe int) int64 { return keys[pe] })
-		res := sorting.ShearSort2D(mm, "K")
-		if !res.Sorted {
-			return ScenarioResult{}, fmt.Errorf("shear sort left keys unsorted")
-		}
-		return ScenarioResult{
-			UnitRoutes: res.UnitRoutes,
-			Conflicts:  res.Conflicts,
-			OK:         res.Sorted && res.Conflicts == 0,
-		}, nil
+		return RunShearOn(mm, d, NewRand(seed))
 	}}
 }
 
@@ -153,22 +243,17 @@ func BroadcastScenario(n, source int, opts ...simd.Option) Scenario {
 	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
 		sm := starsim.New(n, opts...)
 		defer sm.Close()
-		sm.AddReg("V")
-		sm.AddReg("W")
-		const payload = 42
-		sm.Reg("V")[source] = payload
-		routes := sm.Broadcast("V", "W", source)
-		for pe, v := range sm.Reg("W") {
-			if v != payload {
-				return ScenarioResult{}, fmt.Errorf("PE %d missed the broadcast (got %d)", pe, v)
-			}
-		}
-		st := sm.Stats()
-		return ScenarioResult{
-			UnitRoutes: routes,
-			Conflicts:  st.ReceiveConflicts,
-			OK:         st.ReceiveConflicts == 0,
-		}, nil
+		return RunBroadcastOn(sm, source)
+	}}
+}
+
+// SweepScenario drives the full mesh-unit-route sweep on S_n.
+func SweepScenario(n int, opts ...simd.Option) Scenario {
+	name := fmt.Sprintf("sweep-star-n%d", n)
+	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
+		sm := starsim.New(n, opts...)
+		defer sm.Close()
+		return RunSweepOn(sm)
 	}}
 }
 
@@ -179,32 +264,7 @@ func BroadcastScenario(n, source int, opts ...simd.Option) Scenario {
 func FaultRouteScenario(n, faults, pairs int, seed int64) Scenario {
 	name := fmt.Sprintf("faultroute-star-n%d-f%d-p%d-seed%d", n, faults, pairs, seed)
 	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
-		if faults > n-2 {
-			return ScenarioResult{}, fmt.Errorf("faults %d exceed the survivable n-2 = %d", faults, n-2)
-		}
-		g := star.New(n)
-		rng := rand.New(rand.NewSource(seed))
-		hops := 0
-		for i := 0; i < pairs; i++ {
-			faulty := make(map[int]bool, faults)
-			for len(faulty) < faults {
-				faulty[rng.Intn(g.Order())] = true
-			}
-			src := rng.Intn(g.Order())
-			for faulty[src] {
-				src = rng.Intn(g.Order())
-			}
-			dst := rng.Intn(g.Order())
-			for faulty[dst] {
-				dst = rng.Intn(g.Order())
-			}
-			path := g.RouteAvoiding(g.Node(src), g.Node(dst), faulty)
-			if path == nil {
-				return ScenarioResult{}, fmt.Errorf("no healthy route from %d to %d around %d faults", src, dst, faults)
-			}
-			hops += len(path) - 1
-		}
-		return ScenarioResult{UnitRoutes: hops, OK: true}, nil
+		return RunFaultRouteOn(star.New(n), faults, pairs, NewRand(seed))
 	}}
 }
 

@@ -7,7 +7,11 @@ import (
 	"path/filepath"
 	"testing"
 
+	"starmesh/internal/mesh"
+	"starmesh/internal/meshsim"
 	"starmesh/internal/simd"
+	"starmesh/internal/star"
+	"starmesh/internal/starsim"
 )
 
 // stripTiming zeroes the wall-clock fields so runs can be compared.
@@ -110,5 +114,54 @@ func TestBenchRecordWriteJSON(t *testing.T) {
 	}
 	if back != rec {
 		t.Errorf("round trip: %+v != %+v", back, rec)
+	}
+}
+
+// TestRunnersMatchScenarios pins the refactoring contract: a Run*On
+// call on a fresh machine with an explicit rand stream produces
+// exactly what the corresponding Scenario (seed-keyed) produces —
+// the property the job service's pooled execution relies on.
+func TestRunnersMatchScenarios(t *testing.T) {
+	const n, seed = 4, 99
+	run := func(sc Scenario) ScenarioResult {
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		return res
+	}
+
+	sm := starsim.New(n)
+	defer sm.Close()
+	got, err := RunSortOn(sm, Uniform, NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := run(SortScenario(n, Uniform, seed)); got != want {
+		t.Fatalf("RunSortOn diverged: %+v != %+v", got, want)
+	}
+
+	mm := meshsim.New(mesh.New(8, 8))
+	defer mm.Close()
+	got, err = RunShearOn(mm, Reversed, NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := run(ShearScenario(8, 8, Reversed, seed)); got != want {
+		t.Fatalf("RunShearOn diverged: %+v != %+v", got, want)
+	}
+
+	g := star.New(n)
+	got, err = RunFaultRouteOn(g, n-2, 8, NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := run(FaultRouteScenario(n, n-2, 8, seed)); got != want {
+		t.Fatalf("RunFaultRouteOn diverged: %+v != %+v", got, want)
+	}
+
+	sweep := run(SweepScenario(n))
+	if !sweep.OK || sweep.UnitRoutes == 0 {
+		t.Fatalf("sweep scenario reported no clean work: %+v", sweep)
 	}
 }

@@ -1,7 +1,11 @@
 // Package workload provides deterministic, seeded input generators
 // for the experiments and benchmarks: random keys with several
 // adversarial distributions, random permutations, and random mesh
-// points. Everything is reproducible from an explicit seed.
+// points. Every generator has a *rand.Rand form (the canonical one —
+// callers thread an explicit stream so multi-draw workloads stay
+// reproducible from one seed) and a seed form that derives a fresh
+// stream via NewRand. Nothing in this package touches the global
+// math/rand state.
 package workload
 
 import (
@@ -9,6 +13,13 @@ import (
 
 	"starmesh/internal/perm"
 )
+
+// NewRand returns the deterministic random stream of a seed — the
+// single way every workload, batch scenario and service JobSpec
+// derives randomness, so a seed fully determines a run.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
 
 // Dist selects a key distribution.
 type Dist int
@@ -38,9 +49,15 @@ var Dists = []struct {
 	{ZeroOne, "zero-one"},
 }
 
-// Keys generates n keys of the given distribution.
+// Keys generates n keys of the given distribution from a fresh
+// stream seeded with seed.
 func Keys(d Dist, n int, seed int64) []int64 {
-	rng := rand.New(rand.NewSource(seed))
+	return KeysRand(d, n, NewRand(seed))
+}
+
+// KeysRand generates n keys of the given distribution, drawing from
+// the caller's random stream.
+func KeysRand(d Dist, n int, rng *rand.Rand) []int64 {
 	out := make([]int64, n)
 	switch d {
 	case Uniform:
@@ -69,9 +86,15 @@ func Keys(d Dist, n int, seed int64) []int64 {
 	return out
 }
 
-// Perms generates count random permutations of n symbols.
+// Perms generates count random permutations of n symbols from a
+// fresh stream seeded with seed.
 func Perms(n, count int, seed int64) []perm.Perm {
-	rng := rand.New(rand.NewSource(seed))
+	return PermsRand(n, count, NewRand(seed))
+}
+
+// PermsRand generates count random permutations of n symbols from
+// the caller's random stream.
+func PermsRand(n, count int, rng *rand.Rand) []perm.Perm {
 	out := make([]perm.Perm, count)
 	for i := range out {
 		out[i] = perm.Random(n, rng)
@@ -79,9 +102,15 @@ func Perms(n, count int, seed int64) []perm.Perm {
 	return out
 }
 
-// MeshPoints generates count random D_n coordinates.
+// MeshPoints generates count random D_n coordinates from a fresh
+// stream seeded with seed.
 func MeshPoints(n, count int, seed int64) [][]int {
-	rng := rand.New(rand.NewSource(seed))
+	return MeshPointsRand(n, count, NewRand(seed))
+}
+
+// MeshPointsRand generates count random D_n coordinates from the
+// caller's random stream.
+func MeshPointsRand(n, count int, rng *rand.Rand) [][]int {
 	out := make([][]int, count)
 	for i := range out {
 		pt := make([]int, n-1)
@@ -93,9 +122,15 @@ func MeshPoints(n, count int, seed int64) [][]int {
 	return out
 }
 
-// RandomVertexMap returns a random bijection [0,n) → [0,n).
+// RandomVertexMap returns a random bijection [0,n) → [0,n) from a
+// fresh stream seeded with seed.
 func RandomVertexMap(n int, seed int64) []int {
-	rng := rand.New(rand.NewSource(seed))
+	return RandomVertexMapRand(n, NewRand(seed))
+}
+
+// RandomVertexMapRand returns a random bijection [0,n) → [0,n) from
+// the caller's random stream.
+func RandomVertexMapRand(n int, rng *rand.Rand) []int {
 	vm := make([]int, n)
 	for i := range vm {
 		vm[i] = i

@@ -1,0 +1,66 @@
+package starmesh
+
+import (
+	"context"
+
+	"starmesh/internal/serve"
+)
+
+// The job service (internal/serve) turns the library into a
+// long-running system: typed JobSpecs are admitted through a bounded
+// scheduler with backpressure and cancellation, executed on
+// per-shape machine pools that amortize topology construction, route
+// tables, compiled plans and engine worker pools across jobs of the
+// same (topology, engine) shape, and recorded in an in-memory store
+// with p50/p99 latency and unit-route aggregation. The facade
+// re-exports the service types; `starmesh serve` runs it over HTTP.
+
+// JobService is a running simulation job service.
+type JobService = serve.Service
+
+// ServiceConfig shapes a JobService; its zero value is a working
+// default (GOMAXPROCS workers, 64-deep queue, pooling on, sequential
+// engine with plans).
+type ServiceConfig = serve.Config
+
+// JobSpec is the typed description of one simulation job: scenario
+// kind, machine shape and parameters. All randomness derives from
+// its Seed, so a spec fully determines its result.
+type JobSpec = serve.JobSpec
+
+// Job is one admitted job and its outcome.
+type Job = serve.Job
+
+// JobStatus is a job's lifecycle state.
+type JobStatus = serve.Status
+
+// ServiceStats is the aggregated service view: status counts,
+// latency percentiles, unit-route totals and per-shape pool
+// counters.
+type ServiceStats = serve.Stats
+
+// Job kinds accepted by the service.
+const (
+	JobSort       = serve.KindSort
+	JobShear      = serve.KindShear
+	JobBroadcast  = serve.KindBroadcast
+	JobSweep      = serve.KindSweep
+	JobFaultRoute = serve.KindFaultRoute
+)
+
+// NewJobService starts a job service (workers running, admission
+// open). Shut it down with Drain, which stops admission, completes
+// every admitted job and releases the machine pools.
+func NewJobService(cfg ServiceConfig) (*JobService, error) {
+	return serve.NewService(cfg)
+}
+
+// ServeJobs runs a job service's HTTP API on addr until ctx is
+// canceled, then drains gracefully.
+func ServeJobs(ctx context.Context, cfg ServiceConfig, addr string) error {
+	svc, err := serve.NewService(cfg)
+	if err != nil {
+		return err
+	}
+	return svc.ListenAndServe(ctx, addr)
+}

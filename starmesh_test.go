@@ -186,3 +186,22 @@ func TestFacadeVirtualMachine(t *testing.T) {
 		t.Fatalf("virtual shape wrong")
 	}
 }
+
+func TestFacadeJobService(t *testing.T) {
+	svc, err := starmesh.NewJobService(starmesh.ServiceConfig{Workers: 2, Queue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := svc.Submit(starmesh.JobSpec{Kind: starmesh.JobSort, N: 4, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Drain() // graceful: the admitted job completes first
+	done, ok := svc.Job(job.ID)
+	if !ok || done.Status != "done" || done.Result == nil || !done.Result.OK {
+		t.Fatalf("facade job did not finish clean: %+v", done)
+	}
+	if stats := svc.Stats(); stats.Done != 1 || !stats.Draining {
+		t.Fatalf("facade stats wrong: %+v", stats)
+	}
+}
