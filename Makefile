@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-plans bench-serve lint fmt vet
+# Pinned staticcheck, installed on demand through the module proxy —
+# no global tool install, the version is part of the repo contract.
+STATICCHECK_VERSION ?= 2025.1.1
+
+.PHONY: all build test race bench bench-plans bench-serve bench-compare lint fmt vet staticcheck cover
 
 all: build test
 
@@ -39,8 +43,18 @@ bench-plans:
 bench-serve:
 	GOMAXPROCS=2 BENCH_SERVE_GATE=1 $(GO) run ./cmd/experiments -run serve
 
-## lint: gofmt divergence fails the build; vet catches the rest.
-lint: vet
+## bench-compare: the interval bench-regression gate. Repeats the
+## S_8 sweep (default 5 reps), writes the min/median/max interval to
+## BENCH_compare_new.json and fails only when the fresh throughput
+## interval falls wholly below the committed BENCH_compare.json
+## baseline interval (scaled by BENCH_COMPARE_MARGIN; no
+## single-number flake gating).
+bench-compare:
+	GOMAXPROCS=2 BENCH_COMPARE_GATE=1 $(GO) run ./cmd/experiments -run bench-compare
+
+## lint: gofmt divergence fails the build; vet and staticcheck catch
+## the rest.
+lint: vet staticcheck
 	@fmtout=$$(gofmt -l .); \
 	if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
@@ -48,6 +62,18 @@ lint: vet
 
 vet:
 	$(GO) vet ./...
+
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+## cover: whole-module coverage profile + per-package floors for the
+## scenario registry and the job service. CI uploads coverage.out.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+	$(GO) run ./cmd/covercheck -profile coverage.out \
+		-floor starmesh/internal/workload=70 \
+		-floor starmesh/internal/serve=80
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,69 @@
+package starmesh_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"starmesh"
+)
+
+// TestReadmeCatalogMatchesRegistry pins the README's scenario table
+// to the registry: the block between the scenario-catalog markers
+// must be exactly ScenarioCatalog(), so the doc cannot drift when a
+// family is added or its metadata edited (regenerate with
+// `starmesh scenarios -markdown`).
+func TestReadmeCatalogMatchesRegistry(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(data)
+	const begin, end = "<!-- scenario-catalog:begin -->\n", "<!-- scenario-catalog:end -->"
+	i := strings.Index(readme, begin)
+	j := strings.Index(readme, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md is missing the scenario-catalog markers")
+	}
+	got := readme[i+len(begin) : j]
+	want := starmesh.ScenarioCatalog()
+	if got != want {
+		t.Fatalf("README scenario catalog drifted from the registry.\n"+
+			"Regenerate with: go run ./cmd/starmesh scenarios -markdown\n\n--- README ---\n%s\n--- registry ---\n%s", got, want)
+	}
+}
+
+// TestScenarioFacade exercises the registry exports: every kind
+// constant is registered, and RunScenario executes a spec end to
+// end.
+func TestScenarioFacade(t *testing.T) {
+	kinds := starmesh.ScenarioKinds()
+	want := []string{
+		starmesh.JobSort, starmesh.JobShear, starmesh.JobBroadcast,
+		starmesh.JobSweep, starmesh.JobFaultRoute, starmesh.JobEmbedRect,
+		starmesh.JobPermRoute, starmesh.JobVirtual, starmesh.JobDiagnostics,
+		starmesh.JobPipeline,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("ScenarioKinds = %v, want %d kinds", kinds, len(want))
+	}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("kind %d = %q, want %q", i, kinds[i], k)
+		}
+	}
+	if fams := starmesh.ScenarioFamilies(); len(fams) != len(want) {
+		t.Fatalf("ScenarioFamilies returned %d families", len(fams))
+	}
+
+	res, err := starmesh.RunScenario(starmesh.JobSpec{Kind: starmesh.JobPipeline, N: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.UnitRoutes == 0 {
+		t.Fatalf("pipeline scenario result: %+v", res)
+	}
+	if _, err := starmesh.RunScenario(starmesh.JobSpec{Kind: "nope"}); err == nil {
+		t.Fatal("RunScenario accepted an unknown kind")
+	}
+}

@@ -1,0 +1,140 @@
+// Command covercheck asserts per-package statement-coverage floors
+// over a go test -coverprofile file. CI runs it after the coverage
+// job so a refactor cannot silently strip the workload registry or
+// the job service of their tests.
+//
+// Usage:
+//
+//	go test -coverprofile=coverage.out ./...
+//	go run ./cmd/covercheck -profile coverage.out \
+//	    -floor starmesh/internal/workload=75 \
+//	    -floor starmesh/internal/serve=75
+//
+// Every -floor is `package-path=min-percent`. The tool prints the
+// measured coverage of every package in the profile and exits
+// non-zero if any floored package is below its floor (or absent from
+// the profile entirely — no tests at all must not pass the gate).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// floors collects repeated -floor flags.
+type floors map[string]float64
+
+func (f floors) String() string { return fmt.Sprint(map[string]float64(f)) }
+
+func (f floors) Set(v string) error {
+	pkg, pct, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want package=percent, got %q", v)
+	}
+	p, err := strconv.ParseFloat(pct, 64)
+	if err != nil || p < 0 || p > 100 {
+		return fmt.Errorf("bad percent %q", pct)
+	}
+	f[pkg] = p
+	return nil
+}
+
+type agg struct{ covered, total int }
+
+func main() {
+	profile := flag.String("profile", "coverage.out", "coverage profile written by go test -coverprofile")
+	fl := floors{}
+	flag.Var(fl, "floor", "package=min-percent statement-coverage floor (repeatable)")
+	flag.Parse()
+
+	perPkg, err := parseProfile(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covercheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	pkgs := make([]string, 0, len(perPkg))
+	for p := range perPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	for _, p := range pkgs {
+		a := perPkg[p]
+		fmt.Printf("%6.1f%%  %s (%d/%d statements)\n", pct(a), p, a.covered, a.total)
+	}
+
+	failed := false
+	for pkg, min := range fl {
+		a, ok := perPkg[pkg]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "covercheck: package %s absent from %s (floor %.1f%%)\n", pkg, *profile, min)
+			failed = true
+			continue
+		}
+		if got := pct(a); got < min {
+			fmt.Fprintf(os.Stderr, "covercheck: %s at %.1f%%, below the %.1f%% floor\n", pkg, got, min)
+			failed = true
+		} else {
+			fmt.Printf("floor ok: %s %.1f%% >= %.1f%%\n", pkg, got, min)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func pct(a agg) float64 {
+	if a.total == 0 {
+		return 0
+	}
+	return 100 * float64(a.covered) / float64(a.total)
+}
+
+// parseProfile folds a cover profile into per-package statement
+// counts. Profile lines are `file.go:sl.sc,el.ec numStmts hitCount`
+// with the file given import-path-style.
+func parseProfile(name string) (map[string]agg, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]agg)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "mode:") {
+			continue
+		}
+		file, rest, ok := strings.Cut(text, ":")
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: malformed line %q", name, line, text)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed line %q", name, line, text)
+		}
+		stmts, err1 := strconv.Atoi(fields[1])
+		hits, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s:%d: malformed counts %q", name, line, text)
+		}
+		pkg := path.Dir(file)
+		a := out[pkg]
+		a.total += stmts
+		if hits > 0 {
+			a.covered += stmts
+		}
+		out[pkg] = a
+	}
+	return out, sc.Err()
+}

@@ -9,6 +9,8 @@
 //	experiments -run sorting -engine parallel -workers 4
 //	experiments -run plans -plan=false   // closure-resolved baseline
 //	experiments -run serve               // job-service load, writes BENCH_serve.json
+//	experiments -run scenarios           // one demo run per registered scenario family
+//	experiments -run bench-compare       // interval bench gate, writes BENCH_compare*.json
 package main
 
 import (

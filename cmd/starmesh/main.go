@@ -12,6 +12,8 @@
 //	starmesh surface n                distance distribution of S_n
 //	starmesh broadcast n              measured broadcast rounds vs bounds
 //	starmesh saferoute f a... b...    route avoiding f random faults
+//	starmesh scenarios [-markdown]    the scenario-registry catalog
+//	starmesh run <json-spec>          run one scenario standalone
 //	starmesh serve [flags]            run the simulation job service (HTTP)
 //
 // Node symbols are given in display order (front first), matching
@@ -22,12 +24,14 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"starmesh/internal/core"
 	"starmesh/internal/graphalg"
 	"starmesh/internal/mesh"
 	"starmesh/internal/perm"
 	"starmesh/internal/star"
+	"starmesh/internal/workload"
 )
 
 func main() {
@@ -57,13 +61,17 @@ func main() {
 		cmdSafeRoute(os.Args[2:])
 	case "serve":
 		cmdServe(os.Args[2:])
+	case "scenarios":
+		cmdScenarios(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: starmesh <map|unmap|route|path|info|dot|fig7|surface|broadcast|saferoute|serve> [args]
+	fmt.Fprintf(os.Stderr, `usage: starmesh <map|unmap|route|path|info|dot|fig7|surface|broadcast|saferoute|scenarios|run|serve> [args]
   map d_{n-1} ... d_1        mesh node -> star node
   unmap a_{n-1} ... a_0      star node -> mesh node
   route a... b...            shortest star route (two nodes of equal length)
@@ -74,7 +82,13 @@ func usage() {
   surface n                  distance distribution of S_n
   broadcast n                measured broadcast rounds vs bounds
   saferoute f a... b...      route avoiding f random faults
-  serve [flags]              simulation job service over HTTP (see serve -h)`)
+  scenarios [-markdown]      the scenario-registry catalog
+  run <json-spec> [flags]    run one scenario standalone (see run -h)
+  serve [flags]              simulation job service over HTTP (see serve -h)
+
+scenario kinds (accepted by run and by serve's POST /jobs):
+  %s
+`, strings.Join(workload.Kinds(), ", "))
 	os.Exit(2)
 }
 

@@ -47,6 +47,25 @@
 // pool reused across routes — release it with Close when a machine
 // is done (garbage collection also reclaims it).
 //
+// # Scenario registry
+//
+// Every runnable workload is a scenario family registered in
+// internal/workload's Registry — the single source of truth mapping
+// a kind string to spec validation and defaults, the machine-pool
+// shape key, a resource constructor, a machine-accepting runner and
+// the naming scheme. The job service, the experiments, both commands
+// and this facade all dispatch through it, so adding a scenario is
+// ONE Register call; there are no per-layer kind switches anywhere.
+// Ten families ship built in: sort, shear, broadcast, sweep,
+// faultroute, embedrect (the appendix's rectangular meshes),
+// permroute (oblivious permutation routing), virtual (D_{n+1} on
+// S_n), diagnostics (connectivity under vertex holes) and pipeline
+// (embed → sort → broadcast chained on one machine with Reset
+// between phases). ScenarioKinds lists them, ScenarioCatalog renders
+// the registry's catalog (the README table is that exact output),
+// and RunScenario executes any spec standalone with results
+// bit-identical to the job service's pooled execution.
+//
 // # Service
 //
 // The serve layer (internal/serve; `starmesh serve` on the CLI;

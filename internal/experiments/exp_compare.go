@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"starmesh/internal/exptab"
+	"starmesh/internal/starsim"
+	"starmesh/internal/workload"
+)
+
+// BenchCompare is the CI bench-regression gate: it repeats the S_8
+// mesh-route sweep several times on one machine (first sweep warms
+// route tables and compiled plans, then every repetition replays),
+// folds the repetitions into a (min, median, max) interval, writes
+// the interval record to BENCH_COMPARE_PATH (default
+// BENCH_compare.json) and compares it against the committed baseline
+// at BENCH_COMPARE_BASELINE (default BENCH_compare.json). A
+// regression is declared only when the fresh throughput interval
+// falls WHOLLY below the baseline interval scaled by
+// BENCH_COMPARE_MARGIN (default 0.5, absorbing host-speed spread
+// between the committing machine and CI runners) — overlapping
+// intervals never gate, so a single noisy repetition cannot flake
+// the build. The comparison fails the experiment only when
+// BENCH_COMPARE_GATE is set (CI sets it).
+func BenchCompare(w io.Writer) error {
+	n := envInt("BENCH_COMPARE_N", 8)
+	reps := envInt("BENCH_COMPARE_REPS", 5)
+	if reps < 2 {
+		return fmt.Errorf("bench-compare needs at least 2 repetitions for an interval, got %d", reps)
+	}
+
+	sm := starsim.New(n, engineOpts...)
+	defer sm.Close()
+	workload.EngineSweep(sm) // warmup: route tables + plan recording
+	samples := make([]int64, reps)
+	for i := range samples {
+		sm.Reset()
+		t0 := time.Now()
+		workload.EngineSweep(sm)
+		samples[i] = time.Since(t0).Nanoseconds()
+	}
+	rec := workload.NewCompareBenchRecord(n, sm.Size(), samples, runtime.GOMAXPROCS(0),
+		time.Now().UTC().Format(time.RFC3339))
+
+	t := exptab.New(fmt.Sprintf("Bench-regression interval: S_%d sweep × %d reps (%d PEs)", n, reps, sm.Size()),
+		"metric", "min", "median", "max")
+	t.Add("sweep ms", rec.SweepNs.MinNs/1e6, rec.SweepNs.MedianNs/1e6, rec.SweepNs.MaxNs/1e6)
+	t.Add("sweeps/s", rec.SweepsPS.Min, rec.SweepsPS.Median, rec.SweepsPS.Max)
+	t.Fprint(w)
+
+	// Read the committed baseline BEFORE writing the fresh record, so
+	// a default-path run (baseline and output are both
+	// BENCH_compare.json) compares against the committed interval,
+	// not against itself.
+	basePath := envStr("BENCH_COMPARE_BASELINE", "BENCH_compare.json")
+	baseline, err := workload.ReadCompareBenchRecord(basePath)
+
+	// The fresh record defaults to a sibling name so a default run
+	// (including `-run all`) can never overwrite the committed
+	// baseline; recording a new baseline is the explicit act of
+	// setting BENCH_COMPARE_PATH=BENCH_compare.json.
+	path := envStr("BENCH_COMPARE_PATH", "BENCH_compare_new.json")
+	if werr := rec.WriteJSON(path); werr != nil {
+		return werr
+	}
+	fmt.Fprintf(w, "\nrecord written to %s\n", path)
+
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		fmt.Fprintf(w, "no committed baseline at %s; record it to arm the gate\n", basePath)
+		return nil
+	case err != nil:
+		return err
+	}
+	margin := envFloat("BENCH_COMPARE_MARGIN", 0.5)
+	regressed, verdict := rec.RegressionAgainst(baseline, margin)
+	fmt.Fprintf(w, "baseline %s (%s): %s\n", basePath, baseline.Timestamp, verdict)
+	if regressed {
+		msg := fmt.Sprintf("bench-compare: sweep throughput regressed: %s", verdict)
+		if os.Getenv("BENCH_COMPARE_GATE") != "" {
+			return errors.New(msg)
+		}
+		fmt.Fprintf(w, "WARNING: %s (gate off)\n", msg)
+	}
+	return nil
+}
+
+func envStr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func envInt(key string, def int) int {
+	if v := os.Getenv(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func envFloat(key string, def float64) float64 {
+	if v := os.Getenv(key); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}

@@ -18,6 +18,8 @@ import (
 // more than their short replayed schedules — exactly the fraction
 // per-shape pooling amortizes away. Sort/shear/faultroute jobs mix
 // in longer schedules and the other machine shapes.
+// The list spans every registry family, so the pooled-vs-unpooled
+// parity assertion covers the full scenario surface.
 func serveSpecs() []serve.JobSpec {
 	return []serve.JobSpec{
 		{Kind: serve.KindSweep, N: 7},
@@ -26,6 +28,11 @@ func serveSpecs() []serve.JobSpec {
 		{Kind: serve.KindSort, N: 5, Dist: "uniform", Seed: 42},
 		{Kind: serve.KindShear, Rows: 16, Cols: 16, Dist: "reversed", Seed: 7},
 		{Kind: serve.KindFaultRoute, N: 6, Faults: 4, Pairs: 16, Seed: 9},
+		{Kind: serve.KindEmbedRect, N: 7, D: 3},
+		{Kind: serve.KindPermRoute, N: 5, Pattern: "random", Seed: 11},
+		{Kind: serve.KindVirtual, N: 4, Dist: "uniform", Seed: 13},
+		{Kind: serve.KindDiagnostics, N: 6, Holes: 4, Trials: 4, Seed: 17},
+		{Kind: serve.KindPipeline, N: 5, D: 2, Dist: "few-distinct", Seed: 19, Source: 1},
 	}
 }
 

@@ -44,6 +44,8 @@ func All() []exptab.Experiment {
 		{ID: "engine", Name: "Infrastructure: parallel execution engine parity and speedup", Run: EngineParity},
 		{ID: "plans", Name: "Infrastructure: compiled route plans parity and speedup", Run: PlansParity},
 		{ID: "serve", Name: "Infrastructure: job service load, pooled vs build-per-job", Run: ServeLoad},
+		{ID: "scenarios", Name: "Infrastructure: scenario registry smoke, one demo run per family", Run: ScenarioSmoke},
+		{ID: "bench-compare", Name: "Infrastructure: interval bench-regression gate (S_8 sweep reps)", Run: BenchCompare},
 	}
 }
 

@@ -17,6 +17,12 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	os.Setenv("BENCH_SERVE_PATH", filepath.Join(dir, "BENCH_serve.json"))
+	// Shrink the interval bench so the experiment suite stays fast;
+	// the CI bench-compare job runs the full S_8 default.
+	os.Setenv("BENCH_COMPARE_PATH", filepath.Join(dir, "BENCH_compare.json"))
+	os.Setenv("BENCH_COMPARE_BASELINE", filepath.Join(dir, "BENCH_compare.json"))
+	os.Setenv("BENCH_COMPARE_N", "6")
+	os.Setenv("BENCH_COMPARE_REPS", "3")
 	code := m.Run()
 	os.RemoveAll(dir)
 	os.Exit(code)

@@ -1,12 +1,17 @@
 // Package serve is the simulation job service: the long-running
 // layer that turns the starmesh library into a system. It accepts
-// typed JobSpecs (the workload scenarios — snake sort on the
-// embedded mesh, shear sort, broadcast, fault routing, the
-// mesh-route sweep — as data), admits them through a bounded
-// scheduler with backpressure and cancellation, executes them on
-// per-shape machine pools, records every outcome in an in-memory
-// store with latency/cost aggregation, and exposes the whole thing
-// over an HTTP JSON API.
+// typed JobSpecs — workload scenarios as data — admits them through
+// a bounded scheduler with backpressure and cancellation, executes
+// them on per-shape machine pools, records every outcome in an
+// in-memory store with latency/cost aggregation (global and per
+// scenario kind), and exposes the whole thing over an HTTP JSON API.
+//
+// The service carries NO scenario knowledge of its own: validation,
+// pool shapes, machine construction and execution all dispatch
+// through the scenario registry (internal/workload.Builtin), so a
+// family registered there — sort, shear, broadcast, sweep,
+// faultroute, embedrect, permroute, virtual, diagnostics, pipeline —
+// is immediately servable with pooling, parity and stats for free.
 //
 // # Per-shape machine pools
 //

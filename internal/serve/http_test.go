@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"starmesh/internal/workload"
 	"strings"
 	"testing"
 	"time"
@@ -71,7 +72,7 @@ func TestHTTPJobLifecycle(t *testing.T) {
 	}
 
 	// The standalone scenario of the same spec must agree exactly.
-	sc, err := JobSpec{Kind: KindSort, N: 4, Dist: "reversed", Seed: 5}.Scenario()
+	sc, err := workload.ScenarioFor(JobSpec{Kind: KindSort, N: 4, Dist: "reversed", Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"starmesh/internal/workload"
 )
 
 // LoadConfig shapes one load run.
@@ -224,7 +226,7 @@ func RunComparison(svcCfg Config, load LoadConfig) (Comparison, error) {
 	}
 	wants := make(map[string]ScenarioResult, len(load.Specs))
 	for _, spec := range load.Specs {
-		sc, err := spec.Scenario(opts...)
+		sc, err := workload.ScenarioFor(spec, opts...)
 		if err != nil {
 			return cmp, err
 		}
@@ -234,7 +236,7 @@ func RunComparison(svcCfg Config, load LoadConfig) (Comparison, error) {
 		}
 		want.Name = ""
 		want.ElapsedNs = 0
-		norm, err := spec.normalized()
+		norm, err := spec.Normalized()
 		if err != nil {
 			return cmp, err
 		}

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"sort"
 	"sync"
+
+	"starmesh/internal/workload"
 )
 
 // ErrPoolClosed reports a checkout against a drained pool set.
@@ -19,11 +21,11 @@ var ErrPoolClosed = errors.New("serve: machine pools are closed")
 // pool manages the idle machines of one shape.
 type pool struct {
 	shape  string
-	build  func() resource
+	build  func() workload.Resource
 	pooled bool
 
 	mu     sync.Mutex
-	idle   []resource
+	idle   []workload.Resource
 	closed bool
 	builds int64
 	reuses int64
@@ -33,7 +35,7 @@ type pool struct {
 // checkout returns an idle machine or builds a fresh one. The build
 // runs outside the lock so a slow construction never blocks
 // checkouts of other workers (they simply build their own).
-func (p *pool) checkout() (resource, error) {
+func (p *pool) checkout() (workload.Resource, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -58,7 +60,7 @@ func (p *pool) checkout() (resource, error) {
 // the satellite contract: registers and stats really are cleared
 // before the next job — and parked; unpooled (or post-drain) ones
 // are closed, releasing their engine worker goroutines.
-func (p *pool) checkin(r resource) {
+func (p *pool) checkin(r workload.Resource) {
 	if p.pooled {
 		r.Reset()
 	}
@@ -121,7 +123,7 @@ func newPoolSet(pooled bool) *poolSet {
 }
 
 // forShape returns (creating if needed) the pool of a shape.
-func (ps *poolSet) forShape(shape string, build func() resource) (*pool, error) {
+func (ps *poolSet) forShape(shape string, build func() workload.Resource) (*pool, error) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	if ps.closed {

@@ -5,7 +5,28 @@ import (
 	"testing"
 
 	"starmesh/internal/starsim"
+	"starmesh/internal/workload"
 )
+
+// buildOf and runOf dispatch a spec through the registry the way the
+// service does.
+func buildOf(t *testing.T, spec JobSpec) func() workload.Resource {
+	t.Helper()
+	fam, err := workload.FamilyOf(spec.Kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() workload.Resource { return fam.Build(spec) }
+}
+
+func runOf(t *testing.T, spec JobSpec, r workload.Resource) (ScenarioResult, error) {
+	t.Helper()
+	fam, err := workload.FamilyOf(spec.Kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fam.Run(spec, r)
+}
 
 // fakeResource records lifecycle calls.
 type fakeResource struct {
@@ -18,13 +39,13 @@ func (f *fakeResource) Close() { f.closes++ }
 
 func TestPoolReusesAndResetsMachines(t *testing.T) {
 	spec := JobSpec{Kind: KindSort, N: 4, Dist: "uniform", Seed: 3}
-	p := &pool{shape: spec.Shape(), build: spec.builder(nil), pooled: true}
+	p := &pool{shape: spec.Shape(), build: buildOf(t, spec), pooled: true}
 
 	r1, err := p.checkout()
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := spec.run(r1)
+	first, err := runOf(t, spec, r1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +73,7 @@ func TestPoolReusesAndResetsMachines(t *testing.T) {
 		}
 	}
 	// And a rerun on the reused machine is bit-identical.
-	again, err := spec.run(r2)
+	again, err := runOf(t, spec, r2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +90,7 @@ func TestPoolReusesAndResetsMachines(t *testing.T) {
 
 func TestUnpooledCheckinCloses(t *testing.T) {
 	f := &fakeResource{}
-	p := &pool{shape: "fake", build: func() resource { return f }, pooled: false}
+	p := &pool{shape: "fake", build: func() workload.Resource { return f }, pooled: false}
 	r, err := p.checkout()
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +109,7 @@ func TestUnpooledCheckinCloses(t *testing.T) {
 
 func TestPoolDoubleCloseIsIdempotent(t *testing.T) {
 	f := &fakeResource{}
-	p := &pool{shape: "fake", build: func() resource { return f }, pooled: true}
+	p := &pool{shape: "fake", build: func() workload.Resource { return f }, pooled: true}
 	r, _ := p.checkout()
 	p.checkin(r)
 	p.close()
@@ -98,7 +119,7 @@ func TestPoolDoubleCloseIsIdempotent(t *testing.T) {
 	}
 
 	ps := newPoolSet(true)
-	if _, err := ps.forShape("fake", func() resource { return &fakeResource{} }); err != nil {
+	if _, err := ps.forShape("fake", func() workload.Resource { return &fakeResource{} }); err != nil {
 		t.Fatal(err)
 	}
 	ps.closeAll()
@@ -107,7 +128,7 @@ func TestPoolDoubleCloseIsIdempotent(t *testing.T) {
 
 func TestCheckoutAfterDrainFails(t *testing.T) {
 	ps := newPoolSet(true)
-	p, err := ps.forShape("fake", func() resource { return &fakeResource{} })
+	p, err := ps.forShape("fake", func() workload.Resource { return &fakeResource{} })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +137,7 @@ func TestCheckoutAfterDrainFails(t *testing.T) {
 	if _, err := p.checkout(); !errors.Is(err, ErrPoolClosed) {
 		t.Fatalf("checkout after drain returned %v, want ErrPoolClosed", err)
 	}
-	if _, err := ps.forShape("other", func() resource { return &fakeResource{} }); !errors.Is(err, ErrPoolClosed) {
+	if _, err := ps.forShape("other", func() workload.Resource { return &fakeResource{} }); !errors.Is(err, ErrPoolClosed) {
 		t.Fatalf("forShape after drain returned %v, want ErrPoolClosed", err)
 	}
 	// A machine still out at drain time is closed on checkin, not
@@ -129,18 +150,18 @@ func TestCheckoutAfterDrainFails(t *testing.T) {
 
 func TestGraphResourceIsStateless(t *testing.T) {
 	spec := JobSpec{Kind: KindFaultRoute, N: 4, Faults: 2, Pairs: 4, Seed: 9}
-	p := &pool{shape: spec.Shape(), build: spec.builder(nil), pooled: true}
+	p := &pool{shape: spec.Shape(), build: buildOf(t, spec), pooled: true}
 	r, err := p.checkout()
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := spec.run(r)
+	first, err := runOf(t, spec, r)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p.checkin(r)
 	r2, _ := p.checkout()
-	again, err := spec.run(r2)
+	again, err := runOf(t, spec, r2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"starmesh/internal/simd"
+	"starmesh/internal/workload"
 )
 
 // Admission and lookup errors; the HTTP layer maps them to status
@@ -140,7 +141,7 @@ func newService(cfg Config, startWorkers bool) (*Service, error) {
 // A full queue fails fast with ErrQueueFull; a draining service with
 // ErrDraining; a bad spec with an error wrapping ErrInvalidSpec.
 func (s *Service) Submit(spec JobSpec) (Job, error) {
-	norm, err := spec.normalized()
+	norm, err := spec.Normalized()
 	if err != nil {
 		return Job{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 	}
@@ -241,7 +242,13 @@ func (s *Service) runJob(id string) {
 }
 
 func (s *Service) execute(spec JobSpec) (res ScenarioResult, err error) {
-	pl, err := s.pools.forShape(spec.Shape(), spec.builder(s.engineOpts))
+	fam, err := workload.FamilyOf(spec.Kind)
+	if err != nil {
+		return res, err
+	}
+	pl, err := s.pools.forShape(fam.Shape(spec), func() workload.Resource {
+		return fam.Build(spec, s.engineOpts...)
+	})
 	if err != nil {
 		return res, err
 	}
@@ -255,5 +262,5 @@ func (s *Service) execute(spec JobSpec) (res ScenarioResult, err error) {
 			err = fmt.Errorf("serve: job panicked: %v", p)
 		}
 	}()
-	return spec.run(r)
+	return fam.Run(spec, r)
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"starmesh/internal/workload"
 	"testing"
 	"time"
 )
@@ -63,7 +64,7 @@ func TestServiceResultsMatchStandaloneRuns(t *testing.T) {
 		if job.Status != StatusDone {
 			t.Fatalf("job %s (%+v) ended %s: %s", id, job.Spec, job.Status, job.Error)
 		}
-		sc, err := specs[i].Scenario()
+		sc, err := workload.ScenarioFor(specs[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -250,11 +251,11 @@ func TestInvalidSpecsRejected(t *testing.T) {
 		}
 	}
 	// Defaults: empty dist means uniform, pairs defaults to 1.
-	norm, err := JobSpec{Kind: KindSort, N: 4}.normalized()
+	norm, err := JobSpec{Kind: KindSort, N: 4}.Normalized()
 	if err != nil || norm.Dist != "uniform" {
 		t.Fatalf("sort default dist: %+v, %v", norm, err)
 	}
-	norm, err = JobSpec{Kind: KindFaultRoute, N: 4, Faults: 2}.normalized()
+	norm, err = JobSpec{Kind: KindFaultRoute, N: 4, Faults: 2}.Normalized()
 	if err != nil || norm.Pairs != 1 {
 		t.Fatalf("faultroute default pairs: %+v, %v", norm, err)
 	}

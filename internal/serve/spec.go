@@ -1,17 +1,13 @@
-// JobSpec: the typed, JSON-serializable description of one
-// simulation job — scenario kind plus machine shape plus parameters.
-// A spec fully determines its result: all randomness derives from
-// the explicit Seed through workload.NewRand.
+// Job specs are workload.Spec values, admitted verbatim: the
+// scenario registry (internal/workload) is the single source of
+// truth for validation, defaults, pool shapes, construction and
+// execution, so the service gains new scenario kinds the moment they
+// are registered — there is no per-kind code in this package. This
+// file only re-exports the spec vocabulary under the service's
+// historical names.
 package serve
 
 import (
-	"fmt"
-
-	"starmesh/internal/mesh"
-	"starmesh/internal/meshsim"
-	"starmesh/internal/simd"
-	"starmesh/internal/star"
-	"starmesh/internal/starsim"
 	"starmesh/internal/workload"
 )
 
@@ -20,241 +16,28 @@ import (
 // standalone scenario runs.
 type ScenarioResult = workload.ScenarioResult
 
-// Job kinds. Star-machine kinds (sort, broadcast, sweep) share one
-// machine pool per n; shear uses a mesh pool per (rows, cols);
-// faultroute uses a bare star-graph pool per n.
+// JobSpec describes one simulation job; see workload.Spec for the
+// field/validation contract and workload.Kinds for the accepted
+// kinds.
+type JobSpec = workload.Spec
+
+// Job kinds, re-exported from the registry's vocabulary.
 const (
-	KindSort       = "sort"       // snake sort on the embedded mesh of S_n
-	KindShear      = "shear"      // shear sort on a rows×cols mesh
-	KindBroadcast  = "broadcast"  // greedy SIMD-B flood on S_n
-	KindSweep      = "sweep"      // full mesh-unit-route sweep on S_n
-	KindFaultRoute = "faultroute" // routing around random fault sets on S_n
+	KindSort        = workload.KindSort
+	KindShear       = workload.KindShear
+	KindBroadcast   = workload.KindBroadcast
+	KindSweep       = workload.KindSweep
+	KindFaultRoute  = workload.KindFaultRoute
+	KindEmbedRect   = workload.KindEmbedRect
+	KindPermRoute   = workload.KindPermRoute
+	KindVirtual     = workload.KindVirtual
+	KindDiagnostics = workload.KindDiagnostics
+	KindPipeline    = workload.KindPipeline
 )
 
-// MaxN bounds the star parameter a job may request (S_8 = 40,320
-// PEs; the neighbor table alone is ~1.5 GB at n=10, so admission
-// rejects anything larger than this instead of letting one request
-// exhaust the process).
-const MaxN = 8
+// MaxN bounds the star parameter a job may request; see
+// workload.MaxStarN.
+const MaxN = workload.MaxStarN
 
 // MaxMeshPEs bounds rows×cols for shear jobs.
-const MaxMeshPEs = 1 << 16
-
-// JobSpec describes one simulation job.
-type JobSpec struct {
-	Kind string `json:"kind"`
-	// N is the star parameter for sort/broadcast/sweep/faultroute.
-	N int `json:"n,omitempty"`
-	// Rows, Cols shape the mesh for shear jobs.
-	Rows int `json:"rows,omitempty"`
-	Cols int `json:"cols,omitempty"`
-	// Dist names the key distribution for sort/shear (see
-	// workload.Dists; empty means uniform).
-	Dist string `json:"dist,omitempty"`
-	// Seed drives every random draw of the job.
-	Seed int64 `json:"seed,omitempty"`
-	// Source is the broadcast origin PE.
-	Source int `json:"source,omitempty"`
-	// Faults and Pairs parameterize faultroute jobs (faults ≤ n-2;
-	// Pairs defaults to 1).
-	Faults int `json:"faults,omitempty"`
-	Pairs  int `json:"pairs,omitempty"`
-}
-
-// normalized validates the spec and fills defaults (uniform
-// distribution, one fault-route pair), returning the canonical form
-// the service stores and executes.
-func (s JobSpec) normalized() (JobSpec, error) {
-	starN := func() error {
-		if s.N < 2 || s.N > MaxN {
-			return fmt.Errorf("serve: %s job needs n in [2,%d], got %d", s.Kind, MaxN, s.N)
-		}
-		return nil
-	}
-	switch s.Kind {
-	case KindSort:
-		if err := starN(); err != nil {
-			return s, err
-		}
-		if _, err := distByName(s.Dist); err != nil {
-			return s, err
-		}
-		if s.Dist == "" {
-			s.Dist = "uniform"
-		}
-	case KindShear:
-		if s.Rows < 1 || s.Cols < 1 || s.Rows*s.Cols < 2 || s.Rows*s.Cols > MaxMeshPEs {
-			return s, fmt.Errorf("serve: shear job needs 2 ≤ rows×cols ≤ %d, got %d×%d", MaxMeshPEs, s.Rows, s.Cols)
-		}
-		if _, err := distByName(s.Dist); err != nil {
-			return s, err
-		}
-		if s.Dist == "" {
-			s.Dist = "uniform"
-		}
-	case KindBroadcast:
-		if err := starN(); err != nil {
-			return s, err
-		}
-		if s.Source < 0 || int64(s.Source) >= factorial(s.N) {
-			return s, fmt.Errorf("serve: broadcast source %d out of range [0,%d)", s.Source, factorial(s.N))
-		}
-	case KindSweep:
-		if err := starN(); err != nil {
-			return s, err
-		}
-	case KindFaultRoute:
-		if err := starN(); err != nil {
-			return s, err
-		}
-		if s.Faults < 0 || s.Faults > s.N-2 {
-			return s, fmt.Errorf("serve: faultroute survives at most n-2 = %d faults, got %d", s.N-2, s.Faults)
-		}
-		if s.Pairs == 0 {
-			s.Pairs = 1
-		}
-		if s.Pairs < 1 {
-			return s, fmt.Errorf("serve: faultroute needs pairs ≥ 1, got %d", s.Pairs)
-		}
-	case "":
-		return s, fmt.Errorf("serve: job spec needs a kind (one of sort, shear, broadcast, sweep, faultroute)")
-	default:
-		return s, fmt.Errorf("serve: unknown job kind %q", s.Kind)
-	}
-	return s, nil
-}
-
-func factorial(n int) int64 {
-	f := int64(1)
-	for i := 2; i <= n; i++ {
-		f *= int64(i)
-	}
-	return f
-}
-
-func distByName(name string) (workload.Dist, error) {
-	if name == "" {
-		return workload.Uniform, nil
-	}
-	for _, d := range workload.Dists {
-		if d.Name == name {
-			return d.D, nil
-		}
-	}
-	return 0, fmt.Errorf("serve: unknown distribution %q", name)
-}
-
-// Shape is the machine-pool key of the spec: jobs with equal shapes
-// run on interchangeable machines. The engine configuration is
-// service-wide, so it is not part of the key.
-func (s JobSpec) Shape() string {
-	switch s.Kind {
-	case KindShear:
-		return fmt.Sprintf("mesh:%dx%d", s.Rows, s.Cols)
-	case KindFaultRoute:
-		return fmt.Sprintf("stargraph:%d", s.N)
-	default:
-		return fmt.Sprintf("star:%d", s.N)
-	}
-}
-
-// Name renders the spec in the workload scenarios' naming scheme.
-func (s JobSpec) Name() string {
-	switch s.Kind {
-	case KindSort:
-		return fmt.Sprintf("sort-star-n%d-%s-seed%d", s.N, s.Dist, s.Seed)
-	case KindShear:
-		return fmt.Sprintf("shear-mesh-%dx%d-%s-seed%d", s.Rows, s.Cols, s.Dist, s.Seed)
-	case KindBroadcast:
-		return fmt.Sprintf("broadcast-star-n%d-src%d", s.N, s.Source)
-	case KindSweep:
-		return fmt.Sprintf("sweep-star-n%d", s.N)
-	case KindFaultRoute:
-		return fmt.Sprintf("faultroute-star-n%d-f%d-p%d-seed%d", s.N, s.Faults, s.Pairs, s.Seed)
-	}
-	return "invalid"
-}
-
-// resource is anything a machine pool manages: reset between jobs,
-// closed when the pool drains. The SIMD machines satisfy it through
-// simd.Machine; the bare star graph (stateless) through graphResource.
-type resource interface {
-	Reset()
-	Close()
-}
-
-// graphResource adapts the stateless *star.Graph to the pool
-// contract; pooling it amortizes the O(n!·n) node table.
-type graphResource struct{ g *star.Graph }
-
-func (graphResource) Reset() {}
-func (graphResource) Close() {}
-
-// builder returns the constructor of the spec's machine shape, with
-// the service's engine options applied.
-func (s JobSpec) builder(opts []simd.Option) func() resource {
-	switch s.Kind {
-	case KindShear:
-		rows, cols := s.Rows, s.Cols
-		return func() resource { return meshsim.New(mesh.New(rows, cols), opts...) }
-	case KindFaultRoute:
-		n := s.N
-		return func() resource { return graphResource{g: star.New(n)} }
-	default:
-		n := s.N
-		return func() resource { return starsim.New(n, opts...) }
-	}
-}
-
-// run executes the job on a checked-out resource of the matching
-// shape. The Run*On workload runners are the same code standalone
-// scenarios use, so pooled results are bit-identical to
-// fresh-machine runs of the same seed.
-func (s JobSpec) run(r resource) (workload.ScenarioResult, error) {
-	switch s.Kind {
-	case KindSort:
-		d, err := distByName(s.Dist)
-		if err != nil {
-			return workload.ScenarioResult{}, err
-		}
-		return workload.RunSortOn(r.(*starsim.Machine), d, workload.NewRand(s.Seed))
-	case KindShear:
-		d, err := distByName(s.Dist)
-		if err != nil {
-			return workload.ScenarioResult{}, err
-		}
-		return workload.RunShearOn(r.(*meshsim.Machine), d, workload.NewRand(s.Seed))
-	case KindBroadcast:
-		return workload.RunBroadcastOn(r.(*starsim.Machine), s.Source)
-	case KindSweep:
-		return workload.RunSweepOn(r.(*starsim.Machine))
-	case KindFaultRoute:
-		return workload.RunFaultRouteOn(r.(graphResource).g, s.Faults, s.Pairs, workload.NewRand(s.Seed))
-	}
-	return workload.ScenarioResult{}, fmt.Errorf("serve: unknown job kind %q", s.Kind)
-}
-
-// Scenario returns the standalone workload scenario equivalent to
-// this spec: a fresh machine built per run, the reference the
-// service's pooled results are checked against.
-func (s JobSpec) Scenario(opts ...simd.Option) (workload.Scenario, error) {
-	norm, err := s.normalized()
-	if err != nil {
-		return workload.Scenario{}, err
-	}
-	switch norm.Kind {
-	case KindSort:
-		d, _ := distByName(norm.Dist)
-		return workload.SortScenario(norm.N, d, norm.Seed, opts...), nil
-	case KindShear:
-		d, _ := distByName(norm.Dist)
-		return workload.ShearScenario(norm.Rows, norm.Cols, d, norm.Seed, opts...), nil
-	case KindBroadcast:
-		return workload.BroadcastScenario(norm.N, norm.Source, opts...), nil
-	case KindSweep:
-		return workload.SweepScenario(norm.N, opts...), nil
-	case KindFaultRoute:
-		return workload.FaultRouteScenario(norm.N, norm.Faults, norm.Pairs, norm.Seed), nil
-	}
-	return workload.Scenario{}, fmt.Errorf("serve: unknown job kind %q", norm.Kind)
-}
+const MaxMeshPEs = workload.MaxMeshPEs

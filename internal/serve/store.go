@@ -101,14 +101,16 @@ type store struct {
 	finished   int64          // done + failed, cumulative
 	unitRoutes int64
 	conflicts  int64
-	latTotal   latWindow // created→finished of done/failed jobs
-	latRun     latWindow // started→finished
+	byKind     map[string]*KindStats // cumulative per scenario kind
+	latTotal   latWindow             // created→finished of done/failed jobs
+	latRun     latWindow             // started→finished
 }
 
 func newStore() *store {
 	return &store{
 		jobs:   make(map[string]*Job),
 		counts: make(map[Status]int),
+		byKind: make(map[string]*KindStats),
 	}
 }
 
@@ -221,9 +223,15 @@ func (st *store) finish(id string, res workload.ScenarioResult, err error, now t
 	j.Finished = now
 	j.WaitNs = j.Started.Sub(j.Created).Nanoseconds()
 	j.RunNs = j.Finished.Sub(j.Started).Nanoseconds()
+	kind, ok := st.byKind[j.Spec.Kind]
+	if !ok {
+		kind = &KindStats{Kind: j.Spec.Kind}
+		st.byKind[j.Spec.Kind] = kind
+	}
 	if err != nil {
 		j.Status = StatusFailed
 		j.Error = err.Error()
+		kind.Failed++
 	} else {
 		j.Status = StatusDone
 		res.Name = j.Spec.Name()
@@ -231,6 +239,9 @@ func (st *store) finish(id string, res workload.ScenarioResult, err error, now t
 		j.Result = &res
 		st.unitRoutes += int64(res.UnitRoutes)
 		st.conflicts += int64(res.Conflicts)
+		kind.Done++
+		kind.UnitRoutes += int64(res.UnitRoutes)
+		kind.Conflicts += int64(res.Conflicts)
 	}
 	st.counts[j.Status]++
 	st.finished++
@@ -272,6 +283,11 @@ type Stats struct {
 	UnitRoutes int64 `json:"unit_routes"`
 	Conflicts  int64 `json:"conflicts"`
 
+	// Kinds aggregates finished jobs per scenario kind (sorted by
+	// kind for stable output) — every registry family the service has
+	// executed appears here.
+	Kinds []KindStats `json:"kinds,omitempty"`
+
 	// Latency percentiles over the most recent finished (done or
 	// failed) jobs — a bounded window of maxLatencySamples — with
 	// total = admission→finish, run = execution only.
@@ -309,10 +325,23 @@ func (st *store) aggregate(uptime time.Duration) Stats {
 		LatencyRunP50Ns:   percentile(st.latRun.samples, 50).Nanoseconds(),
 		LatencyRunP99Ns:   percentile(st.latRun.samples, 99).Nanoseconds(),
 	}
+	for _, k := range st.byKind {
+		s.Kinds = append(s.Kinds, *k)
+	}
+	sort.Slice(s.Kinds, func(i, j int) bool { return s.Kinds[i].Kind < s.Kinds[j].Kind })
 	if secs := uptime.Seconds(); secs > 0 {
 		s.ThroughputJobsPerSec = float64(st.finished) / secs
 	}
 	return s
+}
+
+// KindStats aggregates the finished jobs of one scenario kind.
+type KindStats struct {
+	Kind       string `json:"kind"`
+	Done       int64  `json:"done"`
+	Failed     int64  `json:"failed"`
+	UnitRoutes int64  `json:"unit_routes"`
+	Conflicts  int64  `json:"conflicts"`
 }
 
 // percentile returns the nearest-rank p-th percentile of the

@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
+
+var errAny = errors.New("boom")
 
 func TestStoreEvictsOldTerminalJobsKeepsAggregates(t *testing.T) {
 	oldJobs, oldLat := maxRetainedJobs, maxLatencySamples
@@ -78,5 +81,37 @@ func TestLatWindowWrapsToRecentSamples(t *testing.T) {
 	}
 	if sum != 7+8+9+10 {
 		t.Fatalf("window holds %v, want the most recent four", w.samples)
+	}
+}
+
+func TestStoreAggregatesPerKind(t *testing.T) {
+	st := newStore()
+	now := time.Now()
+	finish := func(spec JobSpec, res ScenarioResult, err error) {
+		j := st.add(spec, now)
+		if _, ok := st.claim(j.ID, now); !ok {
+			t.Fatalf("claim %s failed", j.ID)
+		}
+		st.finish(j.ID, res, err, now.Add(time.Millisecond))
+	}
+	finish(JobSpec{Kind: KindSweep, N: 3}, ScenarioResult{UnitRoutes: 10, OK: true}, nil)
+	finish(JobSpec{Kind: KindSweep, N: 3}, ScenarioResult{UnitRoutes: 12, Conflicts: 1, OK: false}, nil)
+	finish(JobSpec{Kind: KindPermRoute, N: 4, Pattern: "random"}, ScenarioResult{UnitRoutes: 7, OK: true}, nil)
+	finish(JobSpec{Kind: KindPermRoute, N: 4, Pattern: "random"}, ScenarioResult{}, errAny)
+
+	stats := st.aggregate(time.Second)
+	if len(stats.Kinds) != 2 {
+		t.Fatalf("per-kind stats: %+v", stats.Kinds)
+	}
+	// Sorted by kind: permroute < sweep.
+	pr, sw := stats.Kinds[0], stats.Kinds[1]
+	if pr.Kind != KindPermRoute || sw.Kind != KindSweep {
+		t.Fatalf("kind order wrong: %+v", stats.Kinds)
+	}
+	if pr.Done != 1 || pr.Failed != 1 || pr.UnitRoutes != 7 {
+		t.Fatalf("permroute aggregate wrong: %+v", pr)
+	}
+	if sw.Done != 2 || sw.Failed != 0 || sw.UnitRoutes != 22 || sw.Conflicts != 1 {
+		t.Fatalf("sweep aggregate wrong: %+v", sw)
 	}
 }

@@ -46,10 +46,27 @@ func New(n int, opts ...simd.Option) *Machine {
 	}
 }
 
+// Close releases the underlying star machine's worker pool.
+func (m *Machine) Close() { m.SM.Close() }
+
+// Reset returns the machine to its post-construction state for
+// pooled reuse: every slot register is zeroed and stats cleared,
+// while the star machine's amortized state (neighbor tables, route
+// tables, compiled plans, worker pool) is kept.
+func (m *Machine) Reset() { m.SM.Reset() }
+
 // slotReg names the physical register backing a virtual register's
 // slot.
 func slotReg(name string, slot int) string {
 	return fmt.Sprintf("%s#%d", name, slot)
+}
+
+// EnsureReg declares a virtual register if it does not exist yet —
+// the idempotent form pooled reuse needs.
+func (m *Machine) EnsureReg(name string) {
+	for s := 0; s < m.Slots; s++ {
+		m.SM.EnsureReg(slotReg(name, s))
+	}
 }
 
 // AddReg declares a virtual register (n+1 physical registers).

@@ -1,11 +1,11 @@
 package virtual
 
 import (
+	"math/rand"
 	"testing"
 
 	"starmesh/internal/mesh"
 	"starmesh/internal/meshsim"
-	"starmesh/internal/workload"
 )
 
 func TestLocateIsBijective(t *testing.T) {
@@ -47,7 +47,7 @@ func TestUnitRouteMatchesRealMachine(t *testing.T) {
 		vm.AddReg("A")
 		vm.AddReg("B")
 		big := mesh.D(n + 1)
-		keys := workload.Keys(workload.Uniform, big.Order(), int64(n))
+		keys := uniformKeys(big.Order(), int64(n))
 
 		for k := 1; k <= n; k++ {
 			for _, dir := range []int{+1, -1} {
@@ -132,7 +132,7 @@ func TestVirtualSnakeSort(t *testing.T) {
 	for _, n := range []int{3, 4} {
 		vm := New(n)
 		vm.AddReg("K")
-		keys := workload.Keys(workload.Uniform, vm.Big.Order(), int64(n))
+		keys := uniformKeys(vm.Big.Order(), int64(n))
 		vm.Set("K", func(bigID int) int64 { return keys[bigID] })
 		sorted, routes := vm.SnakeSort("K")
 		if !sorted {
@@ -173,4 +173,16 @@ func TestMaskedUnitRouteSlotShuffleInPlace(t *testing.T) {
 			t.Fatalf("in-place slot shuffle clobbered at %d", bigID)
 		}
 	}
+}
+
+// uniformKeys generates deterministic pseudo-random keys in
+// [0, 4N] — the test fixture formerly drawn from the workload
+// package, inlined here because workload now depends on virtual.
+func uniformKeys(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(rng.Intn(4*n + 1))
+	}
+	return out
 }

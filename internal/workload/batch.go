@@ -16,7 +16,6 @@ import (
 	"sync"
 	"time"
 
-	"starmesh/internal/mesh"
 	"starmesh/internal/meshsim"
 	"starmesh/internal/simd"
 	"starmesh/internal/sorting"
@@ -215,46 +214,40 @@ func RunFaultRouteOn(g *star.Graph, faults, pairs int, rng *rand.Rand) (Scenario
 	return ScenarioResult{UnitRoutes: hops, OK: true}, nil
 }
 
+// The named scenario constructors are thin registry dispatches:
+// each builds the canonical Spec and asks ScenarioFor for the
+// standalone (fresh machine per run) scenario. mustScenario panics
+// on validation errors — these constructors are programmatic wiring,
+// not input handling; callers with untrusted parameters go through
+// ScenarioFor and handle the error.
+func mustScenario(s Spec, opts ...simd.Option) Scenario {
+	sc, err := ScenarioFor(s, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	return sc
+}
+
 // SortScenario snake-sorts n! keys of the given distribution on the
 // star machine S_n through the paper's embedding.
 func SortScenario(n int, d Dist, seed int64, opts ...simd.Option) Scenario {
-	name := fmt.Sprintf("sort-star-n%d-%s-seed%d", n, distName(d), seed)
-	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
-		sm := starsim.New(n, opts...)
-		defer sm.Close()
-		return RunSortOn(sm, d, NewRand(seed))
-	}}
+	return mustScenario(Spec{Kind: KindSort, N: n, Dist: distName(d), Seed: seed}, opts...)
 }
 
 // ShearScenario shear-sorts a rows×cols mesh machine.
 func ShearScenario(rows, cols int, d Dist, seed int64, opts ...simd.Option) Scenario {
-	name := fmt.Sprintf("shear-mesh-%dx%d-%s-seed%d", rows, cols, distName(d), seed)
-	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
-		mm := meshsim.New(mesh.New(rows, cols), opts...)
-		defer mm.Close()
-		return RunShearOn(mm, d, NewRand(seed))
-	}}
+	return mustScenario(Spec{Kind: KindShear, Rows: rows, Cols: cols, Dist: distName(d), Seed: seed}, opts...)
 }
 
 // BroadcastScenario floods one value from the given source PE across
 // the star machine S_n and checks every PE received it.
 func BroadcastScenario(n, source int, opts ...simd.Option) Scenario {
-	name := fmt.Sprintf("broadcast-star-n%d-src%d", n, source)
-	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
-		sm := starsim.New(n, opts...)
-		defer sm.Close()
-		return RunBroadcastOn(sm, source)
-	}}
+	return mustScenario(Spec{Kind: KindBroadcast, N: n, Source: source}, opts...)
 }
 
 // SweepScenario drives the full mesh-unit-route sweep on S_n.
 func SweepScenario(n int, opts ...simd.Option) Scenario {
-	name := fmt.Sprintf("sweep-star-n%d", n)
-	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
-		sm := starsim.New(n, opts...)
-		defer sm.Close()
-		return RunSweepOn(sm)
-	}}
+	return mustScenario(Spec{Kind: KindSweep, N: n}, opts...)
 }
 
 // FaultRouteScenario routes the given number of random source/target
@@ -262,18 +255,59 @@ func SweepScenario(n int, opts ...simd.Option) Scenario {
 // (at most n-2, so a path always exists). The reported unit routes
 // are the total hops across all pairs.
 func FaultRouteScenario(n, faults, pairs int, seed int64) Scenario {
-	name := fmt.Sprintf("faultroute-star-n%d-f%d-p%d-seed%d", n, faults, pairs, seed)
-	return Scenario{Name: name, Run: func() (ScenarioResult, error) {
-		return RunFaultRouteOn(star.New(n), faults, pairs, NewRand(seed))
-	}}
+	return mustScenario(Spec{Kind: KindFaultRoute, N: n, Faults: faults, Pairs: pairs, Seed: seed})
 }
 
-// StandardBatch assembles a representative mixed batch: snake sorts
-// across distributions, shear sorts, broadcasts and fault routing.
+// EmbedRectScenario sweeps verified grouped unit routes over the
+// appendix's d-dimensional rectangular mesh realized on S_n.
+func EmbedRectScenario(n, d int, opts ...simd.Option) Scenario {
+	return mustScenario(Spec{Kind: KindEmbedRect, N: n, D: d}, opts...)
+}
+
+// PermRouteScenario routes full permutation traffic of the given
+// pattern obliviously on S_n.
+func PermRouteScenario(n int, pattern string, seed int64) Scenario {
+	return mustScenario(Spec{Kind: KindPermRoute, N: n, Pattern: pattern, Seed: seed})
+}
+
+// VirtualScenario snake-sorts (n+1)! keys on the virtualized
+// machine D_{n+1}-on-S_n.
+func VirtualScenario(n int, d Dist, seed int64, opts ...simd.Option) Scenario {
+	return mustScenario(Spec{Kind: KindVirtual, N: n, Dist: distName(d), Seed: seed}, opts...)
+}
+
+// DiagnosticsScenario sweeps random vertex-hole patterns over S_n
+// and measures reachability and eccentricity.
+func DiagnosticsScenario(n, holes, trials int, seed int64) Scenario {
+	return mustScenario(Spec{Kind: KindDiagnostics, N: n, Holes: holes, Trials: trials, Seed: seed})
+}
+
+// PipelineScenario chains embedrect → sort → broadcast on one star
+// machine, Reset between phases.
+func PipelineScenario(n, d int, dist Dist, seed int64, source int, opts ...simd.Option) Scenario {
+	return mustScenario(Spec{Kind: KindPipeline, N: n, D: d, Dist: distName(dist), Seed: seed, Source: source}, opts...)
+}
+
+// StandardBatch assembles a representative mixed batch spanning
+// every registered scenario family: snake sorts across
+// distributions, shear sorts, broadcasts, fault routing, and the
+// embedrect/permroute/virtual/diagnostics/pipeline families.
 func StandardBatch(n int, seed int64, opts ...simd.Option) []Scenario {
 	var scs []Scenario
 	for _, d := range Dists {
 		scs = append(scs, SortScenario(n, d.D, seed, opts...))
+	}
+	vn := n
+	if vn > 4 {
+		vn = 4 // the virtual sort runs (n+1)! phases; keep the mixed batch snappy
+	}
+	pn := n
+	if pn > MaxPermRouteN {
+		pn = MaxPermRouteN
+	}
+	ed := 2
+	if ed > n-1 {
+		ed = n - 1 // embedrect/pipeline need d ≤ n-1 (S_2 only factorizes to d=1)
 	}
 	scs = append(scs,
 		ShearScenario(16, 16, Uniform, seed, opts...),
@@ -281,6 +315,11 @@ func StandardBatch(n int, seed int64, opts ...simd.Option) []Scenario {
 		BroadcastScenario(n, 0, opts...),
 		BroadcastScenario(n, 1, opts...),
 		FaultRouteScenario(n, n-2, 16, seed),
+		EmbedRectScenario(n, ed, opts...),
+		PermRouteScenario(pn, "random", seed),
+		VirtualScenario(vn, Uniform, seed, opts...),
+		DiagnosticsScenario(n, n-2, 2, seed),
+		PipelineScenario(n, ed, Uniform, seed, 0, opts...),
 	)
 	return scs
 }

@@ -1,0 +1,133 @@
+// Interval bench records: the schema behind the CI bench-regression
+// gate. Per Al Mohamad et al. ("Simultaneous Confidence Intervals
+// for Ranks"), comparing point estimates of noisy measurements
+// misleads — so the gate repeats the workload, summarizes the
+// repetitions as a (min, median, max) interval, and a regression is
+// declared only when the fresh interval falls WHOLLY below the
+// committed baseline interval (scaled by a cross-host margin), never
+// on a single-number comparison.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Interval summarizes repeated duration samples.
+type Interval struct {
+	MinNs    int64 `json:"min_ns"`
+	MedianNs int64 `json:"median_ns"`
+	MaxNs    int64 `json:"max_ns"`
+}
+
+// NewInterval folds samples (nanoseconds) into an interval.
+func NewInterval(samples []int64) Interval {
+	if len(samples) == 0 {
+		return Interval{}
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return Interval{
+		MinNs:    sorted[0],
+		MedianNs: sorted[len(sorted)/2],
+		MaxNs:    sorted[len(sorted)-1],
+	}
+}
+
+// ThroughputInterval converts a duration interval into per-second
+// rates: the FAST end of the time interval is the HIGH end of the
+// rate interval.
+func (iv Interval) ThroughputInterval() ThroughputInterval {
+	rate := func(ns int64) float64 {
+		if ns <= 0 {
+			return 0
+		}
+		return 1e9 / float64(ns)
+	}
+	return ThroughputInterval{
+		Min:    rate(iv.MaxNs),
+		Median: rate(iv.MedianNs),
+		Max:    rate(iv.MinNs),
+	}
+}
+
+// ThroughputInterval is an interval of per-second rates (higher is
+// better).
+type ThroughputInterval struct {
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Max    float64 `json:"max"`
+}
+
+// CompareBenchRecord is the schema of BENCH_compare.json: N repeated
+// S_n mesh-route sweeps summarized as intervals. The committed copy
+// is the baseline CI gates against.
+type CompareBenchRecord struct {
+	Benchmark  string             `json:"benchmark"`
+	Timestamp  string             `json:"timestamp"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	N          int                `json:"n"`
+	PEs        int                `json:"pes"`
+	Reps       int                `json:"reps"`
+	SamplesNs  []int64            `json:"samples_ns"`
+	SweepNs    Interval           `json:"sweep_ns"`
+	SweepsPS   ThroughputInterval `json:"sweeps_per_sec"`
+}
+
+// NewCompareBenchRecord folds raw sweep samples into the record.
+func NewCompareBenchRecord(n, pes int, samples []int64, gomaxprocs int, timestamp string) CompareBenchRecord {
+	iv := NewInterval(samples)
+	return CompareBenchRecord{
+		Benchmark:  fmt.Sprintf("mesh-route-sweep-interval-s%d", n),
+		Timestamp:  timestamp,
+		GoMaxProcs: gomaxprocs,
+		N:          n,
+		PEs:        pes,
+		Reps:       len(samples),
+		SamplesNs:  append([]int64(nil), samples...),
+		SweepNs:    iv,
+		SweepsPS:   iv.ThroughputInterval(),
+	}
+}
+
+// RegressionAgainst reports whether the record's throughput interval
+// falls wholly below the baseline interval scaled by margin
+// (0 < margin ≤ 1 absorbs host-speed differences between the
+// committing machine and CI runners): a regression means even the
+// BEST fresh repetition is slower than margin × the WORST baseline
+// repetition. Overlapping intervals never gate — that is the
+// no-single-number-flake contract.
+func (r CompareBenchRecord) RegressionAgainst(baseline CompareBenchRecord, margin float64) (bool, string) {
+	if margin <= 0 || margin > 1 {
+		margin = 1
+	}
+	floor := baseline.SweepsPS.Min * margin
+	if r.SweepsPS.Max < floor {
+		return true, fmt.Sprintf(
+			"new interval [%.1f, %.1f] sweeps/s wholly below %.2f × baseline min %.1f sweeps/s",
+			r.SweepsPS.Min, r.SweepsPS.Max, margin, baseline.SweepsPS.Min)
+	}
+	return false, fmt.Sprintf(
+		"new interval [%.1f, %.1f] sweeps/s overlaps %.2f × baseline [%.1f, %.1f]",
+		r.SweepsPS.Min, r.SweepsPS.Max, margin, baseline.SweepsPS.Min, baseline.SweepsPS.Max)
+}
+
+// WriteJSON writes the record as indented JSON.
+func (r *CompareBenchRecord) WriteJSON(path string) error {
+	return writeJSON(r, path)
+}
+
+// ReadCompareBenchRecord loads a committed baseline record.
+func ReadCompareBenchRecord(path string) (CompareBenchRecord, error) {
+	var rec CompareBenchRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("workload: bad bench record %s: %w", path, err)
+	}
+	return rec, nil
+}

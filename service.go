@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"starmesh/internal/serve"
+	"starmesh/internal/workload"
 )
 
 // The job service (internal/serve) turns the library into a
@@ -39,14 +40,54 @@ type JobStatus = serve.Status
 // counters.
 type ServiceStats = serve.Stats
 
-// Job kinds accepted by the service.
+// Job kinds accepted by the service — one constant per registered
+// scenario family; ScenarioKinds returns the authoritative list.
 const (
-	JobSort       = serve.KindSort
-	JobShear      = serve.KindShear
-	JobBroadcast  = serve.KindBroadcast
-	JobSweep      = serve.KindSweep
-	JobFaultRoute = serve.KindFaultRoute
+	JobSort        = serve.KindSort
+	JobShear       = serve.KindShear
+	JobBroadcast   = serve.KindBroadcast
+	JobSweep       = serve.KindSweep
+	JobFaultRoute  = serve.KindFaultRoute
+	JobEmbedRect   = serve.KindEmbedRect
+	JobPermRoute   = serve.KindPermRoute
+	JobVirtual     = serve.KindVirtual
+	JobDiagnostics = serve.KindDiagnostics
+	JobPipeline    = serve.KindPipeline
 )
+
+// ScenarioResult is one scenario run's outcome: unit-route cost,
+// conflicts, self-check verdict.
+type ScenarioResult = workload.ScenarioResult
+
+// ScenarioFamily is one scenario kind's registry entry: validation,
+// pool shape, construction, execution and naming in one value.
+// Adding a family to the registry makes it available to the job
+// service, the CLI, the experiments and RunScenario at once.
+type ScenarioFamily = workload.Family
+
+// ScenarioKinds returns every registered scenario kind in catalog
+// order.
+func ScenarioKinds() []string { return workload.Kinds() }
+
+// ScenarioFamilies returns every registered scenario family in
+// catalog order.
+func ScenarioFamilies() []*ScenarioFamily { return workload.Builtin.Families() }
+
+// ScenarioCatalog renders the registry's scenario table as markdown
+// (the README's catalog is this exact output).
+func ScenarioCatalog() string { return workload.CatalogMarkdown() }
+
+// RunScenario validates a spec against the scenario registry and
+// executes it standalone on a fresh machine (built with the given
+// engine options, closed after). The result is bit-identical to the
+// job service executing the same spec on a pooled machine.
+func RunScenario(spec JobSpec, opts ...EngineOption) (ScenarioResult, error) {
+	sc, err := workload.ScenarioFor(spec, opts...)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	return sc.Run()
+}
 
 // NewJobService starts a job service (workers running, admission
 // open). Shut it down with Drain, which stops admission, completes
