@@ -36,7 +36,8 @@ bench-plans:
 	GOMAXPROCS=2 $(GO) run ./cmd/experiments -run plans -engine parallel
 
 ## bench-serve: the job-service load smoke. Starts the service
-## in-process, drives the closed-loop HTTP load generator with
+## in-process and drives the closed-loop load generator — every byte
+## through the typed v1 client (submit + watch streams) — with
 ## per-shape machine pooling on and off (GOMAXPROCS=2), writes
 ## BENCH_serve.json, and fails if pooled throughput falls below
 ## build-per-job or any job result diverges from a standalone run.
@@ -67,13 +68,15 @@ staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 ## cover: whole-module coverage profile + per-package floors for the
-## scenario registry and the job service. CI uploads coverage.out.
+## scenario registry, the job service and the typed v1 client. CI
+## uploads coverage.out.
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 	$(GO) run ./cmd/covercheck -profile coverage.out \
 		-floor starmesh/internal/workload=70 \
-		-floor starmesh/internal/serve=80
+		-floor starmesh/internal/serve=80 \
+		-floor starmesh/client=80
 
 fmt:
 	gofmt -w .

@@ -6,6 +6,7 @@
 package starmesh_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -229,7 +230,7 @@ func BenchmarkEngineSweepS8ReplayParallel(b *testing.B) {
 func BenchmarkEngineBatch(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res := workload.RunBatch(workload.StandardBatch(5, 42), 0)
+		res := workload.RunBatch(context.Background(), workload.StandardBatch(5, 42), 0)
 		if len(res.Errors) != 0 {
 			b.Fatalf("batch errors: %v", res.Errors)
 		}
@@ -243,7 +244,7 @@ func BenchmarkEngineBatch(b *testing.B) {
 func BenchmarkEngineBatchPool(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res := workload.RunBatch(workload.StandardBatch(5, 42, simd.WithExecutor(simd.Parallel(2))), 0)
+		res := workload.RunBatch(context.Background(), workload.StandardBatch(5, 42, simd.WithExecutor(simd.Parallel(2))), 0)
 		if len(res.Errors) != 0 {
 			b.Fatalf("batch errors: %v", res.Errors)
 		}
@@ -253,7 +254,7 @@ func BenchmarkEngineBatchPool(b *testing.B) {
 func BenchmarkEngineBatchSpawn(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res := workload.RunBatch(workload.StandardBatch(5, 42, simd.WithExecutor(simd.ParallelSpawn(2))), 0)
+		res := workload.RunBatch(context.Background(), workload.StandardBatch(5, 42, simd.WithExecutor(simd.ParallelSpawn(2))), 0)
 		if len(res.Errors) != 0 {
 			b.Fatalf("batch errors: %v", res.Errors)
 		}
@@ -303,7 +304,7 @@ func TestEngineBenchRecord(t *testing.T) {
 			engineBenchN, baseStats, baseSum, seqStats, seqSum)
 	}
 
-	batch := workload.RunBatch(workload.StandardBatch(5, 42, simd.WithPlans(false)), 0)
+	batch := workload.RunBatch(context.Background(), workload.StandardBatch(5, 42, simd.WithPlans(false)), 0)
 	if len(batch.Errors) != 0 {
 		t.Fatalf("batch errors: %v", batch.Errors)
 	}
@@ -391,7 +392,7 @@ func TestPlanBenchRecord(t *testing.T) {
 		var res workload.BatchResult
 		for i := 0; i < 3; i++ {
 			start := time.Now()
-			r := workload.RunBatch(workload.StandardBatch(5, 42,
+			r := workload.RunBatch(context.Background(), workload.StandardBatch(5, 42,
 				simd.WithExecutor(exec), simd.WithPlans(false)), 0)
 			elapsed := time.Since(start)
 			if len(r.Errors) != 0 {

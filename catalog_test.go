@@ -1,6 +1,7 @@
 package starmesh_test
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -56,14 +57,14 @@ func TestScenarioFacade(t *testing.T) {
 		t.Fatalf("ScenarioFamilies returned %d families", len(fams))
 	}
 
-	res, err := starmesh.RunScenario(starmesh.JobSpec{Kind: starmesh.JobPipeline, N: 4, Seed: 3})
+	res, err := starmesh.RunScenario(context.Background(), starmesh.JobSpec{Kind: starmesh.JobPipeline, N: 4, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.OK || res.UnitRoutes == 0 {
 		t.Fatalf("pipeline scenario result: %+v", res)
 	}
-	if _, err := starmesh.RunScenario(starmesh.JobSpec{Kind: "nope"}); err == nil {
+	if _, err := starmesh.RunScenario(context.Background(), starmesh.JobSpec{Kind: "nope"}); err == nil {
 		t.Fatal("RunScenario accepted an unknown kind")
 	}
 }

@@ -1,0 +1,324 @@
+// Package client is the typed Go client of the starmesh job
+// service's v1 API. It is the single supported way to talk to the
+// service over HTTP: the CLI's remote subcommands, the load
+// generator and the examples all dispatch through it, and the wire
+// types are shared with the server (type aliases), so client and
+// service can never disagree about the contract.
+//
+//	c := client.New("http://localhost:8080")
+//	job, err := c.Submit(ctx, client.JobSpec{Kind: "sort", N: 5, Seed: 42})
+//	final, err := c.Await(ctx, job.ID)
+//
+// Submissions transparently retry on 429 backpressure, honoring the
+// server's Retry-After header (see WithMaxRetries / WithBackoff).
+// Every non-2xx response becomes a *client.APIError carrying the
+// service's typed error code.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"starmesh/internal/serve"
+)
+
+// Client talks to one starmesh job service.
+type Client struct {
+	base       string
+	hc         *http.Client
+	maxRetries int
+	backoff    time.Duration
+	sleep      func(ctx context.Context, d time.Duration) error
+	onBackoff  func(d time.Duration)
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default
+// http.DefaultClient-equivalent with no special timeouts; watch
+// streams are long-lived, so avoid a global client timeout).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithMaxRetries bounds 429 retries per call (default 4; negative
+// retries forever — closed-loop drivers that want admission to
+// eventually succeed).
+func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithBackoff sets the base retry delay used when the server sends
+// no Retry-After header (default 100ms, doubling per attempt, capped
+// at 2s).
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// WithSleep substitutes the retry sleeper — tests inject a fake
+// clock, load harnesses a fast poll. The sleeper must honor ctx.
+func WithSleep(fn func(ctx context.Context, d time.Duration) error) Option {
+	return func(c *Client) { c.sleep = fn }
+}
+
+// WithBackpressureHook registers a callback invoked once per 429
+// received (before the retry sleep) — load generators count the
+// backpressure they provoke.
+func WithBackpressureHook(fn func(d time.Duration)) Option {
+	return func(c *Client) { c.onBackoff = fn }
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://localhost:8080"). The client always speaks the /v1 routes.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:       baseURL,
+		hc:         &http.Client{},
+		maxRetries: 4,
+		backoff:    100 * time.Millisecond,
+	}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Submit admits one job spec, returning its queued snapshot. 429
+// responses are retried per the client's retry policy.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (Job, error) {
+	var job Job
+	err := c.doRetry(ctx, http.MethodPost, "/v1/jobs", spec, &job)
+	return job, err
+}
+
+// SubmitBatch admits several specs atomically: every spec becomes a
+// queued job (returned in spec order) or none does — one invalid
+// spec rejects the whole batch with an APIError whose Details name
+// each offending index.
+func (c *Client) SubmitBatch(ctx context.Context, specs []JobSpec) ([]Job, error) {
+	var resp serve.BatchResponse
+	err := c.doRetry(ctx, http.MethodPost, "/v1/jobs:batch", serve.BatchRequest{Specs: specs}, &resp)
+	return resp.Jobs, err
+}
+
+// Get returns a job snapshot by id.
+func (c *Client) Get(ctx context.Context, id string) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &job)
+	return job, err
+}
+
+// ListOptions filters and paginates List.
+type ListOptions struct {
+	// Status keeps only jobs in that state ("" = all).
+	Status Status
+	// Limit is the page size (0 = server default of 100).
+	Limit int
+	// Cursor resumes a walk from a previous page's NextCursor.
+	Cursor string
+}
+
+// List returns one page of the job listing, newest first. Walk the
+// full listing by feeding each page's NextCursor back in (or use
+// ListAll).
+func (c *Client) List(ctx context.Context, opts ListOptions) (JobPage, error) {
+	q := url.Values{}
+	if opts.Status != "" {
+		q.Set("status", string(opts.Status))
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.Cursor != "" {
+		q.Set("cursor", opts.Cursor)
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page JobPage
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
+// ListAll walks the cursor chain to exhaustion and returns every
+// matching job, newest first.
+func (c *Client) ListAll(ctx context.Context, opts ListOptions) ([]Job, error) {
+	var all []Job
+	for {
+		page, err := c.List(ctx, opts)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, page.Jobs...)
+		if page.NextCursor == "" {
+			return all, nil
+		}
+		opts.Cursor = page.NextCursor
+	}
+}
+
+// Cancel aborts a job: queued jobs cancel immediately, running jobs
+// at their next cooperative checkpoint (the returned snapshot may
+// still show running with cancel_requested; Watch or Await observes
+// the terminal transition). Terminal jobs return a conflict
+// (IsTerminal).
+func (c *Client) Cancel(ctx context.Context, id string) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &job)
+	return job, err
+}
+
+// Stats returns the aggregated service view.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Healthz probes the service. A draining service answers 503 but
+// with a well-formed Health body, so Healthz returns the decoded
+// Health value AND a draining-coded APIError — callers distinguish
+// "down" (error only) from "draining" (both).
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h)
+	if err != nil {
+		if api := AsAPIError(err); api != nil && api.Status == http.StatusServiceUnavailable {
+			// The 503 body is the Health document itself, not an error
+			// envelope.
+			if jsonErr := json.Unmarshal([]byte(api.Message), &h); jsonErr == nil && h.Draining {
+				api.Code = CodeDraining
+			}
+		}
+	}
+	return h, err
+}
+
+// Await watches a job to its terminal status and returns the final
+// snapshot — a convenience over Watch.
+func (c *Client) Await(ctx context.Context, id string) (Job, error) {
+	w, err := c.Watch(ctx, id)
+	if err != nil {
+		return Job{}, err
+	}
+	defer w.Close()
+	var last Job
+	for {
+		j, err := w.Next()
+		if err == io.EOF {
+			if !last.Status.Terminal() {
+				return last, fmt.Errorf("client: watch stream of %s ended before a terminal status (%s)", id, last.Status)
+			}
+			return last, nil
+		}
+		if err != nil {
+			return last, err
+		}
+		last = j
+		if last.Status.Terminal() {
+			return last, nil
+		}
+	}
+}
+
+// do issues one request; body (when non-nil) is sent as JSON and the
+// response decoded into out. Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiErrorFrom(resp, data)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// doRetry is do with the 429 retry loop: sleep per Retry-After (or
+// exponential backoff), up to maxRetries additional attempts
+// (negative = unbounded).
+func (c *Client) doRetry(ctx context.Context, method, path string, body, out any) error {
+	delay := c.backoff
+	for attempt := 0; ; attempt++ {
+		err := c.do(ctx, method, path, body, out)
+		api := AsAPIError(err)
+		if api == nil || api.Status != http.StatusTooManyRequests {
+			return err
+		}
+		if c.maxRetries >= 0 && attempt >= c.maxRetries {
+			return err
+		}
+		wait := delay
+		if api.RetryAfter > 0 {
+			wait = api.RetryAfter
+		} else {
+			delay *= 2
+			if delay > 2*time.Second {
+				delay = 2 * time.Second
+			}
+		}
+		if c.onBackoff != nil {
+			c.onBackoff(wait)
+		}
+		if err := c.sleep(ctx, wait); err != nil {
+			return err
+		}
+	}
+}
+
+// apiErrorFrom decodes the service's structured error envelope,
+// falling back to the raw body for non-conforming responses.
+func apiErrorFrom(resp *http.Response, data []byte) *APIError {
+	api := &APIError{Status: resp.StatusCode}
+	var body serve.ErrorBody
+	if err := json.Unmarshal(data, &body); err == nil && body.Error.Code != "" {
+		api.Code = body.Error.Code
+		api.Message = body.Error.Message
+		api.Details = body.Error.Details
+	} else {
+		api.Code = serve.CodeInternal
+		api.Message = string(data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			api.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return api
+}

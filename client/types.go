@@ -1,0 +1,106 @@
+// The client's wire vocabulary: type aliases onto the service's own
+// types, so the contract has exactly one definition. External
+// callers import only this package.
+package client
+
+import (
+	"errors"
+	"time"
+
+	"starmesh/internal/serve"
+)
+
+// JobSpec describes one simulation job (kind, machine shape,
+// parameters; all randomness derives from Seed).
+type JobSpec = serve.JobSpec
+
+// Job is one admitted job and its outcome.
+type Job = serve.Job
+
+// Status is a job's lifecycle state.
+type Status = serve.Status
+
+// Job lifecycle states.
+const (
+	StatusQueued   = serve.StatusQueued
+	StatusRunning  = serve.StatusRunning
+	StatusDone     = serve.StatusDone
+	StatusFailed   = serve.StatusFailed
+	StatusCanceled = serve.StatusCanceled
+)
+
+// Stats is the aggregated service view (GET /v1/stats).
+type Stats = serve.Stats
+
+// JobPage is one page of the job listing (GET /v1/jobs).
+type JobPage = serve.JobPage
+
+// Health is the healthz body (GET /v1/healthz).
+type Health = serve.Health
+
+// ErrorCode is the service's machine-readable error class.
+type ErrorCode = serve.ErrorCode
+
+// The v1 error codes.
+const (
+	CodeInvalidSpec     = serve.CodeInvalidSpec
+	CodeInvalidArgument = serve.CodeInvalidArgument
+	CodeNotFound        = serve.CodeNotFound
+	CodeTerminal        = serve.CodeTerminal
+	CodeQueueFull       = serve.CodeQueueFull
+	CodeDraining        = serve.CodeDraining
+	CodeInternal        = serve.CodeInternal
+)
+
+// APIError is a non-2xx response, decoded from the service's
+// structured error envelope.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the typed error class.
+	Code ErrorCode
+	// Message is the human-readable explanation.
+	Message string
+	// Details itemizes batch validation failures by spec index.
+	Details []serve.BatchItemError
+	// RetryAfter is the server's Retry-After hint on 429 (0 if
+	// absent).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return "client: " + string(e.Code) + " (" + e.Message + ")"
+}
+
+// AsAPIError extracts the *APIError from an error chain (nil if the
+// error is not an API error — e.g. a transport failure).
+func AsAPIError(err error) *APIError {
+	var api *APIError
+	if errors.As(err, &api) {
+		return api
+	}
+	return nil
+}
+
+// codeIs reports whether err is an APIError of the given code.
+func codeIs(err error, code ErrorCode) bool {
+	api := AsAPIError(err)
+	return api != nil && api.Code == code
+}
+
+// IsNotFound reports a 404 not_found API error.
+func IsNotFound(err error) bool { return codeIs(err, CodeNotFound) }
+
+// IsTerminal reports a 409 terminal conflict (cancel of a finished
+// job).
+func IsTerminal(err error) bool { return codeIs(err, CodeTerminal) }
+
+// IsQueueFull reports 429 backpressure that survived the retry
+// budget.
+func IsQueueFull(err error) bool { return codeIs(err, CodeQueueFull) }
+
+// IsDraining reports a 503 draining rejection.
+func IsDraining(err error) bool { return codeIs(err, CodeDraining) }
+
+// IsInvalidSpec reports a 400 spec validation rejection.
+func IsInvalidSpec(err error) bool { return codeIs(err, CodeInvalidSpec) }

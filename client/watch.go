@@ -1,0 +1,60 @@
+// Watch: the push-style job observer over GET /v1/jobs/{id}/watch.
+// The server streams newline-delimited JSON snapshots — the current
+// state first, then every status transition — and ends the stream
+// after the terminal one.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// Watcher reads one job's status transitions from the server's
+// ndjson stream. Close releases the connection; canceling the ctx
+// passed to Watch does too.
+type Watcher struct {
+	body io.ReadCloser
+	dec  *json.Decoder
+}
+
+// Watch opens a transition stream for a job. The first Next returns
+// the job's current snapshot immediately; subsequent calls block
+// until the next transition. Next returns io.EOF after the terminal
+// snapshot has been delivered.
+func (c *Client) Watch(ctx context.Context, id string) (*Watcher, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/watch", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return nil, apiErrorFrom(resp, data)
+	}
+	return &Watcher{
+		body: resp.Body,
+		dec:  json.NewDecoder(bufio.NewReader(resp.Body)),
+	}, nil
+}
+
+// Next returns the next snapshot from the stream; io.EOF once the
+// server has closed it after the terminal transition.
+func (w *Watcher) Next() (Job, error) {
+	var j Job
+	if err := w.dec.Decode(&j); err != nil {
+		return Job{}, err
+	}
+	return j, nil
+}
+
+// Close tears the stream down. Safe after EOF.
+func (w *Watcher) Close() error { return w.body.Close() }

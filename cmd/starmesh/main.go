@@ -16,6 +16,15 @@
 //	starmesh run <json-spec>          run one scenario standalone
 //	starmesh serve [flags]            run the simulation job service (HTTP)
 //
+// Remote subcommands (drive a running service's v1 API through the
+// typed client package starmesh/client):
+//
+//	starmesh submit [-wait] <json-spec>...   admit one job (or an atomic batch)
+//	starmesh jobs [-status s] [-all]         list jobs (cursor pagination)
+//	starmesh cancel [-wait] <job-id>         cancel a queued or running job
+//	starmesh watch <job-id>                  stream status transitions
+//	starmesh stats [-healthz]                aggregated service view / health
+//
 // Node symbols are given in display order (front first), matching
 // the paper: `starmesh unmap 0 3 1 2` is the node (0 3 1 2).
 package main
@@ -65,13 +74,23 @@ func main() {
 		cmdScenarios(os.Args[2:])
 	case "run":
 		cmdRun(os.Args[2:])
+	case "submit":
+		cmdSubmit(os.Args[2:])
+	case "jobs":
+		cmdJobs(os.Args[2:])
+	case "cancel":
+		cmdCancel(os.Args[2:])
+	case "watch":
+		cmdWatch(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: starmesh <map|unmap|route|path|info|dot|fig7|surface|broadcast|saferoute|scenarios|run|serve> [args]
+	fmt.Fprintf(os.Stderr, `usage: starmesh <map|unmap|route|path|info|dot|fig7|surface|broadcast|saferoute|scenarios|run|serve|submit|jobs|cancel|watch|stats> [args]
   map d_{n-1} ... d_1        mesh node -> star node
   unmap a_{n-1} ... a_0      star node -> mesh node
   route a... b...            shortest star route (two nodes of equal length)
@@ -86,7 +105,15 @@ func usage() {
   run <json-spec> [flags]    run one scenario standalone (see run -h)
   serve [flags]              simulation job service over HTTP (see serve -h)
 
-scenario kinds (accepted by run and by serve's POST /jobs):
+remote subcommands against a running service's v1 API (-addr flag,
+all traffic through the typed starmesh/client package):
+  submit [-wait] <spec>...   admit one JSON spec (several = atomic batch)
+  jobs [-status s] [-all]    list jobs, status filter + cursor pagination
+  cancel [-wait] <job-id>    cancel a queued or running job
+  watch <job-id>             stream status transitions until terminal
+  stats [-healthz]           aggregated stats or drain-aware health
+
+scenario kinds (accepted by run, submit and POST /v1/jobs):
   %s
 `, strings.Join(workload.Kinds(), ", "))
 	os.Exit(2)

@@ -1,0 +1,221 @@
+// The remote subcommands: submit, jobs, cancel, watch and stats
+// drive a running job service's v1 API. Every byte of HTTP goes
+// through the typed client package (starmesh/client) — this file
+// contains zero hand-rolled HTTP.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"starmesh/client"
+)
+
+// remoteFlags declares the flags every remote subcommand shares and
+// returns the client constructor.
+func remoteFlags(fs *flag.FlagSet) func() *client.Client {
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the job service")
+	retries := fs.Int("retries", 4, "429 retry budget per call (-1 = retry forever)")
+	return func() *client.Client {
+		return client.New(*addr, client.WithMaxRetries(*retries))
+	}
+}
+
+// remoteCtx is the lifetime of a remote command: canceled by
+// SIGINT/SIGTERM so a watch or await unblocks cleanly.
+func remoteCtx() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+func printJSON(v any) {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println(string(out))
+}
+
+// cmdSubmit admits one or more JSON specs. A single spec posts to
+// /v1/jobs; several go through the atomic /v1/jobs:batch. -wait
+// watches every admitted job to its terminal status.
+func cmdSubmit(args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	mk := remoteFlags(fs)
+	wait := fs.Bool("wait", false, "watch each admitted job to its terminal status")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		fatalf(`submit needs one or more JSON job specs (try: starmesh submit '{"kind":"sweep","n":5}')`)
+	}
+	specs := make([]client.JobSpec, fs.NArg())
+	for i, arg := range fs.Args() {
+		dec := json.NewDecoder(strings.NewReader(arg))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&specs[i]); err != nil {
+			fatalf("bad job spec %d: %v", i, err)
+		}
+	}
+	ctx, stop := remoteCtx()
+	defer stop()
+	c := mk()
+
+	var jobs []client.Job
+	var err error
+	if len(specs) == 1 {
+		var job client.Job
+		job, err = c.Submit(ctx, specs[0])
+		jobs = []client.Job{job}
+	} else {
+		jobs, err = c.SubmitBatch(ctx, specs)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !*wait {
+		printJSON(jobs)
+		return
+	}
+	failed := false
+	for _, job := range jobs {
+		final, err := c.Await(ctx, job.ID)
+		if err != nil {
+			fatalf("await %s: %v", job.ID, err)
+		}
+		printJSON(final)
+		failed = failed || final.Status != client.StatusDone
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// cmdJobs lists jobs: one page by default, -all walks the cursor
+// chain to exhaustion.
+func cmdJobs(args []string) {
+	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
+	mk := remoteFlags(fs)
+	status := fs.String("status", "", "filter by status (queued|running|done|failed|canceled)")
+	limit := fs.Int("limit", 0, "page size (0 = server default)")
+	cursor := fs.String("cursor", "", "resume cursor from a previous page")
+	all := fs.Bool("all", false, "walk every page (ignores -cursor)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fatalf("jobs takes no positional arguments")
+	}
+	ctx, stop := remoteCtx()
+	defer stop()
+	c := mk()
+	opts := client.ListOptions{Status: client.Status(*status), Limit: *limit, Cursor: *cursor}
+	if *all {
+		jobs, err := c.ListAll(ctx, opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printJSON(jobs)
+		return
+	}
+	page, err := c.List(ctx, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printJSON(page)
+}
+
+// cmdCancel aborts a job: queued cancels immediately, running at the
+// next cooperative checkpoint (-wait observes the terminal state).
+func cmdCancel(args []string) {
+	fs := flag.NewFlagSet("cancel", flag.ExitOnError)
+	mk := remoteFlags(fs)
+	wait := fs.Bool("wait", false, "wait for the terminal status after requesting the cancel")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("cancel needs exactly one job id")
+	}
+	ctx, stop := remoteCtx()
+	defer stop()
+	c := mk()
+	job, err := c.Cancel(ctx, fs.Arg(0))
+	if err != nil {
+		if client.IsTerminal(err) {
+			fatalf("job %s is already terminal: %v", fs.Arg(0), err)
+		}
+		fatalf("%v", err)
+	}
+	if *wait && !job.Status.Terminal() {
+		if job, err = c.Await(ctx, job.ID); err != nil {
+			fatalf("await %s: %v", fs.Arg(0), err)
+		}
+	}
+	printJSON(job)
+}
+
+// cmdWatch streams a job's status transitions to stdout, one JSON
+// document per transition, until the terminal one.
+func cmdWatch(args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	mk := remoteFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("watch needs exactly one job id")
+	}
+	ctx, stop := remoteCtx()
+	defer stop()
+	w, err := mk().Watch(ctx, fs.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer w.Close()
+	for {
+		job, err := w.Next()
+		if err != nil {
+			if ctx.Err() != nil {
+				return // interrupted by the user: the stream just ends
+			}
+			if errors.Is(err, io.EOF) {
+				return // stream closed after the terminal snapshot
+			}
+			fatalf("watch stream broke before a terminal status: %v", err)
+		}
+		printJSON(job)
+		if job.Status.Terminal() {
+			return
+		}
+	}
+}
+
+// cmdStats prints the aggregated service view.
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	mk := remoteFlags(fs)
+	health := fs.Bool("healthz", false, "probe /v1/healthz instead of /v1/stats")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fatalf("stats takes no positional arguments")
+	}
+	ctx, stop := remoteCtx()
+	defer stop()
+	c := mk()
+	if *health {
+		h, err := c.Healthz(ctx)
+		if err != nil && !h.Draining {
+			fatalf("%v", err)
+		}
+		printJSON(h)
+		if h.Draining {
+			os.Exit(1)
+		}
+		return
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printJSON(st)
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -64,7 +65,7 @@ func cmdRun(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	res, err := sc.Run()
+	res, err := sc.Run(context.Background())
 	if err != nil {
 		fatalf("%s: %v", sc.Name, err)
 	}

@@ -12,6 +12,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"starmesh/internal/serve"
 )
@@ -25,6 +26,8 @@ func cmdServe(args []string) {
 	engine := fs.String("engine", "sequential", "execution engine: sequential, parallel or parallel-spawn")
 	engineWorkers := fs.Int("engine-workers", 0, "parallel engine worker count (0 = GOMAXPROCS)")
 	plan := fs.Bool("plan", true, "compiled route plans on the job machines")
+	drainGrace := fs.Duration("drain-grace", 5*time.Second,
+		"graceful-drain deadline: admitted jobs get this long after SIGINT/SIGTERM before running ones are canceled at their next checkpoint")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		fatalf("serve takes no positional arguments")
@@ -37,6 +40,7 @@ func cmdServe(args []string) {
 		Engine:        *engine,
 		EngineWorkers: *engineWorkers,
 		NoPlans:       !*plan,
+		DrainGrace:    *drainGrace,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -46,7 +50,14 @@ func cmdServe(args []string) {
 	fmt.Fprintf(os.Stderr, "starmesh: job service on %s (workers=%d queue=%d pool=%t engine=%s plan=%t)\n",
 		*addr, *workers, *queue, *pool, *engine, *plan)
 	err = svc.ListenAndServe(ctx, *addr)
-	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, http.ErrServerClosed) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		// The -drain-grace deadline fired: stragglers were canceled at
+		// their checkpoints — the configured graceful outcome, not a
+		// failure.
+		fmt.Fprintln(os.Stderr, "starmesh: drained (grace deadline reached, running jobs canceled)")
+		return
+	case err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, http.ErrServerClosed):
 		fatalf("%v", err)
 	}
 	fmt.Fprintln(os.Stderr, "starmesh: drained cleanly")

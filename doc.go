@@ -73,9 +73,18 @@
 // long-running job service: typed JobSpecs — the workload scenarios
 // as data — admitted through a bounded scheduler with backpressure
 // (a full queue rejects immediately) and cancellation, executed on
-// per-shape machine pools, and exposed over an HTTP JSON API
-// (POST /jobs, GET /jobs/{id}, GET /stats, GET /healthz) with
-// graceful drain on shutdown. The pools amortize everything
+// per-shape machine pools, and exposed over a versioned v1 HTTP API:
+// POST /v1/jobs (and the atomic /v1/jobs:batch), GET /v1/jobs with
+// status filter + cursor pagination, GET /v1/jobs/{id}/watch
+// streaming status transitions, DELETE /v1/jobs/{id} — which cancels
+// queued AND running jobs, the runners' cooperative checkpoints
+// bounding the abort latency — plus /v1/stats and a drain-aware
+// /v1/healthz, all with a typed structured-error taxonomy. The
+// public typed client (package starmesh/client) is the supported
+// remote caller: the CLI's submit/jobs/cancel/watch/stats
+// subcommands and the load generator dispatch exclusively through
+// it. Graceful drain honors the caller's deadline
+// (Service.Shutdown), canceling stragglers at their checkpoints. The pools amortize everything
 // expensive about a machine — topology tables, Lemma-3 route
 // tables, the embedding's vertex map, compiled-plan binding, engine
 // worker pools — across jobs of the same (topology, engine) shape:

@@ -1,0 +1,116 @@
+// Command jobclient is the v1 API quickstart: it starts an
+// in-process job service, then drives it exactly the way a remote
+// caller would — through the typed client package — submitting a
+// batch, watching a job's transitions, canceling a long sweep
+// mid-run, and reading the aggregated stats.
+//
+// Against a real deployment, replace the httptest server with the
+// service's URL:
+//
+//	c := client.New("http://localhost:8080")
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"starmesh/client"
+	"starmesh/internal/serve"
+)
+
+func main() {
+	// A self-contained service; `starmesh serve` runs the same thing
+	// behind a real listener.
+	svc, err := serve.NewService(serve.Config{Workers: 2, Queue: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Drain()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	c := client.New(ts.URL)
+
+	// Atomic batch admission: every spec becomes a job or none does.
+	jobs, err := c.SubmitBatch(ctx, []client.JobSpec{
+		{Kind: "sort", N: 5, Dist: "reversed", Seed: 42},
+		{Kind: "broadcast", N: 5},
+		{Kind: "pipeline", N: 4, Seed: 7},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch admitted %d jobs\n", len(jobs))
+
+	// Watch the first job's status transitions to the terminal one.
+	w, err := c.Watch(ctx, jobs[0].ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		j, err := w.Next()
+		if err != nil {
+			break
+		}
+		fmt.Printf("watch %s: %s\n", j.ID, j.Status)
+		if j.Status.Terminal() {
+			break
+		}
+	}
+	w.Close()
+
+	// Await the rest.
+	for _, j := range jobs[1:] {
+		final, err := c.Await(ctx, j.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%s): %s, %d unit routes\n",
+			final.ID, final.Spec.Kind, final.Status, final.Result.UnitRoutes)
+	}
+
+	// Cancel a long sweep mid-run: the cooperative checkpoints abort
+	// it within one unit route, preserving partial stats.
+	long, err := c.Submit(ctx, client.JobSpec{Kind: "sweep", N: 5, Trials: 1_000_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for { // wait until it is actually running
+		j, err := c.Get(ctx, long.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if j.Status == client.StatusRunning {
+			break
+		}
+	}
+	if _, err := c.Cancel(ctx, long.ID); err != nil {
+		log.Fatal(err)
+	}
+	canceled, err := c.Await(ctx, long.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("canceled mid-run: %s after %d partial unit routes\n",
+		canceled.Status, canceled.Result.UnitRoutes)
+
+	// Canceling a terminal job is a typed conflict, not a no-op.
+	if _, err := c.Cancel(ctx, canceled.ID); client.IsTerminal(err) {
+		fmt.Println("second cancel: typed terminal conflict (409)")
+	}
+
+	// The listing paginates; stats aggregate per kind.
+	page, err := c.List(ctx, client.ListOptions{Status: client.StatusDone, Limit: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done page: %d jobs (cursor %q)\n", len(page.Jobs), page.NextCursor)
+	st, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats: %d done, %d canceled across %d kinds\n", st.Done, st.Canceled, len(st.Kinds))
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,7 +23,7 @@ func ScenarioSmoke(w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", spec.Kind, err)
 		}
-		res, err := sc.Run()
+		res, err := sc.Run(context.Background())
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", sc.Name, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"starmesh/internal/exptab"
+	"starmesh/internal/loadgen"
 	"starmesh/internal/serve"
 )
 
@@ -37,9 +38,10 @@ func serveSpecs() []serve.JobSpec {
 }
 
 // ServeLoad measures the simulation job service end to end: a
-// closed-loop load generator drives the HTTP API — submit, honor
-// 429 backpressure, poll to completion — against two services, one
-// with per-shape machine pooling and one building a machine per job.
+// closed-loop load generator drives the v1 HTTP API through the
+// typed client — submit with 429 backpressure honored, completion
+// observed over the watch stream — against two services, one with
+// per-shape machine pooling and one building a machine per job.
 // Parity is asserted before any timing is reported: every job
 // result, pooled and unpooled, must be bit-identical (unit routes,
 // conflicts, self-check) to a standalone workload run of the same
@@ -51,16 +53,16 @@ func serveSpecs() []serve.JobSpec {
 // apply here.
 func ServeLoad(w io.Writer) error {
 	svcCfg := serve.Config{Workers: 0, Queue: 32}
-	load := serve.LoadConfig{
+	load := loadgen.LoadConfig{
 		Clients:       2 * runtime.GOMAXPROCS(0),
 		JobsPerClient: 10,
 		Specs:         serveSpecs(),
 	}
-	cmp, err := serve.RunComparison(svcCfg, load)
+	cmp, err := loadgen.RunComparison(svcCfg, load)
 	if err != nil {
 		return err
 	}
-	rec := serve.NewBenchRecord(svcCfg, load, cmp, runtime.GOMAXPROCS(0),
+	rec := loadgen.NewBenchRecord(svcCfg, load, cmp, runtime.GOMAXPROCS(0),
 		time.Now().UTC().Format(time.RFC3339))
 
 	t := exptab.New(fmt.Sprintf("Job service: closed-loop load, %d clients × %d jobs, %d spec shapes",

@@ -1,22 +1,32 @@
-// Closed-loop load generator and the pooled-vs-unpooled comparison
-// harness behind BENCH_serve.json. Clients drive the HTTP API the
-// way real callers would — submit, honor 429 backpressure, poll to
-// completion — so the measured throughput includes admission,
-// scheduling, pooling and the HTTP layer itself.
-package serve
+// Package loadgen is the closed-loop load generator and the
+// pooled-vs-unpooled comparison harness behind BENCH_serve.json.
+// Every byte of traffic goes through the public typed client
+// (starmesh/client) against the /v1 routes — submission with 429
+// backpressure honored, completion observed over the watch stream —
+// so the measured throughput covers admission, scheduling, pooling,
+// the HTTP layer and the client itself: exactly what a real caller
+// pays.
+package loadgen
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
-	"io"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"sync"
 	"time"
 
+	"starmesh/client"
+	"starmesh/internal/serve"
 	"starmesh/internal/workload"
+)
+
+// JobSpec, Job and ScenarioResult are the service's own types.
+type (
+	JobSpec        = serve.JobSpec
+	Job            = serve.Job
+	ScenarioResult = serve.ScenarioResult
 )
 
 // LoadConfig shapes one load run.
@@ -28,8 +38,8 @@ type LoadConfig struct {
 	// Specs are assigned round-robin across the job stream, so every
 	// spec runs repeatedly and on every mode.
 	Specs []JobSpec
-	// PollInterval is the GET back-off while waiting on a job
-	// (default 200 µs).
+	// PollInterval is the 429 retry back-off (default 200 µs — the
+	// bench harness wants admission pressure, not idle waiting).
 	PollInterval time.Duration
 }
 
@@ -43,7 +53,7 @@ type LoadResult struct {
 	// clock, the headline number of the pooled-vs-unpooled record.
 	ThroughputJobsPerSec float64 `json:"throughput_jobs_per_sec"`
 	// Client-observed latency percentiles (submit → terminal status,
-	// polling included).
+	// watch stream included).
 	LatencyP50Ns int64 `json:"latency_p50_ns"`
 	LatencyP99Ns int64 `json:"latency_p99_ns"`
 	// BySpec holds, per spec name, the result every job of that spec
@@ -54,12 +64,12 @@ type LoadResult struct {
 
 // RunLoad drives the API at baseURL closed-loop and reports
 // throughput, latency and per-spec results. Each client submits a
-// job, retries briefly on 429 (counting the rejections — that is the
-// backpressure working), polls until the job is terminal, and moves
-// on.
+// job through the typed client (which retries 429s, counted here —
+// that is the backpressure working), awaits the terminal status over
+// the watch stream, and moves on.
 func RunLoad(baseURL string, cfg LoadConfig) (LoadResult, error) {
 	if cfg.Clients < 1 || cfg.JobsPerClient < 1 || len(cfg.Specs) == 0 {
-		return LoadResult{}, fmt.Errorf("serve: load config needs clients, jobs per client and specs")
+		return LoadResult{}, fmt.Errorf("loadgen: load config needs clients, jobs per client and specs")
 	}
 	poll := cfg.PollInterval
 	if poll <= 0 {
@@ -72,19 +82,32 @@ func RunLoad(baseURL string, cfg LoadConfig) (LoadResult, error) {
 		err      error
 	}
 	outcomes := make([]outcome, cfg.Clients*cfg.JobsPerClient)
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			client := &http.Client{}
+			rejected := 0
+			cl := client.New(baseURL,
+				client.WithMaxRetries(-1), // closed loop: admission must eventually win
+				client.WithBackpressureHook(func(time.Duration) { rejected++ }),
+				client.WithSleep(func(ctx context.Context, _ time.Duration) error {
+					// The bench keeps pressure on: ignore the server's
+					// 1s Retry-After hint and re-knock at poll cadence.
+					time.Sleep(poll)
+					return ctx.Err()
+				}))
 			for j := 0; j < cfg.JobsPerClient; j++ {
 				idx := c*cfg.JobsPerClient + j
 				spec := cfg.Specs[idx%len(cfg.Specs)]
 				var o outcome
-				o.job, o.latency, o.rejected, o.err =
-					runOneJob(client, baseURL, spec, poll)
+				before := rejected
+				t0 := time.Now()
+				o.job, o.err = runOneJob(ctx, cl, spec)
+				o.latency = time.Since(t0)
+				o.rejected = rejected - before
 				outcomes[idx] = o
 				if o.err != nil {
 					return
@@ -107,7 +130,7 @@ func RunLoad(baseURL string, cfg LoadConfig) (LoadResult, error) {
 		out.Jobs++
 		out.Rejected += o.rejected
 		latencies = append(latencies, o.latency)
-		if o.job.Status != StatusDone {
+		if o.job.Status != serve.StatusDone {
 			out.Failed++
 			continue
 		}
@@ -120,7 +143,7 @@ func RunLoad(baseURL string, cfg LoadConfig) (LoadResult, error) {
 		norm.ElapsedNs = 0
 		if prev, ok := out.BySpec[key]; ok {
 			if prev != norm {
-				return out, fmt.Errorf("serve: spec %s returned diverging results: %+v vs %+v", key, prev, norm)
+				return out, fmt.Errorf("loadgen: spec %s returned diverging results: %+v vs %+v", key, prev, norm)
 			}
 		} else {
 			out.BySpec[key] = norm
@@ -134,62 +157,40 @@ func RunLoad(baseURL string, cfg LoadConfig) (LoadResult, error) {
 	return out, nil
 }
 
-// runOneJob submits one spec and polls it to a terminal status,
-// returning the final server-side job snapshot. A done job always
-// carries a Result.
-func runOneJob(client *http.Client, baseURL string, spec JobSpec, poll time.Duration) (Job, time.Duration, int, error) {
-	var job Job
-	body, err := json.Marshal(spec)
+// runOneJob submits one spec and awaits its terminal status over the
+// watch stream, returning the final server-side snapshot. A done job
+// always carries a Result.
+func runOneJob(ctx context.Context, cl *client.Client, spec JobSpec) (Job, error) {
+	job, err := cl.Submit(ctx, spec)
 	if err != nil {
-		return job, 0, 0, err
+		return job, err
 	}
-	start := time.Now()
-	rejected := 0
-	for {
-		resp, err := client.Post(baseURL+"/jobs", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return job, 0, rejected, err
-		}
-		data, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return job, 0, rejected, err
-		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			rejected++
-			time.Sleep(poll)
-			continue
-		}
-		if resp.StatusCode != http.StatusAccepted {
-			return job, 0, rejected, fmt.Errorf("serve: submit returned %d: %s", resp.StatusCode, data)
-		}
-		if err := json.Unmarshal(data, &job); err != nil {
-			return job, 0, rejected, err
-		}
-		break
+	job, err = cl.Await(ctx, job.ID)
+	if err != nil {
+		return job, err
 	}
-	for !job.Status.Terminal() {
-		time.Sleep(poll)
-		resp, err := client.Get(baseURL + "/jobs/" + job.ID)
-		if err != nil {
-			return job, 0, rejected, err
-		}
-		data, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return job, 0, rejected, err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return job, 0, rejected, fmt.Errorf("serve: poll returned %d: %s", resp.StatusCode, data)
-		}
-		if err := json.Unmarshal(data, &job); err != nil {
-			return job, 0, rejected, err
+	if job.Status == serve.StatusDone && job.Result == nil {
+		return job, fmt.Errorf("loadgen: job %s done without a result", job.ID)
+	}
+	return job, nil
+}
+
+// percentile returns the nearest-rank p-th percentile.
+func percentile(samples []time.Duration, p int) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: samples are few
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
 		}
 	}
-	if job.Status == StatusDone && job.Result == nil {
-		return job, 0, rejected, fmt.Errorf("serve: job %s done without a result", job.ID)
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
 	}
-	return job, time.Since(start), rejected, nil
+	return sorted[rank-1]
 }
 
 // Comparison is the pooled-vs-unpooled measurement plus the parity
@@ -217,10 +218,10 @@ type Comparison struct {
 // neither measured mode pays one-time plan compilation the other
 // would inherit (machine construction, route tables and plan binding
 // remain per-machine costs — the costs pooling amortizes).
-func RunComparison(svcCfg Config, load LoadConfig) (Comparison, error) {
+func RunComparison(svcCfg serve.Config, load LoadConfig) (Comparison, error) {
 	var cmp Comparison
 
-	opts, err := svcCfg.engineOptions()
+	opts, err := svcCfg.EngineOptions()
 	if err != nil {
 		return cmp, err
 	}
@@ -230,7 +231,7 @@ func RunComparison(svcCfg Config, load LoadConfig) (Comparison, error) {
 		if err != nil {
 			return cmp, err
 		}
-		want, err := sc.Run()
+		want, err := sc.Run(context.Background())
 		if err != nil {
 			return cmp, fmt.Errorf("standalone %s: %w", sc.Name, err)
 		}
@@ -243,12 +244,12 @@ func RunComparison(svcCfg Config, load LoadConfig) (Comparison, error) {
 		wants[norm.Name()] = want
 	}
 
-	measure := func(noPool bool) (LoadResult, Stats, error) {
+	measure := func(noPool bool) (LoadResult, serve.Stats, error) {
 		cfg := svcCfg
 		cfg.NoPool = noPool
-		svc, err := NewService(cfg)
+		svc, err := serve.NewService(cfg)
 		if err != nil {
-			return LoadResult{}, Stats{}, err
+			return LoadResult{}, serve.Stats{}, err
 		}
 		ts := httptest.NewServer(svc.Handler())
 		res, err := RunLoad(ts.URL, load)
@@ -282,11 +283,11 @@ func RunComparison(svcCfg Config, load LoadConfig) (Comparison, error) {
 		for mode, res := range map[string]LoadResult{"pooled": pooled, "unpooled": unpooled} {
 			got, ok := res.BySpec[name]
 			if !ok {
-				return cmp, fmt.Errorf("serve: %s run never completed spec %s", mode, name)
+				return cmp, fmt.Errorf("loadgen: %s run never completed spec %s", mode, name)
 			}
 			if got != want {
 				cmp.ParityOK = false
-				return cmp, fmt.Errorf("serve: %s result for %s diverged from standalone run: %+v vs %+v",
+				return cmp, fmt.Errorf("loadgen: %s result for %s diverged from standalone run: %+v vs %+v",
 					mode, name, got, want)
 			}
 		}
@@ -297,9 +298,11 @@ func RunComparison(svcCfg Config, load LoadConfig) (Comparison, error) {
 // BenchRecord is the schema of BENCH_serve.json: closed-loop service
 // throughput and latency with per-shape machine pooling on vs off,
 // with parity against standalone runs asserted before any timing is
-// reported.
+// reported. Since the v1 redesign the load flows through the typed
+// client (API field).
 type BenchRecord struct {
 	Benchmark     string `json:"benchmark"`
+	API           string `json:"api"`
 	Timestamp     string `json:"timestamp"`
 	GoMaxProcs    int    `json:"gomaxprocs"`
 	Workers       int    `json:"workers"`
@@ -329,13 +332,14 @@ type BenchRecord struct {
 }
 
 // NewBenchRecord folds a comparison into the record schema. The
-// reported workers/queue/engine come from Config.withDefaults, so
-// the record always describes the configuration the service
-// actually ran.
-func NewBenchRecord(svcCfg Config, load LoadConfig, cmp Comparison, gomaxprocs int, timestamp string) BenchRecord {
-	eff := svcCfg.withDefaults()
+// reported workers/queue/engine come from the config's effective
+// defaults, so the record always describes the configuration the
+// service actually ran.
+func NewBenchRecord(svcCfg serve.Config, load LoadConfig, cmp Comparison, gomaxprocs int, timestamp string) BenchRecord {
+	eff := svcCfg.Effective()
 	rec := BenchRecord{
 		Benchmark:          "serve-closed-loop-pooled-vs-unpooled",
+		API:                "v1-typed-client-watch",
 		Timestamp:          timestamp,
 		GoMaxProcs:         gomaxprocs,
 		Workers:            eff.Workers,

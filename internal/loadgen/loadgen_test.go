@@ -1,12 +1,27 @@
-package serve
+package loadgen
 
 import (
 	"net/http/httptest"
 	"testing"
+
+	"starmesh/internal/serve"
 )
 
+// testSpecs is a small mixed workload covering several kinds and
+// both machine shapes.
+func testSpecs() []JobSpec {
+	return []JobSpec{
+		{Kind: serve.KindSort, N: 4, Dist: "uniform", Seed: 7},
+		{Kind: serve.KindSort, N: 4, Dist: "reversed", Seed: 7},
+		{Kind: serve.KindShear, Rows: 8, Cols: 8, Dist: "uniform", Seed: 11},
+		{Kind: serve.KindBroadcast, N: 4, Source: 1},
+		{Kind: serve.KindSweep, N: 4},
+		{Kind: serve.KindFaultRoute, N: 4, Faults: 2, Pairs: 8, Seed: 13},
+	}
+}
+
 func TestRunLoadClosedLoop(t *testing.T) {
-	svc, err := NewService(Config{Workers: 2, Queue: 8})
+	svc, err := serve.NewService(serve.Config{Workers: 2, Queue: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,11 +61,11 @@ func TestRunComparisonParity(t *testing.T) {
 	// Two specs rely on normalization defaults (dist → uniform,
 	// pairs → 1): parity keying must use the normalized form.
 	specs := append(testSpecs(),
-		JobSpec{Kind: KindSort, N: 4, Seed: 3},
-		JobSpec{Kind: KindFaultRoute, N: 4, Faults: 1, Seed: 5},
+		JobSpec{Kind: serve.KindSort, N: 4, Seed: 3},
+		JobSpec{Kind: serve.KindFaultRoute, N: 4, Faults: 1, Seed: 5},
 	)
 	cmp, err := RunComparison(
-		Config{Workers: 2, Queue: 16},
+		serve.Config{Workers: 2, Queue: 16},
 		LoadConfig{Clients: 2, JobsPerClient: 8, Specs: specs},
 	)
 	if err != nil {
@@ -68,9 +83,12 @@ func TestRunComparisonParity(t *testing.T) {
 	if cmp.UnpooledBuilds != 16 {
 		t.Fatalf("unpooled run built %d machines, want one per job (16)", cmp.UnpooledBuilds)
 	}
-	rec := NewBenchRecord(Config{Workers: 2},
+	rec := NewBenchRecord(serve.Config{Workers: 2},
 		LoadConfig{Clients: 2, JobsPerClient: 8, Specs: specs}, cmp, 2, "test")
 	if rec.PooledJobs != 16 || !rec.ParityOK || rec.Engine != "sequential" || !rec.Plans || rec.Queue != 64 {
 		t.Fatalf("bench record malformed: %+v", rec)
+	}
+	if rec.API == "" {
+		t.Fatalf("bench record missing the API marker: %+v", rec)
 	}
 }

@@ -31,29 +31,51 @@
 // Disabling pooling (Config.NoPool) restores build-per-job — the
 // measured baseline of BENCH_serve.json.
 //
-// # Scheduler
+// # Scheduler and cancellation
 //
 // Admission is a bounded queue: Submit either enqueues the job or
 // fails fast with ErrQueueFull (HTTP 429), so overload sheds load
-// instead of accumulating it. A fixed worker set drains the queue;
-// queued jobs can be canceled (HTTP DELETE) up to the moment a
-// worker claims them. Drain performs a graceful shutdown: admission
-// stops (ErrDraining, HTTP 503), every already-admitted job still
-// runs to completion, then the workers exit and the pools release
-// their machines (and the engines' worker goroutines).
+// instead of accumulating it; SubmitBatch admits a set of specs
+// atomically — all queued or none. A fixed worker set drains the
+// queue. Every job runs under its own context, threaded from the
+// scheduler through workload.Family.Run into the scenario runners,
+// which carry cooperative cancellation checkpoints in their long
+// loops — so Cancel (HTTP DELETE) aborts queued AND running jobs:
+// a running job stops at its next checkpoint with bounded latency,
+// ends in the terminal "canceled" status with its partial stats
+// preserved, and its machine returns to the pool Reset-safe.
+// Canceling a terminal job is the typed ErrTerminal conflict (409).
 //
-// # API
+// Shutdown(ctx) drains under the caller's deadline: admission stops
+// (ErrDraining, HTTP 503; /v1/healthz reports "draining" while the
+// listener still answers), admitted jobs run to completion, and at
+// the deadline the stragglers are canceled at their checkpoints.
+// Drain is Shutdown without a deadline.
 //
-//	POST   /jobs        submit a JobSpec        → 202 Job (429 full, 503 draining, 400 invalid)
-//	GET    /jobs/{id}   job status and result   → 200 Job (404 unknown)
-//	DELETE /jobs/{id}   cancel a queued job     → 200 Job (409 not cancelable)
-//	GET    /jobs        recent jobs             → 200 [Job]
-//	GET    /stats       aggregated service view → 200 Stats
-//	GET    /healthz     liveness + drain state  → 200 ok (503 draining)
+// # The v1 contract
 //
-// The load generator (RunLoad) drives the API closed-loop —
-// concurrent clients submitting and polling — and RunComparison
-// measures pooled vs build-per-job throughput while asserting both
-// modes return results identical to standalone scenario runs; the
-// serve experiment writes that record to BENCH_serve.json.
+// The HTTP surface is versioned under /v1 (pre-v1 unversioned paths
+// remain as thin aliases for one release):
+//
+//	POST   /v1/jobs            submit a JobSpec          → 202 Job
+//	POST   /v1/jobs:batch      atomic multi-spec submit  → 202 {jobs}
+//	GET    /v1/jobs            status filter + cursor    → 200 JobPage
+//	GET    /v1/jobs/{id}       job status and result     → 200 Job
+//	DELETE /v1/jobs/{id}       cancel queued or running  → 200 Job
+//	GET    /v1/jobs/{id}/watch ndjson transition stream  → 200 Job…
+//	GET    /v1/stats           aggregated service view   → 200 Stats
+//	GET    /v1/healthz         liveness + drain state    → 200/503 Health
+//
+// Errors are structured — {"error":{"code":…,"message":…}} — with a
+// typed code taxonomy (ErrorCode) mapped to HTTP statuses exactly
+// once (errors.go): invalid_spec/invalid_argument 400, not_found
+// 404, terminal 409, queue_full 429 (+Retry-After), draining 503,
+// internal 500. The watch stream is a store subscription: every
+// status transition publishes a snapshot; the stream ends after the
+// terminal one.
+//
+// The public typed client (starmesh/client) is the supported caller:
+// the CLI's remote subcommands and the load generator
+// (internal/loadgen, behind BENCH_serve.json) contain no hand-rolled
+// HTTP.
 package serve

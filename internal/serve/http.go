@@ -1,6 +1,24 @@
-// HTTP JSON API over the Service. Handler returns a mux suitable
-// for http.Server or httptest; ListenAndServe wires it to a
-// listener with graceful drain on context cancellation.
+// HTTP JSON API over the Service — the versioned v1 contract.
+// Handler returns a mux suitable for http.Server or httptest;
+// ListenAndServe wires it to a listener with graceful drain on
+// context cancellation.
+//
+// Routes (see doc.go for the full reference):
+//
+//	POST   /v1/jobs           submit one spec            → 202 Job
+//	POST   /v1/jobs:batch     atomic multi-spec submit   → 202 {jobs}
+//	GET    /v1/jobs           list: status filter+cursor → 200 JobPage
+//	GET    /v1/jobs/{id}      job snapshot               → 200 Job
+//	DELETE /v1/jobs/{id}      cancel queued OR running   → 200 Job
+//	GET    /v1/jobs/{id}/watch stream status transitions → 200 ndjson
+//	GET    /v1/stats          aggregated service view    → 200 Stats
+//	GET    /v1/healthz        liveness + drain state     → 200/503 Health
+//
+// The pre-v1 unversioned routes remain for one release: thin aliases
+// onto the same handlers, except GET /jobs, which keeps its original
+// bare-array wire shape so pre-v1 consumers survive unchanged.
+// Errors are structured (ErrorBody) with the code taxonomy of
+// errors.go, mapped to HTTP statuses in exactly one place.
 package serve
 
 import (
@@ -13,48 +31,39 @@ import (
 	"time"
 )
 
-// Handler returns the service's HTTP API.
+// Health is the /v1/healthz body.
+type Health struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Draining bool   `json:"draining"`
+}
+
+// Handler returns the service's HTTP API: the v1 surface plus the
+// legacy unversioned aliases.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", s.handleList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
-	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for _, prefix := range []string{"/v1", ""} {
+		mux.HandleFunc("POST "+prefix+"/jobs", s.handleSubmit)
+		mux.HandleFunc("POST "+prefix+"/jobs:batch", s.handleSubmitBatch)
+		mux.HandleFunc("GET "+prefix+"/jobs/{id}", s.handleJob)
+		mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.handleCancel)
+		mux.HandleFunc("GET "+prefix+"/jobs/{id}/watch", s.handleWatch)
+		mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
+		mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealthz)
+	}
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	// The legacy listing keeps its pre-v1 wire shape — a bare JSON
+	// array, limit 0 = all — so existing consumers survive the alias
+	// release unchanged; only /v1/jobs speaks JobPage.
+	mux.HandleFunc("GET /jobs", s.handleListLegacy)
 	return mux
 }
 
-func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec JobSpec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
-		return
-	}
-	job, err := s.Submit(spec)
-	switch {
-	case errors.Is(err, ErrInvalidSpec):
-		writeError(w, http.StatusBadRequest, err)
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err)
-	default:
-		writeJSON(w, http.StatusAccepted, job)
-	}
-}
-
-func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleListLegacy(w http.ResponseWriter, r *http.Request) {
 	limit := 100
 	if q := r.URL.Query().Get("limit"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", q))
+			writeErrorCode(w, CodeInvalidArgument, fmt.Sprintf("bad limit %q", q), nil)
 			return
 		}
 		limit = v
@@ -62,10 +71,80 @@ func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Jobs(limit))
 }
 
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErrorCode(w, CodeInvalidArgument, fmt.Sprintf("bad job spec: %v", err), nil)
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+// BatchRequest is the POST /v1/jobs:batch body.
+type BatchRequest struct {
+	Specs []JobSpec `json:"specs"`
+}
+
+// BatchResponse is the POST /v1/jobs:batch success body: one queued
+// job per spec, in spec order.
+type BatchResponse struct {
+	Jobs []Job `json:"jobs"`
+}
+
+func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErrorCode(w, CodeInvalidArgument, fmt.Sprintf("bad batch request: %v", err), nil)
+		return
+	}
+	jobs, err := s.SubmitBatch(req.Specs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, BatchResponse{Jobs: jobs})
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	q := ListQuery{Cursor: r.URL.Query().Get("cursor")}
+	if st := r.URL.Query().Get("status"); st != "" {
+		switch Status(st) {
+		case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCanceled:
+			q.Status = Status(st)
+		default:
+			writeErrorCode(w, CodeInvalidArgument, fmt.Sprintf("bad status filter %q", st), nil)
+			return
+		}
+	}
+	if lim := r.URL.Query().Get("limit"); lim != "" {
+		v, err := strconv.Atoi(lim)
+		if err != nil || v < 0 {
+			writeErrorCode(w, CodeInvalidArgument, fmt.Sprintf("bad limit %q", lim), nil)
+			return
+		}
+		q.Limit = v
+	}
+	page, err := s.ListJobs(q)
+	if err != nil {
+		writeErrorCode(w, CodeInvalidArgument, err.Error(), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, ErrNotFound)
+		writeError(w, ErrNotFound)
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
@@ -73,15 +152,60 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	job, err := s.Cancel(r.PathValue("id"))
-	switch {
-	case errors.Is(err, ErrNotFound):
-		writeError(w, http.StatusNotFound, err)
-	case errors.Is(err, ErrNotCancelable):
-		writeError(w, http.StatusConflict, err)
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err)
-	default:
-		writeJSON(w, http.StatusOK, job)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleWatch streams a job's status transitions as newline-delimited
+// JSON snapshots: the current state first, then every transition,
+// closing after the terminal one. Cancellation mid-stream (client
+// disconnect) just unsubscribes.
+func (s *Service) handleWatch(w http.ResponseWriter, r *http.Request) {
+	initial, ch, stop, err := s.Watch(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer stop()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(j Job) bool {
+		if err := enc.Encode(j); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !emit(initial) || initial.Status.Terminal() || ch == nil {
+		return
+	}
+	for {
+		select {
+		case j, ok := <-ch:
+			if !ok {
+				// Channel closed on the terminal transition; the final
+				// snapshot was delivered before the close (or dropped
+				// under pathological buffering) — re-read to be sure the
+				// stream always ends on a terminal snapshot.
+				if last, ok := s.Job(initial.ID); ok && last.Status.Terminal() {
+					emit(last)
+				}
+				return
+			}
+			if !emit(j) || j.Status.Terminal() {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
 	}
 }
 
@@ -90,12 +214,15 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	draining := s.Draining()
-	status, label := http.StatusOK, "ok"
-	if draining {
-		status, label = http.StatusServiceUnavailable, "draining"
+	h := Health{Status: "ok"}
+	if s.Draining() {
+		h = Health{Status: "draining", Draining: true}
 	}
-	writeJSON(w, status, map[string]any{"status": label, "draining": draining})
+	status := http.StatusOK
+	if h.Draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -106,14 +233,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeError maps a service error through the taxonomy — the single
+// error → status translation of the HTTP layer.
+func writeError(w http.ResponseWriter, err error) {
+	code := codeOf(err)
+	var details []BatchItemError
+	var batch *BatchError
+	if errors.As(err, &batch) {
+		details = batch.Items
+	}
+	writeErrorCode(w, code, err.Error(), details)
+}
+
+func writeErrorCode(w http.ResponseWriter, code ErrorCode, msg string, details []BatchItemError) {
+	if code == CodeQueueFull {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code.HTTPStatus(), ErrorBody{Error: ErrorInfo{
+		Code:    code,
+		Message: msg,
+		Details: details,
+	}})
 }
 
 // ListenAndServe runs the HTTP API on addr until ctx is canceled,
-// then shuts down gracefully: the listener stops (with a 5 s grace
-// for in-flight requests) and the service drains — every admitted
-// job completes before ListenAndServe returns.
+// then shuts down gracefully in drain-visible order: admission stops
+// first (health checks report draining while in-flight requests
+// finish), the listener closes, and the service drains — admitted
+// jobs get Config.DrainGrace to complete before the running ones are
+// canceled at their next checkpoint.
 func (s *Service) ListenAndServe(ctx context.Context, addr string) error {
 	srv := &http.Server{Addr: addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
@@ -124,10 +272,21 @@ func (s *Service) ListenAndServe(ctx context.Context, addr string) error {
 		return err
 	case <-ctx.Done():
 	}
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	err := srv.Shutdown(shutdownCtx)
-	s.Drain()
+	// Drain-visible order: admission stops and the service drains
+	// WHILE the listener keeps answering — external health checks see
+	// "draining" (503) for the whole window instead of a dead socket,
+	// and watch streams observe their jobs' terminal transitions. Only
+	// then does the listener close (with a short grace for in-flight
+	// requests).
+	s.beginDrain()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), s.cfg.DrainGrace)
+	defer cancelDrain()
+	err := s.Shutdown(drainCtx)
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	if serr := srv.Shutdown(shutdownCtx); serr != nil && err == nil {
+		err = serr
+	}
 	if err != nil {
 		return err
 	}

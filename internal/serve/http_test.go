@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -76,7 +77,7 @@ func TestHTTPJobLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := sc.Run()
+	want, err := sc.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -25,7 +26,7 @@ func runOf(t *testing.T, spec JobSpec, r workload.Resource) (ScenarioResult, err
 	if err != nil {
 		t.Fatal(err)
 	}
-	return fam.Run(spec, r)
+	return fam.Run(context.Background(), spec, r)
 }
 
 // fakeResource records lifecycle calls.

@@ -6,7 +6,7 @@
 package serve
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -14,16 +14,6 @@ import (
 
 	"starmesh/internal/simd"
 	"starmesh/internal/workload"
-)
-
-// Admission and lookup errors; the HTTP layer maps them to status
-// codes (429, 503, 404, 409, 400).
-var (
-	ErrQueueFull     = errors.New("serve: admission queue full")
-	ErrDraining      = errors.New("serve: service is draining")
-	ErrNotFound      = errors.New("serve: no such job")
-	ErrNotCancelable = errors.New("serve: job not cancelable")
-	ErrInvalidSpec   = errors.New("serve: invalid job spec")
 )
 
 // Config shapes a Service. The zero value is a working default:
@@ -48,6 +38,11 @@ type Config struct {
 	EngineWorkers int `json:"engine_workers"`
 	// NoPlans disables compiled route plans on the job machines.
 	NoPlans bool `json:"no_plans"`
+	// DrainGrace bounds how long ListenAndServe waits for admitted
+	// jobs after shutdown begins before canceling the running ones at
+	// their next checkpoint (0 = 5s). Callers driving Shutdown
+	// directly control the deadline through their context instead.
+	DrainGrace time.Duration `json:"drain_grace_ns"`
 }
 
 // withDefaults resolves the zero values to their effective settings
@@ -63,8 +58,21 @@ func (c Config) withDefaults() Config {
 	if c.Engine == "" {
 		c.Engine = "sequential"
 	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 5 * time.Second
+	}
 	return c
 }
+
+// Effective resolves the zero values to the settings a service of
+// this config actually runs — exported for the bench harness, whose
+// record must describe the real configuration.
+func (c Config) Effective() Config { return c.withDefaults() }
+
+// EngineOptions maps the config to simd machine options — exported
+// so the load harness builds its standalone parity references with
+// exactly the service's engine.
+func (c Config) EngineOptions() ([]simd.Option, error) { return c.engineOptions() }
 
 // engineOptions maps the config to simd machine options.
 func (c Config) engineOptions() ([]simd.Option, error) {
@@ -96,12 +104,17 @@ type Service struct {
 	queue chan string
 	start time.Time
 
+	// baseCtx parents every job's context; baseCancel is the
+	// last-resort abort (Drain deadline passed).
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	mu       sync.Mutex // guards draining + the enqueue/close race
 	draining bool
 
-	wg      sync.WaitGroup
-	drainOf sync.Once
-	drained chan struct{}
+	wg       sync.WaitGroup
+	finishOf sync.Once
+	drained  chan struct{}
 }
 
 // NewService validates the config and starts the worker set.
@@ -117,6 +130,7 @@ func newService(cfg Config, startWorkers bool) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:        eff,
 		workers:    eff.Workers,
@@ -126,6 +140,8 @@ func newService(cfg Config, startWorkers bool) (*Service, error) {
 		pools:      newPoolSet(!eff.NoPool),
 		queue:      make(chan string, eff.Queue),
 		start:      time.Now(),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
 		drained:    make(chan struct{}),
 	}
 	if startWorkers {
@@ -160,6 +176,56 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 	}
 }
 
+// SubmitBatch validates and admits a set of jobs atomically: either
+// every spec is valid and the queue has room for all of them — each
+// becomes a queued job, in order — or nothing is admitted. Validation
+// failures return a *BatchError (wrapping ErrInvalidSpec) naming
+// every offending index; insufficient queue space is ErrQueueFull.
+func (s *Service) SubmitBatch(specs []JobSpec) ([]Job, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("%w: batch needs at least one spec", ErrInvalidSpec)
+	}
+	norm := make([]JobSpec, len(specs))
+	var batchErr BatchError
+	for i, spec := range specs {
+		n, err := spec.Normalized()
+		if err != nil {
+			batchErr.Items = append(batchErr.Items, BatchItemError{Index: i, Message: err.Error()})
+			continue
+		}
+		norm[i] = n
+	}
+	if len(batchErr.Items) > 0 {
+		return nil, &batchErr
+	}
+	// A batch larger than the whole queue can never be admitted: that
+	// is a spec problem (non-retryable 400), not transient queue_full
+	// backpressure a client should sleep on.
+	if len(norm) > s.queueCap {
+		return nil, fmt.Errorf("%w: batch of %d can never fit the %d-deep queue — split it",
+			ErrInvalidSpec, len(norm), s.queueCap)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	// Capacity check under the admission lock: workers only ever
+	// free space, so len(specs) sends cannot block once it passes.
+	if cap(s.queue)-len(s.queue) < len(norm) {
+		return nil, fmt.Errorf("%w: batch of %d exceeds free queue capacity %d",
+			ErrQueueFull, len(norm), cap(s.queue)-len(s.queue))
+	}
+	jobs := make([]Job, len(norm))
+	now := time.Now()
+	for i, n := range norm {
+		job := s.store.add(n, now)
+		s.queue <- job.ID
+		jobs[i] = job
+	}
+	return jobs, nil
+}
+
 // Job returns a snapshot of a job by id.
 func (s *Service) Job(id string) (Job, bool) { return s.store.get(id) }
 
@@ -167,9 +233,24 @@ func (s *Service) Job(id string) (Job, bool) { return s.store.get(id) }
 // (limit 0 = all).
 func (s *Service) Jobs(limit int) []Job { return s.store.list(limit) }
 
-// Cancel cancels a queued job. Running jobs are not preemptible —
-// a unit-route schedule has no safe interruption point — and
-// finished jobs are immutable; both return ErrNotCancelable.
+// ListJobs returns one page of the job listing, newest first,
+// filtered and resumed per the query.
+func (s *Service) ListJobs(q ListQuery) (JobPage, error) { return s.store.page(q) }
+
+// Watch subscribes to a job's status transitions: the current
+// snapshot plus a channel that carries every subsequent transition
+// and closes after the terminal one (nil if the job is already
+// terminal). Call stop to unsubscribe early.
+func (s *Service) Watch(id string) (Job, <-chan Job, func(), error) {
+	return s.store.watch(id)
+}
+
+// Cancel aborts a job. A queued job transitions to canceled
+// immediately; a running job has its context canceled and aborts at
+// the next cooperative checkpoint inside its runner (the snapshot
+// returned shows cancel_requested, the terminal transition follows
+// with bounded latency, and the partial stats are preserved on the
+// record). A terminal job returns ErrTerminal.
 func (s *Service) Cancel(id string) (Job, error) {
 	return s.store.cancel(id, time.Now())
 }
@@ -195,23 +276,60 @@ func (s *Service) Draining() bool {
 	return s.draining
 }
 
+// beginDrain stops admission: Submit fails with ErrDraining,
+// Draining() and /healthz report draining, and the workers exit once
+// the queue empties. Idempotent, non-blocking — the first step of
+// every shutdown path, taken before the HTTP listener dies so health
+// checks see the drain while in-flight requests complete.
+func (s *Service) beginDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	close(s.queue) // Submit holds s.mu, so no send can race this
+}
+
 // Drain gracefully shuts the service down: admission stops
 // (ErrDraining), every already-admitted job runs to completion, the
 // workers exit, and the machine pools close — releasing every
 // engine's worker goroutines. Drain blocks until all of that is done
 // and is safe to call from multiple goroutines; later calls wait for
-// the first.
-func (s *Service) Drain() {
-	s.drainOf.Do(func() {
-		s.mu.Lock()
-		s.draining = true
-		close(s.queue) // Submit holds s.mu, so no send can race this
-		s.mu.Unlock()
+// the first. Shutdown is Drain with a deadline.
+func (s *Service) Drain() { _ = s.Shutdown(context.Background()) }
+
+// Shutdown drains the service, honoring the caller's deadline: when
+// ctx fires before every admitted job has finished, the running jobs
+// are canceled (they abort at their next cooperative checkpoint and
+// finish as canceled with partial stats) and the queued remainder is
+// skipped, so Shutdown still returns promptly — with ctx's error.
+// Safe for concurrent use; every caller blocks until the pools have
+// closed.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.beginDrain()
+	done := make(chan struct{})
+	go func() {
 		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		// Deadline passed: abort running jobs at their checkpoints and
+		// unblock everything still queued.
+		s.baseCancel()
+		s.store.cancelAllRunning()
+		<-done
+	}
+	s.finishOf.Do(func() {
 		s.pools.closeAll()
 		close(s.drained)
 	})
 	<-s.drained
+	return err
 }
 
 // Close is Drain (io.Closer-shaped for callers that expect one).
@@ -229,19 +347,28 @@ func (s *Service) worker() {
 }
 
 // runJob claims one queued job, executes it on a pooled machine of
-// the job's shape and records the outcome. Machine panics (the
-// simulators panic on contract violations) are converted into job
-// failures so one bad job cannot take the worker down.
+// the job's shape and records the outcome. The job gets its own
+// context (child of the service's), registered in the store so
+// Cancel can abort it mid-run. Machine panics (the simulators panic
+// on contract violations) are converted into job failures so one bad
+// job cannot take the worker down.
 func (s *Service) runJob(id string) {
-	spec, ok := s.store.claim(id, time.Now())
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	spec, ok := s.store.claim(id, time.Now(), cancel)
 	if !ok {
 		return // canceled while queued
 	}
-	res, err := s.execute(spec)
+	res, err := s.execute(ctx, spec)
 	s.store.finish(id, res, err, time.Now())
 }
 
-func (s *Service) execute(spec JobSpec) (res ScenarioResult, err error) {
+func (s *Service) execute(ctx context.Context, spec JobSpec) (res ScenarioResult, err error) {
+	// A pre-canceled job (deadline drain, cancel racing the claim)
+	// skips machine checkout entirely.
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	fam, err := workload.FamilyOf(spec.Kind)
 	if err != nil {
 		return res, err
@@ -262,5 +389,5 @@ func (s *Service) execute(spec JobSpec) (res ScenarioResult, err error) {
 			err = fmt.Errorf("serve: job panicked: %v", p)
 		}
 	}()
-	return fam.Run(spec, r)
+	return fam.Run(ctx, spec, r)
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"starmesh/internal/workload"
 	"testing"
@@ -68,7 +69,7 @@ func TestServiceResultsMatchStandaloneRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := sc.Run()
+		want, err := sc.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -30,6 +30,7 @@ func TestSpecValidationRejectsWith400(t *testing.T) {
 		want string // fragment the 400 message must contain
 	}{
 		{"missing kind", `{}`, "needs a kind"},
+		{"sweep bad trials", `{"kind":"sweep","n":4,"trials":-1}`, "trials in [1,"},
 		{"unknown kind", `{"kind":"quicksort"}`, `unknown scenario kind "quicksort"`},
 		{"unknown field", `{"kind":"sort","n":4,"bogus":1}`, "bogus"},
 		{"sort n too small", `{"kind":"sort","n":1}`, "n in [2,8]"},
@@ -52,16 +53,22 @@ func TestSpecValidationRejectsWith400(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			code, data := doJSON(t, "POST", ts.URL+"/jobs", tc.body)
-			if code != http.StatusBadRequest {
-				t.Fatalf("submit returned %d, want 400: %s", code, data)
-			}
-			var out map[string]string
-			if err := json.Unmarshal(data, &out); err != nil {
-				t.Fatalf("400 body is not an error document: %s", data)
-			}
-			if msg := out["error"]; !strings.Contains(msg, tc.want) {
-				t.Fatalf("400 message %q does not explain the problem (want %q)", msg, tc.want)
+			// The v1 route and the legacy alias must reject alike.
+			for _, base := range []string{ts.URL + "/v1/jobs", ts.URL + "/jobs"} {
+				code, data := doJSON(t, "POST", base, tc.body)
+				if code != http.StatusBadRequest {
+					t.Fatalf("submit to %s returned %d, want 400: %s", base, code, data)
+				}
+				var out ErrorBody
+				if err := json.Unmarshal(data, &out); err != nil || out.Error.Code == "" {
+					t.Fatalf("400 body is not a structured error document: %s", data)
+				}
+				if out.Error.Code != CodeInvalidSpec && out.Error.Code != CodeInvalidArgument {
+					t.Fatalf("400 code %q, want invalid_spec or invalid_argument", out.Error.Code)
+				}
+				if msg := out.Error.Message; !strings.Contains(msg, tc.want) {
+					t.Fatalf("400 message %q does not explain the problem (want %q)", msg, tc.want)
+				}
 			}
 		})
 	}
@@ -91,6 +98,7 @@ func TestNormalizedFillsDefaults(t *testing.T) {
 		name string
 	}{
 		{JobSpec{Kind: KindSort, N: 4}, "sort-star-n4-uniform-seed0"},
+		{JobSpec{Kind: KindSweep, N: 4}, "sweep-star-n4-t1"},
 		{JobSpec{Kind: KindFaultRoute, N: 4, Faults: 1}, "faultroute-star-n4-f1-p1-seed0"},
 		{JobSpec{Kind: KindEmbedRect, N: 5}, "embedrect-star-n5-d2"},
 		{JobSpec{Kind: KindPermRoute, N: 4}, "permroute-star-n4-random-seed0"},

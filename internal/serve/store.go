@@ -6,8 +6,11 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +44,11 @@ type Job struct {
 	// same spec.
 	Result *workload.ScenarioResult `json:"result,omitempty"`
 	Error  string                   `json:"error,omitempty"`
+
+	// CancelRequested marks a running job whose cancellation has been
+	// requested; the job transitions to canceled at its next
+	// cooperative checkpoint.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
 
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started,omitzero"`
@@ -97,6 +105,14 @@ type store struct {
 	front int      // index in order of the oldest retained job
 	next  int
 
+	// cancels holds the context cancel of every running job, so a
+	// DELETE can abort it at its next cooperative checkpoint.
+	cancels map[string]context.CancelFunc
+	// watchers holds the status-transition subscribers per job id;
+	// every transition publishes a snapshot, and terminal transitions
+	// close the channels.
+	watchers map[string][]chan Job
+
 	counts     map[Status]int // cumulative, unaffected by eviction
 	finished   int64          // done + failed, cumulative
 	unitRoutes int64
@@ -108,10 +124,88 @@ type store struct {
 
 func newStore() *store {
 	return &store{
-		jobs:   make(map[string]*Job),
-		counts: make(map[Status]int),
-		byKind: make(map[string]*KindStats),
+		jobs:     make(map[string]*Job),
+		counts:   make(map[Status]int),
+		byKind:   make(map[string]*KindStats),
+		cancels:  make(map[string]context.CancelFunc),
+		watchers: make(map[string][]chan Job),
 	}
+}
+
+// watchBuffer bounds a subscriber channel. A job makes at most a
+// handful of transitions after subscription (running, cancel
+// requested, terminal), so the buffer never fills in practice; a
+// full channel drops the intermediate snapshot rather than blocking
+// the store (the terminal snapshot still arrives via the close-time
+// drain in the handler's final read of the job).
+const watchBuffer = 8
+
+// publish pushes a snapshot of j to its watchers; terminal
+// transitions close and forget the subscription. Caller holds st.mu.
+func (st *store) publish(j *Job) {
+	chans := st.watchers[j.ID]
+	if len(chans) == 0 {
+		return
+	}
+	snap := j.snapshot()
+	for _, ch := range chans {
+		select {
+		case ch <- snap:
+		default:
+		}
+	}
+	if j.Status.Terminal() {
+		for _, ch := range chans {
+			close(ch)
+		}
+		delete(st.watchers, j.ID)
+	}
+}
+
+// watch subscribes to a job's status transitions. It returns the
+// current snapshot plus a channel of subsequent snapshots; the
+// channel closes after the terminal transition (nil when the job is
+// already terminal — the snapshot is the whole story). stop
+// unsubscribes early and is safe to call after the close.
+func (st *store) watch(id string) (Job, <-chan Job, func(), error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return Job{}, nil, nil, ErrNotFound
+	}
+	snap := j.snapshot()
+	if j.Status.Terminal() {
+		return snap, nil, func() {}, nil
+	}
+	ch := make(chan Job, watchBuffer)
+	st.watchers[id] = append(st.watchers[id], ch)
+	stop := func() {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		chans := st.watchers[id]
+		for i, c := range chans {
+			if c == ch {
+				st.watchers[id] = append(chans[:i], chans[i+1:]...)
+				return
+			}
+		}
+	}
+	return snap, ch, stop, nil
+}
+
+// seqOf extracts a job id's admission sequence number (the pagination
+// cursor's currency); malformed ids order first.
+func seqOf(id string) int {
+	num, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // evict drops the oldest terminal jobs beyond the retention bound.
@@ -195,9 +289,77 @@ func (st *store) list(limit int) []Job {
 	return out
 }
 
-// claim transitions a queued job to running; false means the job was
-// canceled while waiting and the worker must skip it.
-func (st *store) claim(id string, now time.Time) (JobSpec, bool) {
+// Page size bounds of the v1 listing.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// ListQuery filters and paginates the v1 job listing.
+type ListQuery struct {
+	// Status keeps only jobs in that state ("" = all).
+	Status Status
+	// Limit is the page size (0 = defaultPageLimit, capped at
+	// maxPageLimit).
+	Limit int
+	// Cursor resumes a walk: the opaque NextCursor of the previous
+	// page ("" = start at the newest job).
+	Cursor string
+}
+
+// JobPage is one page of the listing, newest first. NextCursor is
+// set iff at least one more matching job exists beyond this page.
+type JobPage struct {
+	Jobs       []Job  `json:"jobs"`
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// page walks the retained jobs newest-first, filtered by status,
+// resuming strictly below the cursor. The cursor is the admission
+// sequence of the last job returned — stable across evictions and
+// new admissions (new jobs get higher sequences and land before the
+// cursor, never inside a resumed walk).
+func (st *store) page(q ListQuery) (JobPage, error) {
+	limit := q.Limit
+	if limit <= 0 {
+		limit = defaultPageLimit
+	}
+	if limit > maxPageLimit {
+		limit = maxPageLimit
+	}
+	below := int(^uint(0) >> 1) // max int: no cursor = start at newest
+	if q.Cursor != "" {
+		seq, err := strconv.Atoi(q.Cursor)
+		if err != nil || seq < 0 {
+			return JobPage{}, fmt.Errorf("bad cursor %q", q.Cursor)
+		}
+		below = seq
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	page := JobPage{Jobs: []Job{}}
+	for i := len(st.order) - 1; i >= st.front; i-- {
+		j := st.jobs[st.order[i]]
+		if j == nil || seqOf(j.ID) >= below {
+			continue
+		}
+		if q.Status != "" && j.Status != q.Status {
+			continue
+		}
+		if len(page.Jobs) == limit {
+			// One more match exists: the page below this one.
+			page.NextCursor = strconv.Itoa(seqOf(page.Jobs[len(page.Jobs)-1].ID))
+			return page, nil
+		}
+		page.Jobs = append(page.Jobs, j.snapshot())
+	}
+	return page, nil
+}
+
+// claim transitions a queued job to running, registering the cancel
+// that aborts it mid-run; false means the job was canceled while
+// waiting and the worker must skip it.
+func (st *store) claim(id string, now time.Time, cancel context.CancelFunc) (JobSpec, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	j, ok := st.jobs[id]
@@ -208,6 +370,10 @@ func (st *store) claim(id string, now time.Time) (JobSpec, bool) {
 	j.Status = StatusRunning
 	j.Started = now
 	st.counts[StatusRunning]++
+	if cancel != nil {
+		st.cancels[id] = cancel
+	}
+	st.publish(j)
 	return j.Spec, true
 }
 
@@ -219,6 +385,7 @@ func (st *store) finish(id string, res workload.ScenarioResult, err error, now t
 	if !ok || j.Status != StatusRunning {
 		return
 	}
+	delete(st.cancels, id)
 	st.counts[j.Status]--
 	j.Finished = now
 	j.WaitNs = j.Started.Sub(j.Created).Nanoseconds()
@@ -228,11 +395,23 @@ func (st *store) finish(id string, res workload.ScenarioResult, err error, now t
 		kind = &KindStats{Kind: j.Spec.Kind}
 		st.byKind[j.Spec.Kind] = kind
 	}
-	if err != nil {
+	switch {
+	case jobCanceled(err):
+		// A cooperative abort: terminal canceled, with the partial
+		// stats the runner accumulated before the checkpoint fired
+		// preserved on the job record (OK false, not folded into the
+		// done aggregates).
+		j.Status = StatusCanceled
+		j.Error = err.Error()
+		res.Name = j.Spec.Name()
+		res.ElapsedNs = j.RunNs
+		j.Result = &res
+		kind.Canceled++
+	case err != nil:
 		j.Status = StatusFailed
 		j.Error = err.Error()
 		kind.Failed++
-	} else {
+	default:
 		j.Status = StatusDone
 		res.Name = j.Spec.Name()
 		res.ElapsedNs = j.RunNs
@@ -247,12 +426,16 @@ func (st *store) finish(id string, res workload.ScenarioResult, err error, now t
 	st.finished++
 	st.latTotal.add(j.Finished.Sub(j.Created))
 	st.latRun.add(j.Finished.Sub(j.Started))
+	st.publish(j)
 	st.evict()
 }
 
-// cancel transitions a queued job to canceled; running or finished
-// jobs are not cancelable (a unit-route simulation has no safe
-// preemption point — see the package comment).
+// cancel aborts a job. Queued jobs transition to canceled
+// immediately (the worker skips them); running jobs get their
+// context canceled and abort at the next cooperative checkpoint —
+// the returned snapshot shows cancel_requested, and the terminal
+// canceled transition follows within one checkpoint's latency.
+// Terminal jobs conflict with ErrTerminal.
 func (st *store) cancel(id string, now time.Time) (Job, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -260,16 +443,45 @@ func (st *store) cancel(id string, now time.Time) (Job, error) {
 	if !ok {
 		return Job{}, ErrNotFound
 	}
-	if j.Status != StatusQueued {
-		return j.snapshot(), fmt.Errorf("%w: job %s is %s", ErrNotCancelable, id, j.Status)
+	switch j.Status {
+	case StatusQueued:
+		st.counts[j.Status]--
+		j.Status = StatusCanceled
+		j.Finished = now
+		st.counts[StatusCanceled]++
+		if kind, ok := st.byKind[j.Spec.Kind]; ok {
+			kind.Canceled++
+		} else {
+			st.byKind[j.Spec.Kind] = &KindStats{Kind: j.Spec.Kind, Canceled: 1}
+		}
+		st.publish(j)
+		snap := j.snapshot()
+		st.evict()
+		return snap, nil
+	case StatusRunning:
+		j.CancelRequested = true
+		if cancel, ok := st.cancels[id]; ok {
+			cancel()
+		}
+		st.publish(j)
+		return j.snapshot(), nil
+	default:
+		return j.snapshot(), fmt.Errorf("%w: job %s is %s", ErrTerminal, id, j.Status)
 	}
-	st.counts[j.Status]--
-	j.Status = StatusCanceled
-	j.Finished = now
-	st.counts[StatusCanceled]++
-	snap := j.snapshot()
-	st.evict()
-	return snap, nil
+}
+
+// cancelAllRunning fires the context cancel of every running job —
+// the drain deadline's hammer: each aborts at its next checkpoint.
+func (st *store) cancelAllRunning() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for id, cancel := range st.cancels {
+		if j, ok := st.jobs[id]; ok {
+			j.CancelRequested = true
+			st.publish(j)
+		}
+		cancel()
+	}
 }
 
 // Stats is the aggregated service view (/stats).
@@ -340,6 +552,7 @@ type KindStats struct {
 	Kind       string `json:"kind"`
 	Done       int64  `json:"done"`
 	Failed     int64  `json:"failed"`
+	Canceled   int64  `json:"canceled"`
 	UnitRoutes int64  `json:"unit_routes"`
 	Conflicts  int64  `json:"conflicts"`
 }

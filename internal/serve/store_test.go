@@ -19,7 +19,7 @@ func TestStoreEvictsOldTerminalJobsKeepsAggregates(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		j := st.add(JobSpec{Kind: KindSweep, N: 3}, now)
 		ids = append(ids, j.ID)
-		if _, ok := st.claim(j.ID, now.Add(time.Millisecond)); !ok {
+		if _, ok := st.claim(j.ID, now.Add(time.Millisecond), nil); !ok {
 			t.Fatalf("claim %s failed", j.ID)
 		}
 		st.finish(j.ID, ScenarioResult{UnitRoutes: 10, OK: true}, nil,
@@ -89,7 +89,7 @@ func TestStoreAggregatesPerKind(t *testing.T) {
 	now := time.Now()
 	finish := func(spec JobSpec, res ScenarioResult, err error) {
 		j := st.add(spec, now)
-		if _, ok := st.claim(j.ID, now); !ok {
+		if _, ok := st.claim(j.ID, now, nil); !ok {
 			t.Fatalf("claim %s failed", j.ID)
 		}
 		st.finish(j.ID, res, err, now.Add(time.Millisecond))

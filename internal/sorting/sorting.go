@@ -18,6 +18,7 @@
 package sorting
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 
@@ -85,6 +86,21 @@ func OddEvenSort1D(m *meshsim.Machine, key string) Result {
 // and descending, columns ascending, for ⌈log₂ a⌉ rounds plus a
 // final row phase.
 func ShearSort2D(m *meshsim.Machine, key string) Result {
+	res, _ := shearSort2D(m, key, nil)
+	return res
+}
+
+// ShearSort2DCtx is ShearSort2D with a cooperative cancellation
+// checkpoint before every compare-exchange phase: when ctx fires the
+// sort stops at the next phase boundary and returns the partial cost
+// with ctx's error (Sorted false).
+func ShearSort2DCtx(ctx context.Context, m *meshsim.Machine, key string) (Result, error) {
+	return shearSort2D(m, key, ctx.Err)
+}
+
+// shearSort2D runs the shear sort, consulting stop (when non-nil)
+// before every phase.
+func shearSort2D(m *meshsim.Machine, key string, stop func() error) (Result, error) {
 	if m.M.Dims() != 2 {
 		panic("sorting: ShearSort2D needs a 2-D mesh")
 	}
@@ -94,29 +110,56 @@ func ShearSort2D(m *meshsim.Machine, key string) Result {
 	for x := 1; x < a; x *= 2 {
 		rounds++
 	}
+	partial := func(err error) (Result, error) {
+		after := m.Stats()
+		return Result{
+			UnitRoutes: after.UnitRoutes - before.UnitRoutes,
+			Conflicts:  after.ReceiveConflicts - before.ReceiveConflicts,
+		}, err
+	}
+	check := func() error {
+		if stop == nil {
+			return nil
+		}
+		return stop()
+	}
 	rowAscending := func(pe int) bool { return m.M.Coord(pe, 1)%2 == 0 }
-	sortRows := func() {
+	sortRows := func() error {
 		for phase := 0; phase < b; phase++ {
+			if err := check(); err != nil {
+				return err
+			}
 			m.CompareExchange(key, 0, phase%2, rowAscending)
 		}
+		return nil
 	}
-	sortCols := func() {
+	sortCols := func() error {
 		for phase := 0; phase < a; phase++ {
+			if err := check(); err != nil {
+				return err
+			}
 			m.CompareExchange(key, 1, phase%2, nil)
 		}
+		return nil
 	}
 	for r := 0; r < rounds; r++ {
-		sortRows()
-		sortCols()
+		if err := sortRows(); err != nil {
+			return partial(err)
+		}
+		if err := sortCols(); err != nil {
+			return partial(err)
+		}
 	}
-	sortRows()
+	if err := sortRows(); err != nil {
+		return partial(err)
+	}
 	after := m.Stats()
 	return Result{
 		Sorted:     IsSortedBySnake(m.M, m.Reg(key)),
 		Phases:     rounds + 1,
 		UnitRoutes: after.UnitRoutes - before.UnitRoutes,
 		Conflicts:  after.ReceiveConflicts - before.ReceiveConflicts,
-	}
+	}, nil
 }
 
 // snakePlan precomputes, for every node of a mesh, its snake index
@@ -216,8 +259,11 @@ func (e starExchanger) maskedStep(src, dst string, dim, dir int, mask func(int) 
 }
 
 // snakeSort runs odd-even transposition over the snake order using
-// masked directional steps. meshOf maps PE ids to mesh ids.
-func snakeSort(e exchanger, key string, meshOf func(pe int) int) Result {
+// masked directional steps. meshOf maps PE ids to mesh ids. stop
+// (when non-nil) is consulted once per phase — the cooperative
+// cancellation checkpoint; a non-nil return aborts the sort at the
+// phase boundary with the partial cost.
+func snakeSort(e exchanger, key string, meshOf func(pe int) int, stop func() error) (Result, error) {
 	m := e.theMesh()
 	plan := newSnakePlan(m)
 	mach := e.machine()
@@ -239,6 +285,16 @@ func snakeSort(e exchanger, key string, meshOf func(pe int) int) Result {
 		phaseKeys[par] = fmt.Sprintf("snakephase:%s:%s:%d", e.planTag(), key, par)
 	}
 	for phase := 0; phase < n; phase++ {
+		if stop != nil {
+			if err := stop(); err != nil {
+				after := mach.Stats()
+				return Result{
+					Phases:     phase,
+					UnitRoutes: after.UnitRoutes - before.UnitRoutes,
+					Conflicts:  after.ReceiveConflicts - before.ReceiveConflicts,
+				}, err
+			}
+		}
 		lowMask := func(meshID int) bool {
 			s := plan.index[meshID]
 			return s%2 == phase%2 && plan.dim[meshID] != -1
@@ -304,7 +360,7 @@ func snakeSort(e exchanger, key string, meshOf func(pe int) int) Result {
 		Phases:     n,
 		UnitRoutes: after.UnitRoutes - before.UnitRoutes,
 		Conflicts:  after.ReceiveConflicts - before.ReceiveConflicts,
-	}
+	}, nil
 }
 
 func anyMesh(m *mesh.Mesh, pred func(int) bool) bool {
@@ -319,7 +375,8 @@ func anyMesh(m *mesh.Mesh, pred func(int) bool) bool {
 // SnakeSortMesh sorts register key on the mesh machine into snake
 // order via odd-even transposition over the snake.
 func SnakeSortMesh(m *meshsim.Machine, key string) Result {
-	return snakeSort(meshExchanger{mm: m}, key, func(pe int) int { return pe })
+	res, _ := snakeSort(meshExchanger{mm: m}, key, func(pe int) int { return pe }, nil)
+	return res
 }
 
 // SnakeSortStar sorts register key on the star machine: the mesh
@@ -328,9 +385,18 @@ func SnakeSortMesh(m *meshsim.Machine, key string) Result {
 // routes (Theorem 6). meshID[pe] must give the mesh node hosted by
 // star PE pe (i.e. core.UnmapID).
 func SnakeSortStar(sm *starsim.Machine, key string, meshID []int) Result {
+	res, _ := SnakeSortStarCtx(context.Background(), sm, key, meshID)
+	return res
+}
+
+// SnakeSortStarCtx is SnakeSortStar with a cooperative cancellation
+// checkpoint once per odd-even transposition phase: when ctx fires
+// the sort stops at the next phase boundary and returns the partial
+// cost with ctx's error (Sorted false).
+func SnakeSortStarCtx(ctx context.Context, sm *starsim.Machine, key string, meshID []int) (Result, error) {
 	dn := mesh.D(sm.N)
 	e := starExchanger{sm: sm, dn: dn, meshID: meshID}
-	return snakeSort(e, key, func(pe int) int { return meshID[pe] })
+	return snakeSort(e, key, func(pe int) int { return meshID[pe] }, ctx.Err)
 }
 
 // SnakeSortStarModelA is SnakeSortStar on a SIMD-A star machine:
@@ -340,5 +406,6 @@ func SnakeSortStar(sm *starsim.Machine, key string, meshID []int) Result {
 func SnakeSortStarModelA(sm *starsim.Machine, key string, meshID []int) Result {
 	dn := mesh.D(sm.N)
 	e := starExchanger{sm: sm, dn: dn, meshID: meshID, modelA: true}
-	return snakeSort(e, key, func(pe int) int { return meshID[pe] })
+	res, _ := snakeSort(e, key, func(pe int) int { return meshID[pe] }, nil)
+	return res
 }

@@ -17,6 +17,7 @@
 package virtual
 
 import (
+	"context"
 	"fmt"
 
 	"starmesh/internal/core"
@@ -180,6 +181,16 @@ func (m *Machine) Put(name string, bigID int, v int64) {
 // n! physical PEs. Returns whether the result is sorted and the
 // physical unit routes consumed.
 func (m *Machine) SnakeSort(key string) (sorted bool, routes int) {
+	sorted, routes, _ = m.SnakeSortCtx(context.Background(), key)
+	return sorted, routes
+}
+
+// SnakeSortCtx is SnakeSort with a cooperative cancellation
+// checkpoint once per odd-even transposition phase — the sort runs
+// (n+1)! phases, so mid-run cancellation aborts within one phase.
+// On cancellation it returns the partial route count with ctx's
+// error (sorted false).
+func (m *Machine) SnakeSortCtx(ctx context.Context, key string) (sorted bool, routes int, err error) {
 	big := m.Big
 	N := big.Order()
 	// Snake plan over the big mesh.
@@ -209,6 +220,9 @@ func (m *Machine) SnakeSort(key string) (sorted bool, routes int) {
 	}
 	before := m.SM.Stats().UnitRoutes
 	for phase := 0; phase < N; phase++ {
+		if err := ctx.Err(); err != nil {
+			return false, m.SM.Stats().UnitRoutes - before, err
+		}
 		isLow := func(bigID int) bool {
 			return index[bigID]%2 == phase%2 && stepDim[bigID] != -1
 		}
@@ -262,5 +276,5 @@ func (m *Machine) SnakeSort(key string) (sorted bool, routes int) {
 		}
 		prevVal = v
 	}
-	return sorted, routes
+	return sorted, routes, nil
 }

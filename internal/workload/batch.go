@@ -8,6 +8,7 @@
 package workload
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -23,10 +24,12 @@ import (
 	"starmesh/internal/starsim"
 )
 
-// Scenario is one independently runnable workload instance.
+// Scenario is one independently runnable workload instance. Run
+// honors context cancellation at the runners' cooperative
+// checkpoints, returning the partial result with ctx's error.
 type Scenario struct {
 	Name string
-	Run  func() (ScenarioResult, error)
+	Run  func(context.Context) (ScenarioResult, error)
 }
 
 // ScenarioResult reports one scenario's cost and self-check outcome.
@@ -48,8 +51,9 @@ type BatchResult struct {
 
 // RunBatch executes the scenarios on a pool of the given number of
 // workers (<= 0 selects GOMAXPROCS). Results keep the input order;
-// failures are collected, not fatal.
-func RunBatch(scenarios []Scenario, workers int) BatchResult {
+// failures are collected, not fatal. Canceling ctx aborts the
+// in-flight scenarios at their next checkpoint and skips the rest.
+func RunBatch(ctx context.Context, scenarios []Scenario, workers int) BatchResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -71,7 +75,7 @@ func RunBatch(scenarios []Scenario, workers int) BatchResult {
 			for i := range jobs {
 				sc := scenarios[i]
 				t0 := time.Now()
-				res, err := sc.Run()
+				res, err := sc.Run(ctx)
 				res.Name = sc.Name
 				res.ElapsedNs = time.Since(t0).Nanoseconds()
 				results[i] = res
@@ -107,14 +111,34 @@ func RunBatch(scenarios []Scenario, workers int) BatchResult {
 // assumes post-construction machine state (zero registers, zero
 // stats): exactly what a fresh machine or a Reset pooled machine
 // provides.
+//
+// Every runner with a long loop checks its context between
+// iterations (a phase, a unit route, a trial): on cancellation it
+// returns ctx's error plus the partial result accumulated so far,
+// with OK forced false. The machine is left mid-workload but
+// Reset-safe — registers and stats are exactly what Reset clears.
+
+// canceledPartial shapes the partial result a runner reports when its
+// context fires mid-run.
+func canceledPartial(ctx context.Context, res ScenarioResult) (ScenarioResult, error) {
+	res.OK = false
+	return res, ctx.Err()
+}
 
 // RunSortOn snake-sorts keys of the given distribution on a star
-// machine through the paper's embedding.
-func RunSortOn(sm *starsim.Machine, d Dist, rng *rand.Rand) (ScenarioResult, error) {
+// machine through the paper's embedding. The sort checks ctx once
+// per odd-even transposition phase.
+func RunSortOn(ctx context.Context, sm *starsim.Machine, d Dist, rng *rand.Rand) (ScenarioResult, error) {
 	keys := KeysRand(d, sm.Size(), rng)
 	sm.EnsureReg("K")
 	sm.Set("K", func(pe int) int64 { return keys[pe] })
-	res := sorting.SnakeSortStar(sm, "K", sm.MeshIDs())
+	res, err := sorting.SnakeSortStarCtx(ctx, sm, "K", sm.MeshIDs())
+	if err != nil {
+		return canceledPartial(ctx, ScenarioResult{
+			UnitRoutes: res.UnitRoutes,
+			Conflicts:  res.Conflicts,
+		})
+	}
 	if !res.Sorted {
 		return ScenarioResult{}, fmt.Errorf("snake sort left keys unsorted")
 	}
@@ -126,12 +150,18 @@ func RunSortOn(sm *starsim.Machine, d Dist, rng *rand.Rand) (ScenarioResult, err
 }
 
 // RunShearOn shear-sorts keys of the given distribution on a 2-D
-// mesh machine.
-func RunShearOn(mm *meshsim.Machine, d Dist, rng *rand.Rand) (ScenarioResult, error) {
+// mesh machine, checking ctx once per compare-exchange phase.
+func RunShearOn(ctx context.Context, mm *meshsim.Machine, d Dist, rng *rand.Rand) (ScenarioResult, error) {
 	keys := KeysRand(d, mm.Size(), rng)
 	mm.EnsureReg("K")
 	mm.Set("K", func(pe int) int64 { return keys[pe] })
-	res := sorting.ShearSort2D(mm, "K")
+	res, err := sorting.ShearSort2DCtx(ctx, mm, "K")
+	if err != nil {
+		return canceledPartial(ctx, ScenarioResult{
+			UnitRoutes: res.UnitRoutes,
+			Conflicts:  res.Conflicts,
+		})
+	}
 	if !res.Sorted {
 		return ScenarioResult{}, fmt.Errorf("shear sort left keys unsorted")
 	}
@@ -145,8 +175,12 @@ func RunShearOn(mm *meshsim.Machine, d Dist, rng *rand.Rand) (ScenarioResult, er
 // RunBroadcastOn floods one value from the given source PE across a
 // star machine and checks every PE received it. The conflict count
 // covers only this broadcast (stats are diffed), so the runner is
-// exact on reused machines too.
-func RunBroadcastOn(sm *starsim.Machine, source int) (ScenarioResult, error) {
+// exact on reused machines too. A broadcast is O(n log n) rounds —
+// short — so ctx is checked only once up front.
+func RunBroadcastOn(ctx context.Context, sm *starsim.Machine, source int) (ScenarioResult, error) {
+	if err := ctx.Err(); err != nil {
+		return ScenarioResult{}, err
+	}
 	if source < 0 || source >= sm.Size() {
 		return ScenarioResult{}, fmt.Errorf("broadcast source %d out of range [0,%d)", source, sm.Size())
 	}
@@ -169,30 +203,56 @@ func RunBroadcastOn(sm *starsim.Machine, source int) (ScenarioResult, error) {
 	}, nil
 }
 
-// RunSweepOn drives the full mesh-unit-route sweep (EngineSweep) on
-// a star machine and reports the star unit routes it cost.
-func RunSweepOn(sm *starsim.Machine) (ScenarioResult, error) {
+// RunSweepOn repeats the full mesh-unit-route sweep — every
+// dimension, both directions — the given number of times on a star
+// machine and reports the star unit routes it cost. trials ≥ 1
+// scales the job's length (the service's long-running workload); the
+// context is checked before every unit route, so cancellation aborts
+// within one route's latency.
+func RunSweepOn(ctx context.Context, sm *starsim.Machine, trials int) (ScenarioResult, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	sm.EnsureReg("V")
+	sm.EnsureReg("W")
+	sm.Set("V", func(pe int) int64 { return int64(pe) })
 	before := sm.Stats()
-	EngineSweep(sm)
-	after := sm.Stats()
-	conflicts := after.ReceiveConflicts - before.ReceiveConflicts
-	return ScenarioResult{
-		UnitRoutes: after.UnitRoutes - before.UnitRoutes,
-		Conflicts:  conflicts,
-		OK:         conflicts == 0,
-	}, nil
+	partial := func() ScenarioResult {
+		after := sm.Stats()
+		conflicts := after.ReceiveConflicts - before.ReceiveConflicts
+		return ScenarioResult{
+			UnitRoutes: after.UnitRoutes - before.UnitRoutes,
+			Conflicts:  conflicts,
+			OK:         conflicts == 0,
+		}
+	}
+	for t := 0; t < trials; t++ {
+		for k := 1; k <= sm.N-1; k++ {
+			for _, dir := range []int{+1, -1} {
+				if ctx.Err() != nil {
+					return canceledPartial(ctx, partial())
+				}
+				sm.MeshUnitRoute("V", "W", k, dir)
+			}
+		}
+	}
+	return partial(), nil
 }
 
 // RunFaultRouteOn routes the given number of random source/target
 // pairs through the star graph while avoiding random fault sets of
 // the given size (at most n-2, so a path always exists). The
-// reported unit routes are the total hops across all pairs.
-func RunFaultRouteOn(g *star.Graph, faults, pairs int, rng *rand.Rand) (ScenarioResult, error) {
+// reported unit routes are the total hops across all pairs; ctx is
+// checked once per pair.
+func RunFaultRouteOn(ctx context.Context, g *star.Graph, faults, pairs int, rng *rand.Rand) (ScenarioResult, error) {
 	if faults > g.N()-2 {
 		return ScenarioResult{}, fmt.Errorf("faults %d exceed the survivable n-2 = %d", faults, g.N()-2)
 	}
 	hops := 0
 	for i := 0; i < pairs; i++ {
+		if ctx.Err() != nil {
+			return canceledPartial(ctx, ScenarioResult{UnitRoutes: hops})
+		}
 		faulty := make(map[int]bool, faults)
 		for len(faulty) < faults {
 			faulty[rng.Intn(g.Order())] = true

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"os"
@@ -28,7 +29,7 @@ func stripTiming(b BatchResult) BatchResult {
 
 func TestStandardBatchRunsCleanAndDeterministic(t *testing.T) {
 	batch := StandardBatch(4, 7)
-	one := RunBatch(batch, 1)
+	one := RunBatch(context.Background(), batch, 1)
 	if len(one.Errors) != 0 {
 		t.Fatalf("batch errors: %v", one.Errors)
 	}
@@ -41,7 +42,7 @@ func TestStandardBatchRunsCleanAndDeterministic(t *testing.T) {
 		}
 	}
 	for _, workers := range []int{2, 5, 0} {
-		many := RunBatch(StandardBatch(4, 7), workers)
+		many := RunBatch(context.Background(), StandardBatch(4, 7), workers)
 		if len(many.Errors) != 0 {
 			t.Fatalf("workers=%d batch errors: %v", workers, many.Errors)
 		}
@@ -59,8 +60,8 @@ func TestStandardBatchRunsCleanAndDeterministic(t *testing.T) {
 }
 
 func TestStandardBatchParallelEngineMatches(t *testing.T) {
-	seqBatch := RunBatch(StandardBatch(4, 11), 2)
-	parBatch := RunBatch(StandardBatch(4, 11, simd.WithExecutor(simd.Parallel(3))), 2)
+	seqBatch := RunBatch(context.Background(), StandardBatch(4, 11), 2)
+	parBatch := RunBatch(context.Background(), StandardBatch(4, 11, simd.WithExecutor(simd.Parallel(3))), 2)
 	if len(parBatch.Errors) != 0 {
 		t.Fatalf("parallel-engine batch errors: %v", parBatch.Errors)
 	}
@@ -74,10 +75,10 @@ func TestStandardBatchParallelEngineMatches(t *testing.T) {
 }
 
 func TestRunBatchCollectsErrors(t *testing.T) {
-	boom := Scenario{Name: "boom", Run: func() (ScenarioResult, error) {
+	boom := Scenario{Name: "boom", Run: func(context.Context) (ScenarioResult, error) {
 		return ScenarioResult{}, errors.New("deliberate failure")
 	}}
-	res := RunBatch([]Scenario{BroadcastScenario(3, 0), boom}, 2)
+	res := RunBatch(context.Background(), []Scenario{BroadcastScenario(3, 0), boom}, 2)
 	if len(res.Errors) != 1 {
 		t.Fatalf("errors = %v, want exactly one", res.Errors)
 	}
@@ -124,7 +125,7 @@ func TestBenchRecordWriteJSON(t *testing.T) {
 func TestRunnersMatchScenarios(t *testing.T) {
 	const n, seed = 4, 99
 	run := func(sc Scenario) ScenarioResult {
-		res, err := sc.Run()
+		res, err := sc.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", sc.Name, err)
 		}
@@ -133,7 +134,7 @@ func TestRunnersMatchScenarios(t *testing.T) {
 
 	sm := starsim.New(n)
 	defer sm.Close()
-	got, err := RunSortOn(sm, Uniform, NewRand(seed))
+	got, err := RunSortOn(context.Background(), sm, Uniform, NewRand(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestRunnersMatchScenarios(t *testing.T) {
 
 	mm := meshsim.New(mesh.New(8, 8))
 	defer mm.Close()
-	got, err = RunShearOn(mm, Reversed, NewRand(seed))
+	got, err = RunShearOn(context.Background(), mm, Reversed, NewRand(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestRunnersMatchScenarios(t *testing.T) {
 	}
 
 	g := star.New(n)
-	got, err = RunFaultRouteOn(g, n-2, 8, NewRand(seed))
+	got, err = RunFaultRouteOn(context.Background(), g, n-2, 8, NewRand(seed))
 	if err != nil {
 		t.Fatal(err)
 	}

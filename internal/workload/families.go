@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"starmesh/internal/mesh"
@@ -77,8 +78,8 @@ func builtinRegistry() *Registry {
 		},
 		Shape: starShape,
 		Build: buildStar,
-		Run: func(s Spec, r Resource) (ScenarioResult, error) {
-			return RunSortOn(r.(*starsim.Machine), mustDist(s.Dist), NewRand(s.Seed))
+		Run: func(ctx context.Context, s Spec, r Resource) (ScenarioResult, error) {
+			return RunSortOn(ctx, r.(*starsim.Machine), mustDist(s.Dist), NewRand(s.Seed))
 		},
 		Name: func(s Spec) string {
 			return fmt.Sprintf("sort-star-n%d-%s-seed%d", s.N, s.Dist, s.Seed)
@@ -102,8 +103,8 @@ func builtinRegistry() *Registry {
 		Build: func(s Spec, opts ...simd.Option) Resource {
 			return meshsim.New(mesh.New(s.Rows, s.Cols), opts...)
 		},
-		Run: func(s Spec, r Resource) (ScenarioResult, error) {
-			return RunShearOn(r.(*meshsim.Machine), mustDist(s.Dist), NewRand(s.Seed))
+		Run: func(ctx context.Context, s Spec, r Resource) (ScenarioResult, error) {
+			return RunShearOn(ctx, r.(*meshsim.Machine), mustDist(s.Dist), NewRand(s.Seed))
 		},
 		Name: func(s Spec) string {
 			return fmt.Sprintf("shear-mesh-%dx%d-%s-seed%d", s.Rows, s.Cols, s.Dist, s.Seed)
@@ -128,8 +129,8 @@ func builtinRegistry() *Registry {
 		},
 		Shape: starShape,
 		Build: buildStar,
-		Run: func(s Spec, r Resource) (ScenarioResult, error) {
-			return RunBroadcastOn(r.(*starsim.Machine), s.Source)
+		Run: func(ctx context.Context, s Spec, r Resource) (ScenarioResult, error) {
+			return RunBroadcastOn(ctx, r.(*starsim.Machine), s.Source)
 		},
 		Name: func(s Spec) string {
 			return fmt.Sprintf("broadcast-star-n%d-src%d", s.N, s.Source)
@@ -142,19 +143,25 @@ func builtinRegistry() *Registry {
 		Summary:  "full mesh-unit-route sweep (every dimension, both directions)",
 		Package:  "internal/starsim",
 		PaperRef: "Theorem 6",
-		Params:   "n",
+		Params:   "n, trials",
 		Normalize: func(s Spec) (Spec, error) {
 			if err := starN(s); err != nil {
 				return s, err
+			}
+			if s.Trials == 0 {
+				s.Trials = 1
+			}
+			if s.Trials < 1 || s.Trials > MaxSweepTrials {
+				return s, fmt.Errorf("sweep needs trials in [1,%d], got %d", MaxSweepTrials, s.Trials)
 			}
 			return s, nil
 		},
 		Shape: starShape,
 		Build: buildStar,
-		Run: func(s Spec, r Resource) (ScenarioResult, error) {
-			return RunSweepOn(r.(*starsim.Machine))
+		Run: func(ctx context.Context, s Spec, r Resource) (ScenarioResult, error) {
+			return RunSweepOn(ctx, r.(*starsim.Machine), s.Trials)
 		},
-		Name: func(s Spec) string { return fmt.Sprintf("sweep-star-n%d", s.N) },
+		Name: func(s Spec) string { return fmt.Sprintf("sweep-star-n%d-t%d", s.N, s.Trials) },
 		Demo: func() Spec { return Spec{Kind: KindSweep, N: 4} },
 	})
 
@@ -181,8 +188,8 @@ func builtinRegistry() *Registry {
 		},
 		Shape: starGraphShape,
 		Build: buildStarGraph,
-		Run: func(s Spec, r Resource) (ScenarioResult, error) {
-			return RunFaultRouteOn(r.(graphResource).g, s.Faults, s.Pairs, NewRand(s.Seed))
+		Run: func(ctx context.Context, s Spec, r Resource) (ScenarioResult, error) {
+			return RunFaultRouteOn(ctx, r.(graphResource).g, s.Faults, s.Pairs, NewRand(s.Seed))
 		},
 		Name: func(s Spec) string {
 			return fmt.Sprintf("faultroute-star-n%d-f%d-p%d-seed%d", s.N, s.Faults, s.Pairs, s.Seed)
@@ -210,8 +217,8 @@ func builtinRegistry() *Registry {
 		},
 		Shape: starShape,
 		Build: buildStar,
-		Run: func(s Spec, r Resource) (ScenarioResult, error) {
-			return RunEmbedRectOn(r.(*starsim.Machine), s.D)
+		Run: func(ctx context.Context, s Spec, r Resource) (ScenarioResult, error) {
+			return RunEmbedRectOn(ctx, r.(*starsim.Machine), s.D)
 		},
 		Name: func(s Spec) string { return fmt.Sprintf("embedrect-star-n%d-d%d", s.N, s.D) },
 		Demo: func() Spec { return Spec{Kind: KindEmbedRect, N: 5, D: 2} },
@@ -241,8 +248,8 @@ func builtinRegistry() *Registry {
 		},
 		Shape: func(s Spec) string { return "none" },
 		Build: func(s Spec, _ ...simd.Option) Resource { return nullResource{} },
-		Run: func(s Spec, _ Resource) (ScenarioResult, error) {
-			return RunPermRouteOn(s.N, s.Pattern, s.Seed)
+		Run: func(ctx context.Context, s Spec, _ Resource) (ScenarioResult, error) {
+			return RunPermRouteOn(ctx, s.N, s.Pattern, s.Seed)
 		},
 		Name: func(s Spec) string {
 			return fmt.Sprintf("permroute-star-n%d-%s-seed%d", s.N, s.Pattern, s.Seed)
@@ -264,8 +271,8 @@ func builtinRegistry() *Registry {
 		},
 		Shape: func(s Spec) string { return fmt.Sprintf("virtual:%d", s.N) },
 		Build: func(s Spec, opts ...simd.Option) Resource { return virtual.New(s.N, opts...) },
-		Run: func(s Spec, r Resource) (ScenarioResult, error) {
-			return RunVirtualOn(r.(*virtual.Machine), mustDist(s.Dist), NewRand(s.Seed))
+		Run: func(ctx context.Context, s Spec, r Resource) (ScenarioResult, error) {
+			return RunVirtualOn(ctx, r.(*virtual.Machine), mustDist(s.Dist), NewRand(s.Seed))
 		},
 		Name: func(s Spec) string {
 			return fmt.Sprintf("virtual-star-n%d-%s-seed%d", s.N, s.Dist, s.Seed)
@@ -296,8 +303,8 @@ func builtinRegistry() *Registry {
 		},
 		Shape: starGraphShape,
 		Build: buildStarGraph,
-		Run: func(s Spec, r Resource) (ScenarioResult, error) {
-			return RunDiagnosticsOn(r.(graphResource).g, s.Holes, s.Trials, NewRand(s.Seed))
+		Run: func(ctx context.Context, s Spec, r Resource) (ScenarioResult, error) {
+			return RunDiagnosticsOn(ctx, r.(graphResource).g, s.Holes, s.Trials, NewRand(s.Seed))
 		},
 		Name: func(s Spec) string {
 			return fmt.Sprintf("diagnostics-star-n%d-h%d-t%d-seed%d", s.N, s.Holes, s.Trials, s.Seed)
@@ -328,8 +335,8 @@ func builtinRegistry() *Registry {
 		},
 		Shape: starShape,
 		Build: buildStar,
-		Run: func(s Spec, r Resource) (ScenarioResult, error) {
-			return RunPipelineOn(r.(*starsim.Machine), s.D, mustDist(s.Dist), s.Source, NewRand(s.Seed))
+		Run: func(ctx context.Context, s Spec, r Resource) (ScenarioResult, error) {
+			return RunPipelineOn(ctx, r.(*starsim.Machine), s.D, mustDist(s.Dist), s.Source, NewRand(s.Seed))
 		},
 		Name: func(s Spec) string {
 			return fmt.Sprintf("pipeline-star-n%d-d%d-%s-seed%d-src%d", s.N, s.D, s.Dist, s.Seed, s.Source)

@@ -8,6 +8,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -47,8 +48,12 @@ type Family struct {
 	// Build constructs a fresh resource of the spec's shape with the
 	// process's engine options applied.
 	Build func(Spec, ...simd.Option) Resource
-	// Run executes the spec on a resource of the matching shape.
-	Run func(Spec, Resource) (ScenarioResult, error)
+	// Run executes the spec on a resource of the matching shape. The
+	// context is checked at cooperative cancellation checkpoints
+	// inside the long sweep/sort loops: on cancellation Run returns
+	// promptly with ctx's error and the partial result accumulated so
+	// far (the resource stays Reset-safe for pooled reuse).
+	Run func(context.Context, Spec, Resource) (ScenarioResult, error)
 	// Name renders the spec in the scenario naming scheme.
 	Name func(Spec) string
 	// Demo returns a small representative spec for smoke runs.
@@ -135,10 +140,10 @@ func ScenarioFor(s Spec, opts ...simd.Option) (Scenario, error) {
 		return Scenario{}, err
 	}
 	f, _ := Builtin.Lookup(norm.Kind)
-	return Scenario{Name: norm.Name(), Run: func() (ScenarioResult, error) {
+	return Scenario{Name: norm.Name(), Run: func(ctx context.Context) (ScenarioResult, error) {
 		r := f.Build(norm, opts...)
 		defer r.Close()
-		return f.Run(norm, r)
+		return f.Run(ctx, norm, r)
 	}}, nil
 }
 

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -51,7 +52,7 @@ func TestDemoSpecsRunCleanAndDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", spec.Kind, err)
 		}
-		first, err := sc.Run()
+		first, err := sc.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", sc.Name, err)
 		}
@@ -61,7 +62,7 @@ func TestDemoSpecsRunCleanAndDeterministic(t *testing.T) {
 		if first.UnitRoutes <= 0 && spec.Kind != KindDiagnostics {
 			t.Errorf("%s: reports no work: %+v", sc.Name, first)
 		}
-		again, err := sc.Run()
+		again, err := sc.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%s rerun: %v", sc.Name, err)
 		}
@@ -103,7 +104,7 @@ func runSpec(t *testing.T, s Spec) ScenarioResult {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sc.Run()
+	res, err := sc.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestPooledParityAcrossFamilies(t *testing.T) {
 		f, _ := Builtin.Lookup(spec.Kind)
 
 		fresh := f.Build(spec)
-		want, err := f.Run(spec, fresh)
+		want, err := f.Run(context.Background(), spec, fresh)
 		fresh.Close()
 		if err != nil {
 			t.Fatalf("%s fresh: %v", spec.Kind, err)
@@ -144,11 +145,11 @@ func TestPooledParityAcrossFamilies(t *testing.T) {
 			first = d
 		}
 		df, _ := Builtin.Lookup(first.Kind)
-		if _, err := df.Run(first, reused); err != nil {
+		if _, err := df.Run(context.Background(), first, reused); err != nil {
 			t.Fatalf("%s dirtying run: %v", spec.Kind, err)
 		}
 		reused.Reset()
-		got, err := f.Run(spec, reused)
+		got, err := f.Run(context.Background(), spec, reused)
 		reused.Close()
 		if err != nil {
 			t.Fatalf("%s pooled rerun: %v", spec.Kind, err)

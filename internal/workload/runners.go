@@ -9,6 +9,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -28,8 +29,9 @@ import (
 // every rectangular dimension in both directions, verifying each
 // delivery against the rectangular mesh's own Step function. The
 // unit routes reported are the physical star routes of the sweep;
-// Theorem 6 promises conflict freedom.
-func RunEmbedRectOn(sm *starsim.Machine, d int) (ScenarioResult, error) {
+// Theorem 6 promises conflict freedom. ctx is checked before every
+// grouped step.
+func RunEmbedRectOn(ctx context.Context, sm *starsim.Machine, d int) (ScenarioResult, error) {
 	n := sm.N
 	if d < 1 || d > n-1 {
 		return ScenarioResult{}, fmt.Errorf("embedrect needs d in [1,%d] for S_%d, got %d", n-1, n, d)
@@ -50,6 +52,13 @@ func RunEmbedRectOn(sm *starsim.Machine, d int) (ScenarioResult, error) {
 	before := sm.Stats()
 	for t := 0; t < d; t++ {
 		for _, dir := range []int{+1, -1} {
+			if ctx.Err() != nil {
+				after := sm.Stats()
+				return canceledPartial(ctx, ScenarioResult{
+					UnitRoutes: after.UnitRoutes - before.UnitRoutes,
+					Conflicts:  after.ReceiveConflicts - before.ReceiveConflicts,
+				})
+			}
 			meshops.GroupedStep(st, plan, "V", "W", t, dir)
 			w := sm.Reg("W")
 			for pe := range w {
@@ -85,7 +94,10 @@ var PermPatterns = []string{"random", "reversal", "inverse", "shift", "valiant"}
 // distance lower bound that link contention cost (zero for the
 // embedding's structured traffic, unavoidable for arbitrary
 // patterns).
-func RunPermRouteOn(n int, pattern string, seed int64) (ScenarioResult, error) {
+func RunPermRouteOn(ctx context.Context, n int, pattern string, seed int64) (ScenarioResult, error) {
+	if err := ctx.Err(); err != nil {
+		return ScenarioResult{}, err
+	}
 	order := int(perm.Factorial(n))
 	var res permroute.Result
 	switch pattern {
@@ -118,12 +130,18 @@ func RunPermRouteOn(n int, pattern string, seed int64) (ScenarioResult, error) {
 // virtual nodes per PE. The reported unit routes are the physical
 // star routes consumed (amortized ≤ 3 per virtual move; the extra
 // dimension is a free intra-PE slot shuffle).
-func RunVirtualOn(vm *virtual.Machine, d Dist, rng *rand.Rand) (ScenarioResult, error) {
+func RunVirtualOn(ctx context.Context, vm *virtual.Machine, d Dist, rng *rand.Rand) (ScenarioResult, error) {
 	keys := KeysRand(d, vm.Big.Order(), rng)
 	vm.EnsureReg("K")
 	vm.Set("K", func(bigID int) int64 { return keys[bigID] })
 	before := vm.SM.Stats()
-	sorted, routes := vm.SnakeSort("K")
+	sorted, routes, err := vm.SnakeSortCtx(ctx, "K")
+	if err != nil {
+		return canceledPartial(ctx, ScenarioResult{
+			UnitRoutes: routes,
+			Conflicts:  vm.SM.Stats().ReceiveConflicts - before.ReceiveConflicts,
+		})
+	}
 	if !sorted {
 		return ScenarioResult{}, fmt.Errorf("virtual snake sort left keys unsorted")
 	}
@@ -143,7 +161,7 @@ func RunVirtualOn(vm *virtual.Machine, d Dist, rng *rand.Rand) (ScenarioResult, 
 // disconnected trial is counted in Conflicts and fails the
 // self-check. UnitRoutes reports the summed measured eccentricities
 // (the fault-degraded diameter observations).
-func RunDiagnosticsOn(g *star.Graph, holes, trials int, rng *rand.Rand) (ScenarioResult, error) {
+func RunDiagnosticsOn(ctx context.Context, g *star.Graph, holes, trials int, rng *rand.Rand) (ScenarioResult, error) {
 	if holes > g.N()-2 {
 		return ScenarioResult{}, fmt.Errorf("diagnostics: %d holes exceed the survivable n-2 = %d", holes, g.N()-2)
 	}
@@ -152,6 +170,9 @@ func RunDiagnosticsOn(g *star.Graph, holes, trials int, rng *rand.Rand) (Scenari
 	disconnected := 0
 	removed := make([]bool, order)
 	for t := 0; t < trials; t++ {
+		if ctx.Err() != nil {
+			return canceledPartial(ctx, ScenarioResult{UnitRoutes: sumEcc, Conflicts: disconnected})
+		}
 		clear(removed)
 		for cut := 0; cut < holes; {
 			v := rng.Intn(order)
@@ -186,11 +207,11 @@ func RunDiagnosticsOn(g *star.Graph, holes, trials int, rng *rand.Rand) (Scenari
 // tables, compiled plans and worker pool carry across. This is the
 // pool-reuse story inside a single job: three workloads, one machine
 // construction.
-func RunPipelineOn(sm *starsim.Machine, d int, dist Dist, source int, rng *rand.Rand) (ScenarioResult, error) {
+func RunPipelineOn(ctx context.Context, sm *starsim.Machine, d int, dist Dist, source int, rng *rand.Rand) (ScenarioResult, error) {
 	phases := []func() (ScenarioResult, error){
-		func() (ScenarioResult, error) { return RunEmbedRectOn(sm, d) },
-		func() (ScenarioResult, error) { return RunSortOn(sm, dist, rng) },
-		func() (ScenarioResult, error) { return RunBroadcastOn(sm, source) },
+		func() (ScenarioResult, error) { return RunEmbedRectOn(ctx, sm, d) },
+		func() (ScenarioResult, error) { return RunSortOn(ctx, sm, dist, rng) },
+		func() (ScenarioResult, error) { return RunBroadcastOn(ctx, sm, source) },
 	}
 	var total ScenarioResult
 	total.OK = true
@@ -199,6 +220,11 @@ func RunPipelineOn(sm *starsim.Machine, d int, dist Dist, source int, rng *rand.
 			sm.Reset()
 		}
 		res, err := phase()
+		if ctx.Err() != nil {
+			total.UnitRoutes += res.UnitRoutes
+			total.Conflicts += res.Conflicts
+			return canceledPartial(ctx, total)
+		}
 		if err != nil {
 			return ScenarioResult{}, fmt.Errorf("pipeline phase %d: %w", i+1, err)
 		}

@@ -49,6 +49,12 @@ const MaxVirtualN = 5
 // MaxDiagnosticTrials bounds the fault-sweep repetition count.
 const MaxDiagnosticTrials = 64
 
+// MaxSweepTrials bounds sweep repetition: a sweep job runs trials
+// full mesh-unit-route sweeps back to back — the service's
+// long-running workload class (cancellation checkpoints fire before
+// every unit route, so even the largest job aborts promptly).
+const MaxSweepTrials = 1 << 20
+
 // Spec describes one scenario run.
 type Spec struct {
 	Kind string `json:"kind"`
@@ -74,11 +80,13 @@ type Spec struct {
 	// Pattern names the permroute destination pattern (see
 	// PermPatterns; empty means random).
 	Pattern string `json:"pattern,omitempty"`
-	// Holes and Trials parameterize diagnostics specs: each trial
-	// deletes Holes random vertices (≤ n-2, so the graph provably
-	// stays connected) and measures reachability and eccentricity.
-	// Trials defaults to 1.
-	Holes  int `json:"holes,omitempty"`
+	// Holes parameterizes diagnostics specs: each trial deletes Holes
+	// random vertices (≤ n-2, so the graph provably stays connected)
+	// and measures reachability and eccentricity.
+	Holes int `json:"holes,omitempty"`
+	// Trials is the repetition count of diagnostics (fault-sweep
+	// trials) and sweep (back-to-back full sweeps — the long-running
+	// job class) specs. Defaults to 1.
 	Trials int `json:"trials,omitempty"`
 }
 

@@ -9,12 +9,15 @@ import (
 
 // The job service (internal/serve) turns the library into a
 // long-running system: typed JobSpecs are admitted through a bounded
-// scheduler with backpressure and cancellation, executed on
+// scheduler with backpressure and cancellation (queued AND running —
+// every runner carries cooperative checkpoints), executed on
 // per-shape machine pools that amortize topology construction, route
 // tables, compiled plans and engine worker pools across jobs of the
 // same (topology, engine) shape, and recorded in an in-memory store
 // with p50/p99 latency and unit-route aggregation. The facade
-// re-exports the service types; `starmesh serve` runs it over HTTP.
+// re-exports the service types; `starmesh serve` runs the versioned
+// v1 HTTP API, and the public typed client (package starmesh/client)
+// is the supported way to drive it remotely.
 
 // JobService is a running simulation job service.
 type JobService = serve.Service
@@ -39,6 +42,20 @@ type JobStatus = serve.Status
 // latency percentiles, unit-route totals and per-shape pool
 // counters.
 type ServiceStats = serve.Stats
+
+// JobPage is one page of the v1 job listing (status filter + cursor
+// pagination, newest first).
+type JobPage = serve.JobPage
+
+// JobListQuery filters and paginates JobService.ListJobs.
+type JobListQuery = serve.ListQuery
+
+// ServiceHealth is the /v1/healthz body: "ok" or "draining".
+type ServiceHealth = serve.Health
+
+// ServiceErrorCode is the v1 API's machine-readable error class; the
+// HTTP layer maps each code to its status exactly once.
+type ServiceErrorCode = serve.ErrorCode
 
 // Job kinds accepted by the service — one constant per registered
 // scenario family; ScenarioKinds returns the authoritative list.
@@ -80,13 +97,15 @@ func ScenarioCatalog() string { return workload.CatalogMarkdown() }
 // RunScenario validates a spec against the scenario registry and
 // executes it standalone on a fresh machine (built with the given
 // engine options, closed after). The result is bit-identical to the
-// job service executing the same spec on a pooled machine.
-func RunScenario(spec JobSpec, opts ...EngineOption) (ScenarioResult, error) {
+// job service executing the same spec on a pooled machine. The
+// context cancels the run at the runner's next cooperative
+// checkpoint (the v1 cancellation contract).
+func RunScenario(ctx context.Context, spec JobSpec, opts ...EngineOption) (ScenarioResult, error) {
 	sc, err := workload.ScenarioFor(spec, opts...)
 	if err != nil {
 		return ScenarioResult{}, err
 	}
-	return sc.Run()
+	return sc.Run(ctx)
 }
 
 // NewJobService starts a job service (workers running, admission
