@@ -22,9 +22,13 @@ race:
 	$(GO) test -race ./...
 
 ## bench: one pass over every benchmark plus the S_8 engine perf
-## record (written to BENCH_engine.json).
+## record (written to BENCH_engine.json), including the replay-path
+## GOMAXPROCS 1→8 scaling curve. Run with BENCH_ENGINE_GATE=1 (CI's
+## bench job does) to additionally fail unless parallel replay beats
+## sequential replay by ≥ 1.5x at 4 procs; the gate skips itself on
+## hosts with fewer than 4 CPUs, where extra procs only time-slice.
 bench:
-	BENCH_ENGINE_RECORD=1 $(GO) test -run TestEngineBenchRecord .
+	BENCH_ENGINE_RECORD=1 $(GO) test -run TestEngineBenchRecord -count=1 .
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 ## bench-plans: the compiled-route-plan perf gate. Runs multi-worker

@@ -27,16 +27,21 @@
 //     shards each unit route across a persistent per-machine worker
 //     pool and merges per-shard results deterministically, so its
 //     Stats, register contents and conflict diagnostics are
-//     bit-identical to the sequential reference.
+//     bit-identical to the sequential reference. Register state
+//     lives in flat cache-line-aligned banks whose slices stay
+//     stable across growth and Reset, so parallel shards partition
+//     the PE range without false sharing and hot loops hoist
+//     register slices once (docs/architecture.md walks the layers).
 //
 // # Plans
 //
 // The machines compile pure unit-route schedules ahead of time
 // (WithPlans, on by default): the first execution records each route
-// as a dense table of resolved deliveries — validated against the
-// topology — and later executions replay the tables with a tight
-// array walk, skipping closure dispatch, Neighbor calls and
-// register-map lookups entirely. Record when a schedule will repeat
+// as a dense delivery table — validated against the topology, sorted
+// by ascending destination — and later executions replay the tables
+// as permutation applies over the register banks (blocky steps
+// collapse to copy calls), skipping closure dispatch, Neighbor calls
+// and register-map lookups entirely. Record when a schedule will repeat
 // (sort phases, sweeps, broadcasts); replay is bit-identical to
 // closure resolution, and compiled plans are shared across machines
 // of the same shape through SharedPlans. Purity is the contract: a
@@ -102,7 +107,9 @@
 // flags select the execution engine and the plan layer; the engine
 // and plans experiments assert both are bit-identical to the
 // sequential closure reference). BENCH_engine.json records the
-// engine's measured performance on an S_8 workload and
-// BENCH_plans.json the plan layer's; `make bench` and
-// `make bench-plans` regenerate them.
+// engine's measured performance on an S_8 workload (including the
+// replay path's GOMAXPROCS scaling curve) and BENCH_plans.json the
+// plan layer's; `make bench` and `make bench-plans` regenerate them,
+// and docs/benchmarks.md documents every record's schema and CI
+// gate.
 package starmesh

@@ -1,0 +1,53 @@
+package cubesim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRegisterBankContract pins the simd bank guarantees BitonicSort
+// relies on: it hoists the key and scratch slices once per call, and
+// pooled reuse (Reset) plus later register growth must leave both in
+// place, with the memoized exchange plans still replaying correctly.
+func TestRegisterBankContract(t *testing.T) {
+	const d = 4
+	fill := func(seed int64) []int64 {
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]int64, 1<<d)
+		for i := range keys {
+			keys[i] = int64(rng.Intn(1 << 12))
+		}
+		return keys
+	}
+	sortOnce := func(m *Machine, keys []int64) []int64 {
+		m.EnsureReg("K")
+		k := m.Reg("K")
+		copy(k, keys)
+		m.BitonicSort("K")
+		out := make([]int64, len(k))
+		copy(out, k)
+		return out
+	}
+
+	m := New(d)
+	first := sortOnce(m, fill(7))
+	kPtr := &m.Reg("K")[0]
+
+	m.Reset()
+	if &m.Reg("K")[0] != kPtr {
+		t.Fatal("Reset moved the key register")
+	}
+	for i := 0; i < 20; i++ {
+		m.EnsureReg(fmt.Sprintf("scratch%d", i))
+	}
+	second := sortOnce(m, fill(7)) // same input: plans replay over grown bank
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("pooled re-sort diverged at PE %d: %d vs %d", i, first[i], second[i])
+		}
+		if i > 0 && second[i-1] > second[i] {
+			t.Fatalf("not sorted at %d: %v", i, second)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package meshsim
+
+import (
+	"fmt"
+	"testing"
+
+	"starmesh/internal/mesh"
+)
+
+// TestRegisterBankContract pins the simd bank guarantees this
+// package relies on — the sort scratch (ceTmp) is hoisted once at
+// construction and must survive Reset and later register growth.
+func TestRegisterBankContract(t *testing.T) {
+	m := New(mesh.D(4))
+	m.EnsureReg("A")
+	m.EnsureReg("B")
+	a := m.Reg("A")
+	m.Set("A", func(pe int) int64 { return int64(pe ^ 5) })
+	m.UnitRoute("A", "B", 1, +1)
+
+	m.Reset()
+	if &m.Reg("A")[0] != &a[0] {
+		t.Fatal("Reset moved a register slice")
+	}
+	for pe, x := range a {
+		if x != 0 {
+			t.Fatalf("Reset left A[%d] = %d via the hoisted slice", pe, x)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		m.EnsureReg(fmt.Sprintf("scratch%d", i))
+	}
+	if &m.Reg("A")[0] != &a[0] {
+		t.Fatal("EnsureReg growth moved a register slice")
+	}
+
+	m.Set("A", func(pe int) int64 { return int64(pe ^ 5) })
+	m.UnitRoute("A", "B", 1, +1)
+
+	fresh := New(mesh.D(4))
+	fresh.EnsureReg("A")
+	fresh.EnsureReg("B")
+	fresh.Set("A", func(pe int) int64 { return int64(pe ^ 5) })
+	fresh.UnitRoute("A", "B", 1, +1)
+	fb, mb := fresh.Reg("B"), m.Reg("B")
+	for pe := range fb {
+		if mb[pe] != fb[pe] {
+			t.Fatalf("post-growth route diverged at PE %d: got %d want %d", pe, mb[pe], fb[pe])
+		}
+	}
+}

@@ -35,6 +35,7 @@ package simd
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -134,19 +135,31 @@ func (seqExecutor) apply(m *Machine, fn func(pe int)) {
 }
 
 func (seqExecutor) replayStep(m *Machine, st *planStep, sr, dr []int64) {
+	tos, froms := st.tos, st.froms
 	if aliased(sr, dr) {
 		// Reads precede writes: stage through the inbox, indexed by
 		// pair position (pairs never outnumber PEs).
-		for i, pr := range st.pairs {
-			m.inbox[i] = sr[pr.from]
+		inbox := m.inbox
+		for i, f := range froms {
+			inbox[i] = sr[f]
 		}
-		for i, pr := range st.pairs {
-			dr[pr.to] = m.inbox[i]
+		for i, t := range tos {
+			dr[t] = inbox[i]
 		}
 		return
 	}
-	for _, pr := range st.pairs {
-		dr[pr.to] = sr[pr.from]
+	if st.segs != nil {
+		// Run-length copy path: each seg is one memmove, no
+		// per-element bounds checks.
+		for _, sg := range st.segs {
+			copy(dr[sg.to:sg.to+sg.n], sr[sg.from:sg.from+sg.n])
+		}
+		return
+	}
+	// Gather loop over the destination-sorted permutation table: the
+	// writes stream through dr in address order.
+	for i, f := range froms {
+		dr[tos[i]] = sr[f]
 	}
 }
 
@@ -217,20 +230,40 @@ type parScratch struct {
 	badPE   []int     // per-shard lowest PE with an unconnected port
 	badPort []int
 	panics  []any // per-shard recovered panic value
+	// Destination-bucketed dirty lists for phase 3: bucket b holds the
+	// winners whose destination falls in [b<<bucketShift,
+	// (b+1)<<bucketShift). Bucket width is a multiple of 64 entries, so
+	// it covers whole cache lines of both dr (8 int64/line) and the
+	// touched bool array (64 bools/line); a phase-3 shard delivering a
+	// contiguous bucket range therefore never shares a line with its
+	// neighbors. Bucket capacity is retained across routes (truncated
+	// to [:0] each route), so steady-state routes allocate nothing.
+	buckets     [][]int32
+	bucketShift uint
 }
 
 func (m *Machine) parScratchFor(w int) *parScratch {
 	n := m.topo.Size()
 	s := m.par
 	if s == nil || len(s.sent) < w {
+		// Bucket width: the smallest 64-entry multiple that keeps the
+		// bucket count within ~4 per worker (power of two, so phase 2
+		// locates a winner's bucket with a shift, not a division).
+		shift := uint(6)
+		for (n >> shift) > 4*w {
+			shift++
+		}
+		nb := (n + (1 << shift) - 1) >> shift
 		s = &parScratch{
-			ports:   make([]int32, n),
-			dests:   make([]int32, n),
-			sent:    make([]int64, w),
-			uses:    make([][]int64, w),
-			badPE:   make([]int, w),
-			badPort: make([]int, w),
-			panics:  make([]any, w),
+			ports:       make([]int32, n),
+			dests:       make([]int32, n),
+			sent:        make([]int64, w),
+			uses:        make([][]int64, w),
+			badPE:       make([]int, w),
+			badPort:     make([]int, w),
+			panics:      make([]any, w),
+			buckets:     make([][]int32, nb),
+			bucketShift: shift,
 		}
 		for i := range s.uses {
 			s.uses[i] = make([]int64, m.topo.Ports())
@@ -334,8 +367,15 @@ func (e parExecutor) route(m *Machine, sr, dr []int64, portOf PortFunc) int {
 	// Phase 2 (sequential): conflict scan over senders in ascending
 	// PE order — the same order the sequential executor uses, so the
 	// first-message-wins outcome and the conflict count are
-	// bit-identical.
-	conflicts := 0
+	// bit-identical. Winners land in destination-range buckets (the
+	// sharded dirty list) instead of one flat list, so phase 3 can hand
+	// each shard a contiguous, cache-line-aligned slice of the
+	// destination space.
+	for b := range s.buckets {
+		s.buckets[b] = s.buckets[b][:0]
+	}
+	conflicts, nd := 0, 0
+	shift := s.bucketShift
 	for pe := 0; pe < n; pe++ {
 		if s.ports[pe] < 0 {
 			continue
@@ -346,34 +386,36 @@ func (e parExecutor) route(m *Machine, sr, dr []int64, portOf PortFunc) int {
 			continue
 		}
 		m.touched[to] = true
-		m.touchedDirty = append(m.touchedDirty, int32(to))
+		b := to >> shift
+		s.buckets[b] = append(s.buckets[b], int32(to))
 		m.inbox[to] = sr[pe]
+		nd++
 	}
 
 	// Phase 3 (parallel): deliver to the dirtied destinations only,
-	// sharded over the dirty list (each destination appears once, so
-	// shards never collide), clearing the touched marks in the same
-	// pass.
-	dirty := m.touchedDirty
-	nd := len(dirty)
+	// each shard draining a contiguous bucket range (disjoint aligned
+	// destination ranges — no false sharing on dr or touched), clearing
+	// the touched marks in the same pass.
+	nb := len(s.buckets)
 	if nd < parDeliverMin {
-		for _, to := range dirty {
-			dr[to] = m.inbox[to]
-			m.touched[to] = false
+		for _, bucket := range s.buckets {
+			for _, to := range bucket {
+				dr[to] = m.inbox[to]
+				m.touched[to] = false
+			}
 		}
 	} else {
 		e.dispatch(m, w, func(sh int) {
 			defer func() { s.panics[sh] = recover() }()
-			lo, hi := shardRange(nd, w, sh)
-			for i := lo; i < hi; i++ {
-				to := dirty[i]
-				dr[to] = m.inbox[to]
-				m.touched[to] = false
+			for b := sh * nb / w; b < (sh+1)*nb/w; b++ {
+				for _, to := range s.buckets[b] {
+					dr[to] = m.inbox[to]
+					m.touched[to] = false
+				}
 			}
 		})
 		s.rethrow(w)
 	}
-	m.touchedDirty = m.touchedDirty[:0]
 	m.touchedClean = true
 	return conflicts
 }
@@ -403,33 +445,113 @@ const (
 	parReplayMin  = 2048
 )
 
+// alignPairBound advances a pair-index bound until its destination no
+// longer shares a cache line with its predecessor's. tos is sorted
+// ascending with distinct entries, so the loop advances at most
+// cacheLineWords-1 positions; the result is monotone in i, keeping
+// shard ranges well-ordered (possibly empty).
+func alignPairBound(tos []int32, i int) int {
+	for i > 0 && i < len(tos) && tos[i]/cacheLineWords == tos[i-1]/cacheLineWords {
+		i++
+	}
+	return i
+}
+
+// replayShardBounds returns shard sh's pair range with both ends
+// aligned on destination cache-line boundaries: no two shards ever
+// write the same line of dr.
+func replayShardBounds(tos []int32, w, sh int) (lo, hi int) {
+	lo, hi = shardRange(len(tos), w, sh)
+	return alignPairBound(tos, lo), alignPairBound(tos, hi)
+}
+
 func (e parExecutor) replayStep(m *Machine, st *planStep, sr, dr []int64) {
-	np := len(st.pairs)
+	np := st.pairCount()
 	w := e.workerCount(np)
 	if w == 1 || np < parReplayMin {
 		seqExecutor{}.replayStep(m, st, sr, dr)
 		return
 	}
-	pairs := st.pairs
+	tos, froms := st.tos, st.froms
 	if aliased(sr, dr) {
+		// Stage all reads before any write, both phases over the same
+		// aligned pair ranges.
 		e.dispatch(m, w, func(sh int) {
-			lo, hi := shardRange(np, w, sh)
+			lo, hi := replayShardBounds(tos, w, sh)
+			inbox := m.inbox
 			for i := lo; i < hi; i++ {
-				m.inbox[i] = sr[pairs[i].from]
+				inbox[i] = sr[froms[i]]
 			}
 		})
 		e.dispatch(m, w, func(sh int) {
-			lo, hi := shardRange(np, w, sh)
+			lo, hi := replayShardBounds(tos, w, sh)
+			inbox := m.inbox
 			for i := lo; i < hi; i++ {
-				dr[pairs[i].to] = m.inbox[i]
+				dr[tos[i]] = inbox[i]
 			}
 		})
 		return
 	}
+	if st.segs != nil {
+		e.dispatch(m, w, func(sh int) { st.replaySegShard(sr, dr, w, sh) })
+		return
+	}
 	e.dispatch(m, w, func(sh int) {
-		lo, hi := shardRange(np, w, sh)
+		lo, hi := replayShardBounds(tos, w, sh)
 		for i := lo; i < hi; i++ {
-			dr[pairs[i].to] = sr[pairs[i].from]
+			dr[tos[i]] = sr[froms[i]]
 		}
 	})
+}
+
+// alignSegBound rounds a pair-index bound up until the destination it
+// lands on is cache-line aligned, or the bound reaches the end of its
+// seg. Monotone in i, so shard ranges stay well-ordered. (When a seg
+// boundary itself splits a cache line — contiguous tos whose run broke
+// on the from side — adjacent shards may touch that one line; that is
+// harmless for correctness, destinations are still distinct.)
+func (st *planStep) alignSegBound(i int) int {
+	np := st.pairCount()
+	if i <= 0 {
+		return 0
+	}
+	if i >= np {
+		return np
+	}
+	j := sort.Search(len(st.segs), func(k int) bool { return st.segStarts[k+1] > int32(i) })
+	sg := st.segs[j]
+	off := int32(i) - st.segStarts[j]
+	to := sg.to + off
+	aligned := (to + cacheLineWords - 1) / cacheLineWords * cacheLineWords
+	off += aligned - to
+	if off > sg.n {
+		off = sg.n
+	}
+	return int(st.segStarts[j] + off)
+}
+
+// replaySegShard executes shard sh of a run-length step: the shard's
+// pair range with destination-aligned bounds, realized as copy()
+// calls over the seg pieces the range intersects.
+func (st *planStep) replaySegShard(sr, dr []int64, w, sh int) {
+	np := st.pairCount()
+	lo := st.alignSegBound(sh * np / w)
+	hi := st.alignSegBound((sh + 1) * np / w)
+	if lo >= hi {
+		return
+	}
+	j := sort.Search(len(st.segs), func(k int) bool { return st.segStarts[k+1] > int32(lo) })
+	for ; j < len(st.segs) && int(st.segStarts[j]) < hi; j++ {
+		sg := st.segs[j]
+		s0, s1 := int(st.segStarts[j]), int(st.segStarts[j]+sg.n)
+		if s0 < lo {
+			s0 = lo
+		}
+		if s1 > hi {
+			s1 = hi
+		}
+		off := int32(s0) - st.segStarts[j]
+		cnt := int32(s1 - s0)
+		copy(dr[sg.to+off:sg.to+off+cnt], sr[sg.from+off:sg.from+off+cnt])
+	}
 }

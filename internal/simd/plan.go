@@ -39,6 +39,7 @@ package simd
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -50,24 +51,91 @@ import (
 // key for them and simply runs the schedule through the closures.
 type PlanKeyer interface{ PlanKey() string }
 
-// planPair is one winning delivery of a compiled unit route:
-// dst[to] := src[from], transmitted through the sender's port.
-type planPair struct {
-	to, from int32
-	port     int16
-}
-
-// planStep is one compiled unit route. pairs holds only the winning
-// deliveries (first message wins, in ascending sender order, exactly
-// like the sequential executor); conflicting and silent senders are
-// folded into the precomputed counters.
+// planStep is one compiled unit route, stored as a permutation-apply
+// table: dst[tos[i]] := src[froms[i]] for every i. Only the winning
+// deliveries are kept (first message wins, resolved in ascending
+// sender order exactly like the sequential executor); conflicting and
+// silent senders are folded into the precomputed counters. After
+// recording, the table is sorted by ascending destination — legal
+// because destinations are distinct within a step — so replay writes
+// stream through the destination register in address order, and
+// parallel shards split on cache-line-aligned destination boundaries
+// that can never false-share. ports is carried per delivery only for
+// Validate and diagnostics; the hot loop never reads it.
 type planStep struct {
 	src, dst  int // indices into Plan.regs
 	modelA    bool
 	conflicts int
 	sent      int64
-	pairs     []planPair
+	tos       []int32
+	froms     []int32
+	ports     []int16
+	// segs is the run-length decomposition of the permutation: maximal
+	// runs where both to and from advance by +1 compile to copy()
+	// calls (near-memcpy, no per-element bounds checks). It is non-nil
+	// only when the step is "blocky" enough for the copy path to win.
+	// segStarts[j] is the pair index where segs[j] begins, with a final
+	// entry equal to pairCount(), so shards can split a step at pair
+	// granularity and binary-search their way back to segs.
+	segs      []planSeg
+	segStarts []int32
 	uses      []int64 // per-port transmission counts
+}
+
+// planSeg is one contiguous run of a compiled step:
+// copy(dst[to:to+n], src[from:from+n]).
+type planSeg struct{ to, from, n int32 }
+
+// pairCount returns the number of winning deliveries of the step.
+func (st *planStep) pairCount() int { return len(st.tos) }
+
+// segMinAvgRun is the minimum average run length at which the
+// run-length copy path replaces the gather loop: below it, per-seg
+// call overhead beats the bounds-check savings.
+const segMinAvgRun = 8
+
+// finalize sorts the delivery table by ascending destination and
+// attaches the run-length decomposition when profitable. Reordering
+// is semantics-preserving: destinations are distinct (first message
+// wins already resolved), and replay reads all sources before any
+// write lands (aliased steps stage through the inbox).
+func (st *planStep) finalize() {
+	n := len(st.tos)
+	if n == 0 {
+		return
+	}
+	sort.Sort((*byDestination)(st))
+	segs := []planSeg{{to: st.tos[0], from: st.froms[0], n: 1}}
+	for i := 1; i < n; i++ {
+		last := &segs[len(segs)-1]
+		if st.tos[i] == last.to+last.n && st.froms[i] == last.from+last.n {
+			last.n++
+			continue
+		}
+		segs = append(segs, planSeg{to: st.tos[i], from: st.froms[i], n: 1})
+	}
+	if n/len(segs) >= segMinAvgRun {
+		st.segs = segs
+		st.segStarts = make([]int32, len(segs)+1)
+		at := int32(0)
+		for j, sg := range segs {
+			st.segStarts[j] = at
+			at += sg.n
+		}
+		st.segStarts[len(segs)] = at
+	}
+}
+
+// byDestination sorts a step's delivery table by ascending to,
+// co-moving froms and ports.
+type byDestination planStep
+
+func (s *byDestination) Len() int           { return len(s.tos) }
+func (s *byDestination) Less(i, j int) bool { return s.tos[i] < s.tos[j] }
+func (s *byDestination) Swap(i, j int) {
+	s.tos[i], s.tos[j] = s.tos[j], s.tos[i]
+	s.froms[i], s.froms[j] = s.froms[j], s.froms[i]
+	s.ports[i], s.ports[j] = s.ports[j], s.ports[i]
 }
 
 // Plan is a compiled sequence of unit routes: dense delivery tables
@@ -113,13 +181,15 @@ func (p *Plan) Validate(topo Topology) error {
 			p.size, p.ports, topo.Size(), topo.Ports())
 	}
 	for si := range p.steps {
-		for _, pr := range p.steps[si].pairs {
-			if pr.port < 0 || int(pr.port) >= p.ports {
-				return fmt.Errorf("simd: plan step %d uses port %d of %d", si, pr.port, p.ports)
+		st := &p.steps[si]
+		for i := range st.tos {
+			to, from, port := st.tos[i], st.froms[i], st.ports[i]
+			if port < 0 || int(port) >= p.ports {
+				return fmt.Errorf("simd: plan step %d uses port %d of %d", si, port, p.ports)
 			}
-			if got := topo.Neighbor(int(pr.from), int(pr.port)); got != int(pr.to) {
+			if got := topo.Neighbor(int(from), int(port)); got != int(to) {
 				return fmt.Errorf("simd: plan step %d delivers PE %d → %d through port %d, but the topology routes it to %d",
-					si, pr.from, pr.to, pr.port, got)
+					si, from, to, port, got)
 			}
 		}
 	}
@@ -228,9 +298,12 @@ func (m *Machine) recordRoute(src, dst string, portOf PortFunc, modelA bool) int
 		}
 		m.touched[to] = true
 		m.touchedDirty = append(m.touchedDirty, int32(to))
-		st.pairs = append(st.pairs, planPair{to: int32(to), from: int32(pe), port: int16(p)})
+		st.tos = append(st.tos, int32(to))
+		st.froms = append(st.froms, int32(pe))
+		st.ports = append(st.ports, int16(p))
 	}
 	m.resetTouched()
+	st.finalize()
 	m.execStep(&st, m.Reg(src), m.Reg(dst))
 	m.rec.plan.steps = append(m.rec.plan.steps, st)
 	return st.conflicts
@@ -257,9 +330,12 @@ func (m *Machine) execStep(st *planStep, sr, dr []int64) {
 }
 
 // boundPlan holds a plan's register names resolved to this machine's
-// backing slices — the map lookups paid once at bind time.
+// bank handles — the map lookups paid once at bind time. Handles stay
+// valid across EnsureReg growth and Reset (the bank never moves a
+// register), so a bound plan survives the machine's whole pooled
+// lifetime.
 type boundPlan struct {
-	regs [][]int64
+	handles []int
 }
 
 // bindPlan resolves and validates a plan against this machine, once
@@ -276,10 +352,10 @@ func (m *Machine) bindPlan(p *Plan) *boundPlan {
 	if err := p.Validate(m.topo); err != nil {
 		panic(err.Error())
 	}
-	bp := &boundPlan{regs: make([][]int64, len(p.regs))}
+	bp := &boundPlan{handles: make([]int, len(p.regs))}
 	for i, name := range p.regs {
 		m.EnsureReg(name)
-		bp.regs[i] = m.Reg(name)
+		bp.handles[i] = m.Handle(name)
 	}
 	if m.bound == nil {
 		m.bound = make(map[*Plan]*boundPlan)
@@ -297,12 +373,13 @@ func (m *Machine) bindPlan(p *Plan) *boundPlan {
 // construction.
 func (m *Machine) Replay(p *Plan) (routes, conflicts int) {
 	bp := m.bindPlan(p)
+	slices := m.bank.slices
 	if m.rec != nil {
 		for i := range p.steps {
-			st := p.steps[i] // copy; pairs/uses stay shared (read-only)
+			st := p.steps[i] // copy; delivery tables stay shared (read-only)
 			st.src = m.rec.reg(p.regs[p.steps[i].src])
 			st.dst = m.rec.reg(p.regs[p.steps[i].dst])
-			m.execStep(&st, bp.regs[p.steps[i].src], bp.regs[p.steps[i].dst])
+			m.execStep(&st, slices[bp.handles[p.steps[i].src]], slices[bp.handles[p.steps[i].dst]])
 			m.rec.plan.steps = append(m.rec.plan.steps, st)
 			conflicts += st.conflicts
 		}
@@ -310,7 +387,7 @@ func (m *Machine) Replay(p *Plan) (routes, conflicts int) {
 	}
 	for i := range p.steps {
 		st := &p.steps[i]
-		m.execStep(st, bp.regs[st.src], bp.regs[st.dst])
+		m.execStep(st, slices[bp.handles[st.src]], slices[bp.handles[st.dst]])
 		conflicts += st.conflicts
 	}
 	return len(p.steps), conflicts

@@ -340,9 +340,9 @@ func TestShardedReplayMatchesSequential(t *testing.T) {
 	rec := newPlanMachine(topo)
 	plan := rec.Record(func() { program(rec) })
 	for si := range plan.steps[:2] {
-		if len(plan.steps[si].pairs) < parReplayMin {
+		if plan.steps[si].pairCount() < parReplayMin {
 			t.Fatalf("step %d has %d pairs, below parReplayMin=%d — sharded branch not exercised",
-				si, len(plan.steps[si].pairs), parReplayMin)
+				si, plan.steps[si].pairCount(), parReplayMin)
 		}
 	}
 	want := takeSnapshot(rec, []string{"A", "B"}, nil)

@@ -1,21 +1,6 @@
-// Package simd simulates the paper's SIMD multicomputer (Figure 1):
-// N processing elements connected by an interconnection network,
-// driven by a control unit that broadcasts instructions and masks.
-// Each PE has named registers of word values; data moves only through
-// unit routes, and the machine counts them — the paper's complexity
-// measure (§2 item 6).
-//
-// Two models are supported (§2 item 5):
-//
-//   - SIMD-A: in one unit route every (selected) PE transmits along
-//     the same port (the same dimension/generator).
-//   - SIMD-B: in one unit route every (selected) PE may transmit to
-//     any one of its neighbors.
-//
-// The simulator enforces the single-transmit rule by construction
-// and detects receive conflicts (two messages arriving at one PE in
-// the same unit route), which Lemma 5 proves never happen for the
-// embedding's unit-route schedule.
+// Machine state and instructions: registers, masks, unit routes and
+// the Stats counters. The package overview lives in doc.go.
+
 package simd
 
 import "fmt"
@@ -44,7 +29,7 @@ type Stats struct {
 // Machine is an N-PE SIMD computer over a Topology.
 type Machine struct {
 	topo     Topology
-	regs     map[string][]int64
+	bank     *regBank
 	stats    Stats
 	portUses []int64
 	exec     Executor
@@ -74,7 +59,7 @@ func New(topo Topology, opts ...Option) *Machine {
 	n := topo.Size()
 	m := &Machine{
 		topo:         topo,
-		regs:         make(map[string][]int64),
+		bank:         newRegBank(n),
 		portUses:     make([]int64, topo.Ports()),
 		exec:         Sequential(),
 		inbox:        make([]int64, n),
@@ -114,9 +99,7 @@ func (m *Machine) Reset() {
 	if m.rec != nil {
 		panic("simd: Reset called while recording a plan")
 	}
-	for _, r := range m.regs {
-		clear(r)
-	}
+	m.bank.zero()
 	m.ResetStats()
 	clear(m.touched)
 	m.touchedDirty = m.touchedDirty[:0]
@@ -162,17 +145,21 @@ func (m *Machine) Size() int { return m.topo.Size() }
 // Topology returns the machine's network.
 func (m *Machine) Topology() Topology { return m.topo }
 
-// AddReg declares a register, zero-initialized.
+// AddReg declares a register, zero-initialized, carving a
+// cache-line-aligned slot from the machine's register bank. The
+// returned-by-Reg slice stays valid (and in place) for the machine's
+// lifetime: later declarations grow the bank by whole chunks and
+// never move existing registers.
 func (m *Machine) AddReg(name string) {
-	if _, ok := m.regs[name]; ok {
+	if _, ok := m.bank.index[name]; ok {
 		panic(fmt.Sprintf("simd: register %q already exists", name))
 	}
-	m.regs[name] = make([]int64, m.topo.Size())
+	m.bank.add(name)
 }
 
 // HasReg reports whether a register has been declared.
 func (m *Machine) HasReg(name string) bool {
-	_, ok := m.regs[name]
+	_, ok := m.bank.index[name]
 	return ok
 }
 
@@ -183,14 +170,34 @@ func (m *Machine) EnsureReg(name string) {
 	}
 }
 
-// Reg returns the backing slice of a register (index = PE id).
+// Reg returns the backing slice of a register (index = PE id). The
+// slice is a fixed window into the machine's register bank: len ==
+// cap == Size(), stable across EnsureReg growth and across Reset
+// (which zeroes contents in place), so hot loops may hoist it.
 func (m *Machine) Reg(name string) []int64 {
-	r, ok := m.regs[name]
+	h, ok := m.bank.index[name]
 	if !ok {
 		panic(fmt.Sprintf("simd: unknown register %q", name))
 	}
-	return r
+	return m.bank.slices[h]
 }
+
+// Handle resolves a register name to its dense bank handle — the
+// index plans bind once so replays never pay the name lookup. Panics
+// on unknown names (EnsureReg first).
+func (m *Machine) Handle(name string) int {
+	h, ok := m.bank.index[name]
+	if !ok {
+		panic(fmt.Sprintf("simd: unknown register %q", name))
+	}
+	return h
+}
+
+// RegByHandle returns the register slice for a handle from Handle.
+func (m *Machine) RegByHandle(h int) []int64 { return m.bank.slices[h] }
+
+// NumRegs returns the number of declared registers.
+func (m *Machine) NumRegs() int { return len(m.bank.slices) }
 
 // Set performs the intraprocessor assignment reg(i) := fn(i) on
 // every PE (fn may close over other registers via Reg). Under a

@@ -1,0 +1,52 @@
+package starsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRegisterBankContract pins the simd bank guarantees this
+// package's hot paths rely on: hoisted register slices stay valid
+// across Reset (zeroed in place) and across later EnsureReg growth,
+// and plans bound before the growth still replay bit-identically.
+func TestRegisterBankContract(t *testing.T) {
+	m := New(4)
+	m.EnsureReg("V")
+	m.EnsureReg("W")
+	v := m.Reg("V")
+	m.Set("V", func(pe int) int64 { return int64(3*pe + 1) })
+	m.MeshUnitRoute("V", "W", 1, +1) // records + binds the plan
+
+	m.Reset()
+	if &m.Reg("V")[0] != &v[0] {
+		t.Fatal("Reset moved a register slice")
+	}
+	for pe, x := range v {
+		if x != 0 {
+			t.Fatalf("Reset left V[%d] = %d via the hoisted slice", pe, x)
+		}
+	}
+
+	// Growth after the plan was bound: new chunks, old slots in place.
+	for i := 0; i < 20; i++ {
+		m.EnsureReg(fmt.Sprintf("scratch%d", i))
+	}
+	if &m.Reg("V")[0] != &v[0] {
+		t.Fatal("EnsureReg growth moved a register slice")
+	}
+
+	m.Set("V", func(pe int) int64 { return int64(3*pe + 1) })
+	m.MeshUnitRoute("V", "W", 1, +1) // replays through pre-growth handles
+
+	fresh := New(4)
+	fresh.EnsureReg("V")
+	fresh.EnsureReg("W")
+	fresh.Set("V", func(pe int) int64 { return int64(3*pe + 1) })
+	fresh.MeshUnitRoute("V", "W", 1, +1)
+	fw, mw := fresh.Reg("W"), m.Reg("W")
+	for pe := range fw {
+		if mw[pe] != fw[pe] {
+			t.Fatalf("post-growth replay diverged at PE %d: got %d want %d", pe, mw[pe], fw[pe])
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package virtual
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRegisterBankContract pins the simd bank guarantees the
+// virtualized machine relies on: its slot registers (n+1 physical
+// registers per virtual name) survive Reset in place, later growth
+// never moves them, and the slot-shuffle/route schedules still match
+// a fresh machine afterwards.
+func TestRegisterBankContract(t *testing.T) {
+	const n = 3
+	run := func(m *Machine) []int64 {
+		m.EnsureReg("K")
+		m.EnsureReg("L")
+		m.Set("K", func(bigID int) int64 { return int64(bigID * 2) })
+		m.UnitRoute("K", "L", 1, +1)
+		out := make([]int64, m.Big.Order())
+		for bigID := range out {
+			out[bigID] = m.Get("L", bigID)
+		}
+		return out
+	}
+
+	m := New(n)
+	first := run(m)
+	slot0 := m.SM.Reg("K#0")
+
+	m.Reset()
+	if &m.SM.Reg("K#0")[0] != &slot0[0] {
+		t.Fatal("Reset moved a slot register")
+	}
+	for i := 0; i < 20; i++ {
+		m.SM.EnsureReg(fmt.Sprintf("scratch%d", i))
+	}
+	second := run(m) // same schedule on the pooled, grown machine
+
+	fresh := New(n)
+	want := run(fresh)
+	for bigID := range want {
+		if second[bigID] != want[bigID] || first[bigID] != want[bigID] {
+			t.Fatalf("virtual route diverged at node %d: first %d, pooled %d, fresh %d",
+				bigID, first[bigID], second[bigID], want[bigID])
+		}
+	}
+}

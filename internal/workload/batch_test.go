@@ -6,6 +6,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"starmesh/internal/mesh"
@@ -89,17 +90,23 @@ func TestRunBatchCollectsErrors(t *testing.T) {
 
 func TestBenchRecordWriteJSON(t *testing.T) {
 	rec := BenchRecord{
-		Benchmark:       "engine-test",
-		Timestamp:       "2026-01-01T00:00:00Z",
-		GoMaxProcs:      1,
-		N:               8,
-		PEs:             40320,
-		Reps:            3,
-		BaselineNs:      300,
-		SequentialNs:    100,
-		ParallelNs:      100,
-		SpeedupEngine:   3.0,
-		SpeedupParallel: 1.0,
+		Benchmark:          "engine-test",
+		Timestamp:          "2026-01-01T00:00:00Z",
+		GoMaxProcs:         1,
+		N:                  8,
+		PEs:                40320,
+		Reps:               3,
+		BaselineNs:         300,
+		SequentialNs:       100,
+		ParallelNs:         100,
+		SpeedupEngine:      3.0,
+		SpeedupParallel:    1.0,
+		HostCPUs:           1,
+		ReplaySequentialNs: 90,
+		ReplayScaling: []ScalingPoint{
+			{Procs: 1, ReplayNs: 90, Speedup: 1.0},
+			{Procs: 2, ReplayNs: 50, Speedup: 1.8},
+		},
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
 	if err := rec.WriteJSON(path); err != nil {
@@ -113,7 +120,7 @@ func TestBenchRecordWriteJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != rec {
+	if !reflect.DeepEqual(back, rec) {
 		t.Errorf("round trip: %+v != %+v", back, rec)
 	}
 }
