@@ -7,7 +7,7 @@ GO ?= go
 # no global tool install, the version is part of the repo contract.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench bench-plans bench-serve bench-compare lint fmt vet staticcheck cover
+.PHONY: all build test race race-recovery bench bench-plans bench-serve bench-compare lint fmt vet staticcheck cover
 
 all: build test
 
@@ -20,6 +20,21 @@ test:
 ## race: full test suite under the race detector (what CI gates on).
 race:
 	$(GO) test -race ./...
+
+## race-recovery: the crash-recovery suite under the race detector,
+## verbose output captured to recovery.log (CI uploads it). Covers
+## the WAL round-trip/torn-tail/corrupt-record store tests driven by
+## the faultfs injector, and the service-level kill-mid-load tests
+## that require re-admission in order plus bit-identical
+## re-execution.
+race-recovery:
+	$(GO) test -race -count=1 -v ./internal/faultfs/ > recovery.log 2>&1 \
+		|| { cat recovery.log; exit 1; }
+	$(GO) test -race -count=1 -v \
+		-run 'Recovery|Crash|Durab|WAL|Torn|Corrupt|Snapshot|WatchDrops' \
+		./internal/serve/ >> recovery.log 2>&1 \
+		|| { cat recovery.log; exit 1; }
+	@grep -cE '^--- PASS' recovery.log | xargs -I{} echo "recovery suite: {} tests passed (recovery.log)"
 
 ## bench: one pass over every benchmark plus the S_8 engine perf
 ## record (written to BENCH_engine.json), including the replay-path
@@ -42,9 +57,11 @@ bench-plans:
 ## bench-serve: the job-service load smoke. Starts the service
 ## in-process and drives the closed-loop load generator — every byte
 ## through the typed v1 client (submit + watch streams) — with
-## per-shape machine pooling on and off (GOMAXPROCS=2), writes
-## BENCH_serve.json, and fails if pooled throughput falls below
-## build-per-job or any job result diverges from a standalone run.
+## per-shape machine pooling on and off plus a WAL-durable run
+## (GOMAXPROCS=2), writes BENCH_serve.json, and fails if pooled
+## throughput falls below build-per-job, the WAL costs more than 10%
+## of pooled throughput, or any job result diverges from a
+## standalone run.
 bench-serve:
 	GOMAXPROCS=2 BENCH_SERVE_GATE=1 $(GO) run ./cmd/experiments -run serve
 

@@ -10,7 +10,8 @@
 //	final, err := c.Await(ctx, job.ID)
 //
 // Submissions transparently retry on 429 backpressure, honoring the
-// server's Retry-After header (see WithMaxRetries / WithBackoff).
+// server's Retry-After header and jittering the exponential backoff
+// otherwise (see WithMaxRetries / WithBackoff / WithJitter).
 // Every non-2xx response becomes a *client.APIError carrying the
 // service's typed error code.
 package client
@@ -21,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -35,6 +37,7 @@ type Client struct {
 	hc         *http.Client
 	maxRetries int
 	backoff    time.Duration
+	jitter     func(d time.Duration) time.Duration
 	sleep      func(ctx context.Context, d time.Duration) error
 	onBackoff  func(d time.Duration)
 }
@@ -54,8 +57,21 @@ func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } 
 
 // WithBackoff sets the base retry delay used when the server sends
 // no Retry-After header (default 100ms, doubling per attempt, capped
-// at 2s).
+// at 2s; each sleep is jittered — see WithJitter).
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// WithJitter substitutes the backoff jitter applied to each
+// exponential retry sleep. The default is equal jitter — a delay d
+// sleeps uniformly in [d/2, d] — which decorrelates the retry storm
+// a fleet of clients raises after a service restart (everyone's
+// first retry would otherwise land exactly backoff later, exactly
+// when recovery is re-admitting a full queue). Identity (func(d)
+// time.Duration { return d }) restores the deterministic pre-jitter
+// schedule; server-sent Retry-After waits are honored verbatim and
+// never jittered.
+func WithJitter(fn func(d time.Duration) time.Duration) Option {
+	return func(c *Client) { c.jitter = fn }
+}
 
 // WithSleep substitutes the retry sleeper — tests inject a fake
 // clock, load harnesses a fast poll. The sleeper must honor ctx.
@@ -78,6 +94,13 @@ func New(baseURL string, opts ...Option) *Client {
 		hc:         &http.Client{},
 		maxRetries: 4,
 		backoff:    100 * time.Millisecond,
+	}
+	c.jitter = func(d time.Duration) time.Duration {
+		if d <= 1 {
+			return d
+		}
+		half := d / 2
+		return half + rand.N(half+1)
 	}
 	c.sleep = func(ctx context.Context, d time.Duration) error {
 		t := time.NewTimer(d)
@@ -286,8 +309,12 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body, out any
 		}
 		wait := delay
 		if api.RetryAfter > 0 {
+			// The server named a wait: honor it verbatim.
 			wait = api.RetryAfter
 		} else {
+			// Exponential backoff, jittered so simultaneous retriers
+			// spread out instead of re-colliding in lockstep.
+			wait = c.jitter(delay)
 			delay *= 2
 			if delay > 2*time.Second {
 				delay = 2 * time.Second

@@ -64,6 +64,7 @@ func TestBackoffDoublesWithoutRetryAfter(t *testing.T) {
 	c := New(ts.URL,
 		WithHTTPClient(&http.Client{}),
 		WithBackoff(10*time.Millisecond),
+		WithJitter(func(d time.Duration) time.Duration { return d }), // pin the envelope
 		client429Sleeper(&slept))
 	if _, err := c.Submit(context.Background(), quickSpec(1)); err != nil {
 		t.Fatal(err)
@@ -76,6 +77,32 @@ func TestBackoffDoublesWithoutRetryAfter(t *testing.T) {
 		if slept[i] != want[i] {
 			t.Fatalf("backoff %d = %v, want %v (doubling)", i, slept[i], want[i])
 		}
+	}
+}
+
+// TestBackoffJitterBounds pins the default jitter: every exponential
+// sleep lands in [d/2, d] of its envelope, and the draws are not all
+// identical — the property that breaks up a post-restart thundering
+// herd (many clients retrying in lockstep would otherwise all
+// re-knock exactly backoff later, right as crash recovery re-admits
+// a full queue).
+func TestBackoffJitterBounds(t *testing.T) {
+	c := New("http://unused")
+	const d = 100 * time.Millisecond
+	distinct := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		got := c.jitter(d)
+		if got < d/2 || got > d {
+			t.Fatalf("jitter(%v) = %v, want within [%v, %v]", d, got, d/2, d)
+		}
+		distinct[got] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("200 jitter draws were all identical — no jitter at all")
+	}
+	// Degenerate envelopes pass through unperturbed.
+	if got := c.jitter(1); got != 1 {
+		t.Fatalf("jitter(1ns) = %v, want 1ns", got)
 	}
 }
 

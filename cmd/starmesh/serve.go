@@ -28,6 +28,10 @@ func cmdServe(args []string) {
 	plan := fs.Bool("plan", true, "compiled route plans on the job machines")
 	drainGrace := fs.Duration("drain-grace", 5*time.Second,
 		"graceful-drain deadline: admitted jobs get this long after SIGINT/SIGTERM before running ones are canceled at their next checkpoint")
+	storeDir := fs.String("store-dir", "",
+		"durable WAL-backed job store directory (empty = in-memory; on restart, queued jobs are re-admitted in order and interrupted running jobs re-execute deterministically)")
+	snapshotEvery := fs.Int("snapshot-every", 0,
+		"WAL records between snapshot+compaction cycles of the durable store (0 = 256)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		fatalf("serve takes no positional arguments")
@@ -41,14 +45,21 @@ func cmdServe(args []string) {
 		EngineWorkers: *engineWorkers,
 		NoPlans:       !*plan,
 		DrainGrace:    *drainGrace,
+		StoreDir:      *storeDir,
+		SnapshotEvery: *snapshotEvery,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "starmesh: job service on %s (workers=%d queue=%d pool=%t engine=%s plan=%t)\n",
-		*addr, *workers, *queue, *pool, *engine, *plan)
+	fmt.Fprintf(os.Stderr, "starmesh: job service on %s (workers=%d queue=%d pool=%t engine=%s plan=%t store=%s)\n",
+		*addr, *workers, *queue, *pool, *engine, *plan, storeKind(*storeDir))
+	if dur := svc.Durability(); dur.Store == "wal" &&
+		(dur.RecoveredQueued > 0 || dur.ReexecutedRunning > 0 || dur.CanceledAtRecovery > 0) {
+		fmt.Fprintf(os.Stderr, "starmesh: crash recovery re-admitted %d queued, re-executing %d interrupted, canceled %d\n",
+			dur.RecoveredQueued, dur.ReexecutedRunning, dur.CanceledAtRecovery)
+	}
 	err = svc.ListenAndServe(ctx, *addr)
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -61,4 +72,11 @@ func cmdServe(args []string) {
 		fatalf("%v", err)
 	}
 	fmt.Fprintln(os.Stderr, "starmesh: drained cleanly")
+}
+
+func storeKind(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return "wal:" + dir
 }

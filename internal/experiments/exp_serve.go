@@ -45,18 +45,24 @@ func serveSpecs() []serve.JobSpec {
 // Parity is asserted before any timing is reported: every job
 // result, pooled and unpooled, must be bit-identical (unit routes,
 // conflicts, self-check) to a standalone workload run of the same
-// seed. The record lands in BENCH_serve.json (path overridable via
+// seed. A third measurement repeats the pooled run on the WAL-backed
+// durable store (a throwaway directory), isolating what durability
+// costs. The record lands in BENCH_serve.json (path overridable via
 // BENCH_SERVE_PATH); when BENCH_SERVE_GATE is set — CI's serve
 // load-smoke job sets it — the experiment fails if pooled throughput
-// falls below build-per-job. The service runs its own engine
-// configuration (sequential, plans on), so the -engine flag does not
-// apply here.
+// falls below build-per-job or the WAL costs more than 10% of pooled
+// throughput. The service runs its own engine configuration
+// (sequential, plans on), so the -engine flag does not apply here.
 func ServeLoad(w io.Writer) error {
 	svcCfg := serve.Config{Workers: 0, Queue: 32}
 	load := loadgen.LoadConfig{
 		Clients:       2 * runtime.GOMAXPROCS(0),
 		JobsPerClient: 10,
 		Specs:         serveSpecs(),
+		// Three interleaved reps per mode, best kept: single runs on a
+		// shared CI host swing ±20%, far more than the pooling or WAL
+		// deltas being gated.
+		Reps: 3,
 	}
 	cmp, err := loadgen.RunComparison(svcCfg, load)
 	if err != nil {
@@ -76,9 +82,15 @@ func ServeLoad(w io.Writer) error {
 		fmt.Sprintf("%.1f", cmp.Unpooled.ThroughputJobsPerSec),
 		cmp.Unpooled.LatencyP50Ns/1e6, cmp.Unpooled.LatencyP99Ns/1e6,
 		cmp.UnpooledBuilds, int64(0))
+	t.Add("wal-durable", cmp.Durable.Jobs, cmp.Durable.ElapsedNs/1e6,
+		fmt.Sprintf("%.1f", cmp.Durable.ThroughputJobsPerSec),
+		cmp.Durable.LatencyP50Ns/1e6, cmp.Durable.LatencyP99Ns/1e6,
+		"-", "-")
 	t.Fprint(w)
-	fmt.Fprintf(w, "\nparity vs standalone runs: %t   pooled speedup: %.2fx   backpressure rejections: %d+%d\n",
-		cmp.ParityOK, rec.SpeedupPooled, cmp.Pooled.Rejected, cmp.Unpooled.Rejected)
+	fmt.Fprintf(w, "\nparity vs standalone runs: %t   pooled speedup: %.2fx   backpressure rejections: %d+%d+%d\n",
+		cmp.ParityOK, rec.SpeedupPooled, cmp.Pooled.Rejected, cmp.Unpooled.Rejected, cmp.Durable.Rejected)
+	fmt.Fprintf(w, "wal durability overhead: %.1f%% of pooled throughput (%d records logged, %d snapshots)\n",
+		100*rec.WALOverheadFrac, rec.DurableWALRecords, rec.DurableSnapshots)
 
 	path := os.Getenv("BENCH_SERVE_PATH")
 	if path == "" {
@@ -97,5 +109,21 @@ func ServeLoad(w io.Writer) error {
 		}
 		fmt.Fprintf(w, "WARNING: %s on this host\n", msg)
 	}
+	// The durability budget: the WAL must not cost more than 10% of
+	// pooled throughput (every transition is one buffered append on
+	// the submit/claim/finish path — it should be nearly free next to
+	// job execution).
+	if rec.WALOverheadFrac > walOverheadBudget {
+		msg := fmt.Sprintf("wal overhead %.1f%% exceeds the %.0f%% budget (durable %.1f vs pooled %.1f jobs/s)",
+			100*rec.WALOverheadFrac, 100*walOverheadBudget, rec.DurableThroughput, rec.PooledThroughput)
+		if os.Getenv("BENCH_SERVE_GATE") != "" {
+			return fmt.Errorf("serve: %s", msg)
+		}
+		fmt.Fprintf(w, "WARNING: %s on this host\n", msg)
+	}
 	return nil
 }
+
+// walOverheadBudget is the gated ceiling on the durable store's
+// throughput cost relative to the in-memory pooled run.
+const walOverheadBudget = 0.10

@@ -1,0 +1,182 @@
+// Package faultfs is the fault-injection harness behind the durable
+// store's crash tests. The WAL writes every byte through the File
+// interface; in production Open hands back a real *os.File, and in
+// tests an Injector wraps the same file with a scripted fault — a
+// torn tail (bytes silently dropped from some offset on), a hard
+// write error, or a flipped byte — so recovery code can be exercised
+// against the exact byte streams a crash leaves behind, without
+// literal kill -9 in unit tests.
+//
+// Faults are expressed as offsets into the logical byte stream of
+// the matching files (what the writer *attempted* to write, in
+// order), which makes scripts deterministic: "cut after 100 bytes"
+// tears the same record no matter how the writer batches its calls.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File is the writable-file surface the WAL appends through.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// OpenFunc opens a path for appending (trunc discards existing
+// content first). The durable store takes one of these; Open is the
+// production implementation, (*Injector).Open the test one.
+type OpenFunc func(path string, trunc bool) (File, error)
+
+// Open opens a real file for appending, creating it if needed.
+func Open(path string, trunc bool) (File, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if trunc {
+		flags |= os.O_TRUNC
+	}
+	return os.OpenFile(path, flags, 0o644)
+}
+
+// ErrInjected is the error returned by writes the injector fails.
+var ErrInjected = errors.New("faultfs: injected write failure")
+
+const off = int64(-1) // sentinel: fault disarmed
+
+// Injector opens files whose writes follow a fault script. One
+// injector holds one script and one logical write offset shared by
+// every matching file it has opened — reopening a file (the WAL
+// reset after a snapshot) continues the same stream, so a script
+// targets "the n-th byte the WAL ever wrote", not "the n-th byte of
+// the current segment".
+type Injector struct {
+	mu      sync.Mutex
+	target  string // base-name filter; "" matches every opened file
+	written int64  // logical bytes attempted so far on matching files
+
+	cutAfter  int64 // bytes at/after this offset are silently dropped
+	failAfter int64 // writes reaching this offset return ErrInjected
+	corruptAt int64 // the byte at this offset is bit-flipped in flight
+}
+
+// NewInjector returns an injector with every fault disarmed: files
+// behave like Open's until a fault is scripted.
+func NewInjector() *Injector {
+	return &Injector{cutAfter: off, failAfter: off, corruptAt: off}
+}
+
+// Target restricts the script (and the offset accounting) to files
+// with the given base name, e.g. "wal.log". Other files opened
+// through the injector pass through untouched.
+func (in *Injector) Target(base string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.target = base
+}
+
+// CutAfterBytes arms the torn-tail fault: every byte at logical
+// offset n or beyond is silently dropped while the write still
+// reports success — exactly what a crash mid-write leaves on disk.
+func (in *Injector) CutAfterBytes(n int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.cutAfter = n
+}
+
+// FailAfterBytes arms the hard-failure fault: a write that reaches
+// logical offset n persists the prefix before n (a short write) and
+// returns ErrInjected.
+func (in *Injector) FailAfterBytes(n int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.failAfter = n
+}
+
+// FailNow makes the very next write fail — shorthand for
+// FailAfterBytes(current offset).
+func (in *Injector) FailNow() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.failAfter = in.written
+}
+
+// CorruptByteAt arms the corruption fault: the byte at logical
+// offset n is bit-flipped as it passes through (the write succeeds).
+func (in *Injector) CorruptByteAt(n int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.corruptAt = n
+}
+
+// Written reports the logical bytes attempted so far on matching
+// files — the offset currency of the fault script.
+func (in *Injector) Written() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.written
+}
+
+// Open opens path like Open does, wrapping matching files in the
+// injector's script.
+func (in *Injector) Open(path string, trunc bool) (File, error) {
+	f, err := Open(path, trunc)
+	if err != nil {
+		return nil, err
+	}
+	in.mu.Lock()
+	match := in.target == "" || filepath.Base(path) == in.target
+	in.mu.Unlock()
+	if !match {
+		return f, nil
+	}
+	return &faultFile{in: in, f: f}, nil
+}
+
+// faultFile applies the injector's script to one file's writes.
+type faultFile struct {
+	in *Injector
+	f  File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	in := ff.in
+	in.mu.Lock()
+	start := in.written
+	in.written += int64(len(p)) // logical stream advances even when bytes are dropped
+	cut, fail, corrupt := in.cutAfter, in.failAfter, in.corruptAt
+	in.mu.Unlock()
+
+	if corrupt != off && corrupt >= start && corrupt < start+int64(len(p)) {
+		p = append([]byte(nil), p...)
+		p[corrupt-start] ^= 0x80
+	}
+	if fail != off && start+int64(len(p)) > fail {
+		keep := fail - start
+		if keep < 0 {
+			keep = 0
+		}
+		n, err := ff.f.Write(p[:keep])
+		if err != nil {
+			return n, fmt.Errorf("faultfs: short-write prefix failed: %w", err)
+		}
+		return n, ErrInjected
+	}
+	if cut != off && start+int64(len(p)) > cut {
+		keep := cut - start
+		if keep < 0 {
+			keep = 0
+		}
+		if _, err := ff.f.Write(p[:keep]); err != nil {
+			return 0, err
+		}
+		return len(p), nil // the lie a torn write tells
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error  { return ff.f.Sync() }
+func (ff *faultFile) Close() error { return ff.f.Close() }

@@ -1,0 +1,198 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readBack(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestOpenPassesThrough(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plain.log")
+	f, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBack(t, path); string(got) != "hello world" {
+		t.Fatalf("read back %q", got)
+	}
+	// trunc reopens empty.
+	f, err = Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got := readBack(t, path); len(got) != 0 {
+		t.Fatalf("trunc left %q behind", got)
+	}
+}
+
+func TestCutAfterBytesTearsSilently(t *testing.T) {
+	in := NewInjector()
+	in.CutAfterBytes(7)
+	path := filepath.Join(t.TempDir(), "wal.log")
+	f, err := in.Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First write straddles the cut: prefix lands, rest vanishes, and
+	// the writer is told everything succeeded.
+	if n, err := f.Write([]byte("0123456789")); err != nil || n != 10 {
+		t.Fatalf("torn write reported (%d, %v), want silent success", n, err)
+	}
+	// Later writes are entirely beyond the cut.
+	if n, err := f.Write([]byte("abc")); err != nil || n != 3 {
+		t.Fatalf("post-cut write reported (%d, %v)", n, err)
+	}
+	f.Close()
+	if got := readBack(t, path); string(got) != "0123456" {
+		t.Fatalf("disk holds %q, want the 7-byte prefix", got)
+	}
+	if in.Written() != 13 {
+		t.Fatalf("logical stream advanced %d, want 13", in.Written())
+	}
+}
+
+func TestFailAfterBytesShortWrites(t *testing.T) {
+	in := NewInjector()
+	in.FailAfterBytes(4)
+	path := filepath.Join(t.TempDir(), "wal.log")
+	f, err := in.Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write error = %v, want ErrInjected", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write persisted %d bytes, want 4", n)
+	}
+	f.Close()
+	if got := readBack(t, path); string(got) != "0123" {
+		t.Fatalf("disk holds %q", got)
+	}
+}
+
+func TestFailNowFailsNextWrite(t *testing.T) {
+	in := NewInjector()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	f, err := in.Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	in.FailNow()
+	if _, err := f.Write([]byte("doomed")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-FailNow write error = %v, want ErrInjected", err)
+	}
+	f.Close()
+}
+
+func TestCorruptByteFlipsInFlight(t *testing.T) {
+	in := NewInjector()
+	in.CorruptByteAt(5)
+	path := filepath.Join(t.TempDir(), "wal.log")
+	f, err := in.Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	orig := append([]byte(nil), payload...)
+	if _, err := f.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if !bytes.Equal(payload, orig) {
+		t.Fatal("injector mutated the caller's buffer")
+	}
+	got := readBack(t, path)
+	if got[5] == orig[5] {
+		t.Fatal("byte 5 was not corrupted")
+	}
+	got[5] = orig[5]
+	if !bytes.Equal(got, orig) {
+		t.Fatalf("corruption bled beyond byte 5: %q", got)
+	}
+}
+
+func TestTargetFiltersByBaseName(t *testing.T) {
+	in := NewInjector()
+	in.Target("wal.log")
+	in.CutAfterBytes(0)
+	dir := t.TempDir()
+
+	snap, err := in.Open(filepath.Join(dir, "store.snap"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.Write([]byte("snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	snap.Close()
+	if got := readBack(t, filepath.Join(dir, "store.snap")); string(got) != "snapshot" {
+		t.Fatalf("non-target file was faulted: %q", got)
+	}
+
+	wal, err := in.Open(filepath.Join(dir, "wal.log"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.Write([]byte("records")); err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+	if got := readBack(t, filepath.Join(dir, "wal.log")); len(got) != 0 {
+		t.Fatalf("target file escaped the cut: %q", got)
+	}
+}
+
+// TestStreamOffsetsSpanReopens pins the property recovery tests rely
+// on: the logical offset continues across a close/reopen of the same
+// target, so "cut after N bytes" means N bytes of WAL history, not N
+// bytes of the current segment.
+func TestStreamOffsetsSpanReopens(t *testing.T) {
+	in := NewInjector()
+	in.Target("wal.log")
+	path := filepath.Join(t.TempDir(), "wal.log")
+	f, err := in.Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("12345"))
+	f.Close()
+	in.CutAfterBytes(8) // 3 bytes into the second segment's stream
+	f, err = in.Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("67890"))
+	f.Close()
+	if got := readBack(t, path); string(got) != "12345678" {
+		t.Fatalf("disk holds %q, want %q", got, "12345678")
+	}
+}

@@ -74,8 +74,14 @@ func TestRunComparisonParity(t *testing.T) {
 	if !cmp.ParityOK {
 		t.Fatalf("parity failed: %+v", cmp)
 	}
-	if cmp.Pooled.Jobs != 16 || cmp.Unpooled.Jobs != 16 {
+	if cmp.Pooled.Jobs != 16 || cmp.Unpooled.Jobs != 16 || cmp.Durable.Jobs != 16 {
 		t.Fatalf("job counts wrong: %+v", cmp)
+	}
+	// The durable run really ran on the WAL: transitions were logged
+	// (3 per job — submit, claim, finish — minus whatever the first
+	// compaction absorbed).
+	if cmp.DurableWALRecords == 0 {
+		t.Fatalf("durable run logged no WAL records: %+v", cmp)
 	}
 	if cmp.PoolReuses == 0 {
 		t.Fatalf("pooled run never reused a machine: builds %d, reuses %d", cmp.PoolBuilds, cmp.PoolReuses)
@@ -87,6 +93,12 @@ func TestRunComparisonParity(t *testing.T) {
 		LoadConfig{Clients: 2, JobsPerClient: 8, Specs: specs}, cmp, 2, "test")
 	if rec.PooledJobs != 16 || !rec.ParityOK || rec.Engine != "sequential" || !rec.Plans || rec.Queue != 64 {
 		t.Fatalf("bench record malformed: %+v", rec)
+	}
+	if rec.DurableJobs != 16 || rec.DurableWALRecords == 0 {
+		t.Fatalf("bench record missing the durable measurement: %+v", rec)
+	}
+	if rec.WALOverheadFrac != cmp.WALOverheadFrac() {
+		t.Fatalf("wal overhead mismatch: record %v, comparison %v", rec.WALOverheadFrac, cmp.WALOverheadFrac())
 	}
 	if rec.API == "" {
 		t.Fatalf("bench record missing the API marker: %+v", rec)

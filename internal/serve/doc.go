@@ -2,9 +2,11 @@
 // layer that turns the starmesh library into a system. It accepts
 // typed JobSpecs — workload scenarios as data — admits them through
 // a bounded scheduler with backpressure and cancellation, executes
-// them on per-shape machine pools, records every outcome in an
-// in-memory store with latency/cost aggregation (global and per
-// scenario kind), and exposes the whole thing over an HTTP JSON API.
+// them on per-shape machine pools, records every outcome in a job
+// store with latency/cost aggregation (global and per scenario
+// kind), and exposes the whole thing over an HTTP JSON API. The
+// store is in-memory by default; Config.StoreDir swaps in the
+// WAL-backed durable implementation with crash recovery.
 //
 // The service carries NO scenario knowledge of its own: validation,
 // pool shapes, machine construction and execution all dispatch
@@ -51,6 +53,25 @@
 // listener still answers), admitted jobs run to completion, and at
 // the deadline the stragglers are canceled at their checkpoints.
 // Drain is Shutdown without a deadline.
+//
+// # Durable store and crash recovery
+//
+// The Store interface has two implementations. The default is the
+// in-memory store; Config.StoreDir selects the WAL-backed durable
+// one (wal.go): every state transition appends one CRC32C-framed
+// record to an append-only log under the store mutex, a full-store
+// snapshot rotates in atomically every Config.SnapshotEvery records
+// (truncating the log), and opening the directory after a crash
+// replays snapshot + tail — torn or corrupt tails truncated, queued
+// jobs re-admitted in admission order, interrupted running jobs
+// re-executed bit-exactly from their seeded specs, and jobs with a
+// pending cancel request finalized as canceled. Runtime disk
+// failure degrades the store to memory-only rather than failing
+// submissions; the condition and the recovery counters are exposed
+// in the Durability block of /v1/healthz and /v1/stats. See
+// docs/durability.md for the record format and the crash matrix;
+// internal/faultfs is the deterministic fault-injection harness the
+// recovery tests are built on.
 //
 // # The v1 contract
 //

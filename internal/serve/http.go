@@ -35,6 +35,11 @@ import (
 type Health struct {
 	Status   string `json:"status"` // "ok" or "draining"
 	Draining bool   `json:"draining"`
+	// Durability reports the job-store backend: store kind, WAL path,
+	// last snapshot time and the jobs recovered / re-executed at boot
+	// — so a health probe can tell a fresh process from one that just
+	// replayed a crash, and spot a degraded WAL.
+	Durability Durability `json:"durability"`
 }
 
 // Handler returns the service's HTTP API: the v1 surface plus the
@@ -218,6 +223,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		h = Health{Status: "draining", Draining: true}
 	}
+	h.Durability = s.Durability()
 	status := http.StatusOK
 	if h.Draining {
 		status = http.StatusServiceUnavailable

@@ -43,6 +43,16 @@ type Config struct {
 	// their next checkpoint (0 = 5s). Callers driving Shutdown
 	// directly control the deadline through their context instead.
 	DrainGrace time.Duration `json:"drain_grace_ns"`
+	// StoreDir enables the durable WAL-backed job store rooted at
+	// that directory ("" = in-memory). On startup the service runs
+	// crash recovery there: queued jobs are re-admitted in original
+	// admission order and interrupted running jobs re-execute
+	// deterministically from their spec seeds.
+	StoreDir string `json:"store_dir,omitempty"`
+	// SnapshotEvery is the WAL record count between snapshot +
+	// compaction cycles of the durable store (0 = 256; ignored
+	// without StoreDir).
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
 }
 
 // withDefaults resolves the zero values to their effective settings
@@ -60,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 5 * time.Second
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 256
 	}
 	return c
 }
@@ -99,7 +112,7 @@ type Service struct {
 	queueCap   int
 	engineOpts []simd.Option
 
-	store *store
+	store Store
 	pools *poolSet
 	queue chan string
 	start time.Time
@@ -130,19 +143,37 @@ func newService(cfg Config, startWorkers bool) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	var st Store = newStore()
+	var recovered []string
+	if eff.StoreDir != "" {
+		ds, err := openDurableStore(eff.StoreDir, eff.SnapshotEvery, nil)
+		if err != nil {
+			return nil, err
+		}
+		st = ds
+		recovered = ds.recoveredQueued()
+	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:        eff,
 		workers:    eff.Workers,
 		queueCap:   eff.Queue,
 		engineOpts: opts,
-		store:      newStore(),
+		store:      st,
 		pools:      newPoolSet(!eff.NoPool),
-		queue:      make(chan string, eff.Queue),
+		// The channel holds the recovered backlog ahead of the
+		// configured depth, so re-admission never blocks and new
+		// submissions still see eff.Queue of fresh capacity.
+		queue:      make(chan string, eff.Queue+len(recovered)),
 		start:      time.Now(),
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 		drained:    make(chan struct{}),
+	}
+	// Re-admit recovered work in original admission order before any
+	// worker starts or any new submission lands.
+	for _, id := range recovered {
+		s.queue <- id
 	}
 	if startWorkers {
 		for i := 0; i < s.workers; i++ {
@@ -262,12 +293,18 @@ func (s *Service) Stats() Stats {
 	st.Workers = s.workers
 	st.QueueCap = s.queueCap
 	st.Pooling = !s.cfg.NoPool
+	st.Durability = s.store.durability()
 	s.mu.Lock()
 	st.Draining = s.draining
 	s.mu.Unlock()
 	st.Pools = s.pools.stats()
 	return st
 }
+
+// Durability describes the job-store backend: "memory", or the WAL
+// paths, snapshot age and boot-time recovery counts of a durable
+// store (also part of /v1/healthz and /v1/stats).
+func (s *Service) Durability() Durability { return s.store.durability() }
 
 // Draining reports whether the service has begun shutting down.
 func (s *Service) Draining() bool {
@@ -326,6 +363,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 	s.finishOf.Do(func() {
 		s.pools.closeAll()
+		s.store.close() // flush + close the WAL after the last transition
 		close(s.drained)
 	})
 	<-s.drained

@@ -1,8 +1,11 @@
-// In-memory job store: the record of every job the service has
-// admitted, plus the aggregation the /stats endpoint reports —
-// status counts, latency percentiles, unit-route and conflict
-// totals. The store holds the canonical *Job values; everything it
-// hands out is a snapshot copy, so readers never race the workers.
+// The job store: the record of every job the service has admitted,
+// plus the aggregation the /stats endpoint reports — status counts,
+// latency percentiles, unit-route and conflict totals. Store is the
+// interface the Service schedules against; the in-memory map here is
+// the default implementation, and wal.go wraps it with a durable
+// WAL-backed one. The store holds the canonical *Job values;
+// everything it hands out is a snapshot copy, so readers never race
+// the workers.
 package serve
 
 import (
@@ -16,6 +19,50 @@ import (
 
 	"starmesh/internal/workload"
 )
+
+// Store is the job-state backend of a Service: the full lifecycle
+// state machine (admit → claim → finish/cancel), the watch
+// subscription stream, listing/pagination and the stats aggregation.
+// Two implementations exist: the in-memory store below (state dies
+// with the process) and the WAL-backed durable store in wal.go
+// (every transition is logged, and recovery re-admits interrupted
+// work). The Service neither knows nor cares which it runs on.
+type Store interface {
+	// add admits a job in the queued state and returns its snapshot.
+	add(spec JobSpec, now time.Time) Job
+	// remove forgets a job that never made it into the queue
+	// (admission rollback after ErrQueueFull).
+	remove(id string)
+	// get returns a snapshot of a job.
+	get(id string) (Job, bool)
+	// list returns snapshots of the most recent retained jobs, newest
+	// first, up to limit (0 means all).
+	list(limit int) []Job
+	// page walks the retained jobs newest-first per the query.
+	page(q ListQuery) (JobPage, error)
+	// claim transitions a queued job to running; false means the job
+	// was canceled while waiting and the worker must skip it.
+	claim(id string, now time.Time, cancel context.CancelFunc) (JobSpec, bool)
+	// finish records a running job's outcome.
+	finish(id string, res workload.ScenarioResult, err error, now time.Time)
+	// cancel aborts a job (queued: immediately; running: at its next
+	// checkpoint; terminal: ErrTerminal).
+	cancel(id string, now time.Time) (Job, error)
+	// cancelAllRunning fires every running job's context cancel.
+	cancelAllRunning()
+	// watch subscribes to a job's status transitions.
+	watch(id string) (Job, <-chan Job, func(), error)
+	// aggregate computes the store's part of Stats.
+	aggregate(uptime time.Duration) Stats
+	// durability describes the backend (kind, WAL paths, recovery
+	// counts) for /v1/healthz and /v1/stats.
+	durability() Durability
+	// recoveredQueued returns the ids the Service must re-admit at
+	// startup, in original admission order (empty for memory stores).
+	recoveredQueued() []string
+	// close releases the backend (flushes and closes the WAL).
+	close() error
+}
 
 // Status is the lifecycle state of a job.
 type Status string
@@ -97,6 +144,21 @@ func (w *latWindow) add(d time.Duration) {
 	w.next = (w.next + 1) % len(w.samples)
 }
 
+// walOp names one job transition in the durable store's log; the
+// in-memory store emits them through its logf hook (a no-op when
+// nil), so the WAL observes every transition under the same lock
+// that orders them.
+type walOp string
+
+const (
+	opSubmit    walOp = "submit"    // admitted queued
+	opClaim     walOp = "claim"     // queued → running
+	opFinish    walOp = "finish"    // running → done/failed/canceled
+	opCancel    walOp = "cancel"    // queued → canceled
+	opCancelReq walOp = "cancelreq" // running, cancellation requested
+	opRemove    walOp = "remove"    // admission rollback
+)
+
 // store is the mutex-guarded job table.
 type store struct {
 	mu    sync.Mutex
@@ -104,6 +166,17 @@ type store struct {
 	order []string // admission order, for listing
 	front int      // index in order of the oldest retained job
 	next  int
+
+	// logf, when set, is called under mu with every transition — the
+	// durable store's append hook. Keeping it inside the lock makes
+	// the WAL's record order identical to the store's transition
+	// order.
+	logf func(op walOp, j *Job)
+
+	// watchDrops counts transition snapshots dropped because a
+	// subscriber's channel was full (surfaced in /v1/stats so lossy
+	// watch streams are observable).
+	watchDrops int64
 
 	// cancels holds the context cancel of every running job, so a
 	// DELETE can abort it at its next cooperative checkpoint.
@@ -137,8 +210,9 @@ func newStore() *store {
 // requested, terminal), so the buffer never fills in practice; a
 // full channel drops the intermediate snapshot rather than blocking
 // the store (the terminal snapshot still arrives via the close-time
-// drain in the handler's final read of the job).
-const watchBuffer = 8
+// drain in the handler's final read of the job). Every drop is
+// counted in Stats.WatchDrops. A variable so tests can shrink it.
+var watchBuffer = 8
 
 // publish pushes a snapshot of j to its watchers; terminal
 // transitions close and forget the subscription. Caller holds st.mu.
@@ -152,6 +226,7 @@ func (st *store) publish(j *Job) {
 		select {
 		case ch <- snap:
 		default:
+			st.watchDrops++
 		}
 	}
 	if j.Status.Terminal() {
@@ -245,6 +320,9 @@ func (st *store) add(spec JobSpec, now time.Time) Job {
 	st.jobs[j.ID] = j
 	st.order = append(st.order, j.ID)
 	st.counts[StatusQueued]++
+	if st.logf != nil {
+		st.logf(opSubmit, j)
+	}
 	return j.snapshot()
 }
 
@@ -258,6 +336,9 @@ func (st *store) remove(id string) {
 		delete(st.jobs, id)
 		if n := len(st.order); n > 0 && st.order[n-1] == id {
 			st.order = st.order[:n-1]
+		}
+		if st.logf != nil {
+			st.logf(opRemove, j)
 		}
 	}
 }
@@ -373,6 +454,9 @@ func (st *store) claim(id string, now time.Time, cancel context.CancelFunc) (Job
 	if cancel != nil {
 		st.cancels[id] = cancel
 	}
+	if st.logf != nil {
+		st.logf(opClaim, j)
+	}
 	st.publish(j)
 	return j.Spec, true
 }
@@ -390,11 +474,6 @@ func (st *store) finish(id string, res workload.ScenarioResult, err error, now t
 	j.Finished = now
 	j.WaitNs = j.Started.Sub(j.Created).Nanoseconds()
 	j.RunNs = j.Finished.Sub(j.Started).Nanoseconds()
-	kind, ok := st.byKind[j.Spec.Kind]
-	if !ok {
-		kind = &KindStats{Kind: j.Spec.Kind}
-		st.byKind[j.Spec.Kind] = kind
-	}
 	switch {
 	case jobCanceled(err):
 		// A cooperative abort: terminal canceled, with the partial
@@ -406,28 +485,51 @@ func (st *store) finish(id string, res workload.ScenarioResult, err error, now t
 		res.Name = j.Spec.Name()
 		res.ElapsedNs = j.RunNs
 		j.Result = &res
-		kind.Canceled++
 	case err != nil:
 		j.Status = StatusFailed
 		j.Error = err.Error()
-		kind.Failed++
 	default:
 		j.Status = StatusDone
 		res.Name = j.Spec.Name()
 		res.ElapsedNs = j.RunNs
 		j.Result = &res
-		st.unitRoutes += int64(res.UnitRoutes)
-		st.conflicts += int64(res.Conflicts)
+	}
+	st.foldFinished(j)
+	if st.logf != nil {
+		st.logf(opFinish, j)
+	}
+	st.publish(j)
+	st.evict()
+}
+
+// foldFinished folds a job that just reached a terminal status from
+// running into the aggregates: status counts, per-kind totals, the
+// cumulative unit-route/conflict counters and the latency windows.
+// Shared by the live finish path and WAL replay, so recovered
+// aggregates cannot drift from live ones. Caller holds st.mu; j's
+// terminal fields are already set.
+func (st *store) foldFinished(j *Job) {
+	kind, ok := st.byKind[j.Spec.Kind]
+	if !ok {
+		kind = &KindStats{Kind: j.Spec.Kind}
+		st.byKind[j.Spec.Kind] = kind
+	}
+	switch j.Status {
+	case StatusCanceled:
+		kind.Canceled++
+	case StatusFailed:
+		kind.Failed++
+	default: // done
+		st.unitRoutes += int64(j.Result.UnitRoutes)
+		st.conflicts += int64(j.Result.Conflicts)
 		kind.Done++
-		kind.UnitRoutes += int64(res.UnitRoutes)
-		kind.Conflicts += int64(res.Conflicts)
+		kind.UnitRoutes += int64(j.Result.UnitRoutes)
+		kind.Conflicts += int64(j.Result.Conflicts)
 	}
 	st.counts[j.Status]++
 	st.finished++
 	st.latTotal.add(j.Finished.Sub(j.Created))
 	st.latRun.add(j.Finished.Sub(j.Started))
-	st.publish(j)
-	st.evict()
 }
 
 // cancel aborts a job. Queued jobs transition to canceled
@@ -448,11 +550,9 @@ func (st *store) cancel(id string, now time.Time) (Job, error) {
 		st.counts[j.Status]--
 		j.Status = StatusCanceled
 		j.Finished = now
-		st.counts[StatusCanceled]++
-		if kind, ok := st.byKind[j.Spec.Kind]; ok {
-			kind.Canceled++
-		} else {
-			st.byKind[j.Spec.Kind] = &KindStats{Kind: j.Spec.Kind, Canceled: 1}
+		st.foldCanceledQueued(j)
+		if st.logf != nil {
+			st.logf(opCancel, j)
 		}
 		st.publish(j)
 		snap := j.snapshot()
@@ -463,10 +563,26 @@ func (st *store) cancel(id string, now time.Time) (Job, error) {
 		if cancel, ok := st.cancels[id]; ok {
 			cancel()
 		}
+		if st.logf != nil {
+			st.logf(opCancelReq, j)
+		}
 		st.publish(j)
 		return j.snapshot(), nil
 	default:
 		return j.snapshot(), fmt.Errorf("%w: job %s is %s", ErrTerminal, id, j.Status)
+	}
+}
+
+// foldCanceledQueued folds a job canceled straight out of the queue
+// into the aggregates (status count + per-kind canceled; no latency
+// samples — the job never ran). Shared with WAL replay. Caller holds
+// st.mu.
+func (st *store) foldCanceledQueued(j *Job) {
+	st.counts[StatusCanceled]++
+	if kind, ok := st.byKind[j.Spec.Kind]; ok {
+		kind.Canceled++
+	} else {
+		st.byKind[j.Spec.Kind] = &KindStats{Kind: j.Spec.Kind, Canceled: 1}
 	}
 }
 
@@ -478,6 +594,9 @@ func (st *store) cancelAllRunning() {
 	for id, cancel := range st.cancels {
 		if j, ok := st.jobs[id]; ok {
 			j.CancelRequested = true
+			if st.logf != nil {
+				st.logf(opCancelReq, j)
+			}
 			st.publish(j)
 		}
 		cancel()
@@ -494,6 +613,15 @@ type Stats struct {
 
 	UnitRoutes int64 `json:"unit_routes"`
 	Conflicts  int64 `json:"conflicts"`
+
+	// WatchDrops counts transition snapshots dropped from full watch
+	// subscriber channels — nonzero means at least one watch stream
+	// missed an intermediate (never the terminal) transition.
+	WatchDrops int64 `json:"watch_drops"`
+
+	// Durability describes the job-store backend: memory, or the WAL
+	// paths, snapshot age and boot-time recovery counts.
+	Durability Durability `json:"durability"`
 
 	// Kinds aggregates finished jobs per scenario kind (sorted by
 	// kind for stable output) — every registry family the service has
@@ -532,6 +660,7 @@ func (st *store) aggregate(uptime time.Duration) Stats {
 		Canceled:          st.counts[StatusCanceled],
 		UnitRoutes:        st.unitRoutes,
 		Conflicts:         st.conflicts,
+		WatchDrops:        st.watchDrops,
 		LatencyTotalP50Ns: percentile(st.latTotal.samples, 50).Nanoseconds(),
 		LatencyTotalP99Ns: percentile(st.latTotal.samples, 99).Nanoseconds(),
 		LatencyRunP50Ns:   percentile(st.latRun.samples, 50).Nanoseconds(),
@@ -556,6 +685,16 @@ type KindStats struct {
 	UnitRoutes int64  `json:"unit_routes"`
 	Conflicts  int64  `json:"conflicts"`
 }
+
+// durability of the in-memory store: there is none — state dies
+// with the process.
+func (st *store) durability() Durability { return Durability{Store: "memory"} }
+
+// recoveredQueued: a memory store never recovers anything.
+func (st *store) recoveredQueued() []string { return nil }
+
+// close: nothing to flush.
+func (st *store) close() error { return nil }
 
 // percentile returns the nearest-rank p-th percentile of the
 // samples (0 for an empty set).
