@@ -57,10 +57,12 @@ bench-plans:
 ## bench-serve: the job-service load smoke. Starts the service
 ## in-process and drives the closed-loop load generator — every byte
 ## through the typed v1 client (submit + watch streams) — with
-## per-shape machine pooling on and off plus a WAL-durable run
-## (GOMAXPROCS=2), writes BENCH_serve.json, and fails if pooled
-## throughput falls below build-per-job, the WAL costs more than 10%
-## of pooled throughput, or any job result diverges from a
+## per-shape machine pooling on and off, a WAL-durable run and a
+## bare (metrics-off) run (GOMAXPROCS=2), writes BENCH_serve.json,
+## and fails if pooled throughput falls below build-per-job, the WAL
+## costs more than 10% of pooled throughput, the observability layer
+## costs more than 5% of bare throughput, the /v1/metrics exposition
+## fails format validation, or any job result diverges from a
 ## standalone run.
 bench-serve:
 	GOMAXPROCS=2 BENCH_SERVE_GATE=1 $(GO) run ./cmd/experiments -run serve
@@ -89,15 +91,17 @@ staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 ## cover: whole-module coverage profile + per-package floors for the
-## scenario registry, the job service and the typed v1 client. CI
-## uploads coverage.out.
+## scenario registry, the job service, the typed v1 client and the
+## metrics core (whose exposition format other tools parse — it gets
+## the highest floor). CI uploads coverage.out.
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 	$(GO) run ./cmd/covercheck -profile coverage.out \
 		-floor starmesh/internal/workload=70 \
 		-floor starmesh/internal/serve=80 \
-		-floor starmesh/client=80
+		-floor starmesh/client=80 \
+		-floor starmesh/internal/obs=90
 
 fmt:
 	gofmt -w .

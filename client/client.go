@@ -204,6 +204,41 @@ func (c *Client) Cancel(ctx context.Context, id string) (Job, error) {
 	return job, err
 }
 
+// Trace returns a job's trace timeline — the ordered lifecycle
+// events (submitted, claimed, machine_ready, … terminal status) with
+// per-step durations. A convenience over Get for callers that only
+// want the timeline.
+func (c *Client) Trace(ctx context.Context, id string) ([]TraceEvent, error) {
+	job, err := c.Get(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return job.Trace, nil
+}
+
+// Metrics returns the service's Prometheus text exposition
+// (GET /v1/metrics) verbatim. A service running with metrics
+// disabled answers 404 (IsNotFound).
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", apiErrorFrom(resp, data)
+	}
+	return string(data), nil
+}
+
 // Stats returns the aggregated service view.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var st Stats

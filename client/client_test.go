@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -389,5 +390,47 @@ func TestHealthzReportsDraining(t *testing.T) {
 	}
 	if !IsDraining(err) && AsAPIError(err) == nil {
 		t.Fatalf("draining healthz should surface the 503: %v", err)
+	}
+}
+
+func TestTraceAndMetricsAccessors(t *testing.T) {
+	_, c := newTestService(t, serve.Config{Workers: 1, Queue: 8})
+	ctx := context.Background()
+
+	job, err := c.Submit(ctx, quickSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Await(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	trace, err := c.Trace(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) < 3 || trace[0].Event != TraceSubmitted {
+		t.Fatalf("trace of a finished job = %+v, want submitted…terminal", trace)
+	}
+	if last := trace[len(trace)-1].Event; last != string(StatusDone) {
+		t.Fatalf("trace ends with %q, want done", last)
+	}
+	if _, err := c.Trace(ctx, "job-999999"); !IsNotFound(err) {
+		t.Fatalf("Trace of a missing job returned %v, want not_found", err)
+	}
+
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "starmesh_jobs_admitted_total") {
+		t.Fatalf("metrics exposition missing the admissions family:\n%.300s", text)
+	}
+}
+
+func TestMetricsDisabledIsNotFound(t *testing.T) {
+	_, c := newTestService(t, serve.Config{Workers: 1, Queue: 8, NoObs: true})
+	if _, err := c.Metrics(context.Background()); !IsNotFound(err) {
+		t.Fatalf("Metrics on a NoObs service returned %v, want not_found", err)
 	}
 }

@@ -29,6 +29,20 @@ const (
 	StatusCanceled = serve.StatusCanceled
 )
 
+// TraceEvent is one entry in a job's trace timeline (Job.Trace):
+// what happened, when, and how long since the previous event.
+type TraceEvent = serve.TraceEvent
+
+// The non-terminal trace event names; terminal events carry the
+// job's final Status string ("done", "failed", "canceled").
+const (
+	TraceSubmitted       = serve.TraceSubmitted
+	TraceClaimed         = serve.TraceClaimed
+	TraceMachineReady    = serve.TraceMachineReady
+	TraceCancelRequested = serve.TraceCancelRequested
+	TraceRecovered       = serve.TraceRecovered
+)
+
 // Stats is the aggregated service view (GET /v1/stats).
 type Stats = serve.Stats
 

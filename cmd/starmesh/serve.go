@@ -8,7 +8,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,9 +34,18 @@ func cmdServe(args []string) {
 		"durable WAL-backed job store directory (empty = in-memory; on restart, queued jobs are re-admitted in order and interrupted running jobs re-execute deterministically)")
 	snapshotEvery := fs.Int("snapshot-every", 0,
 		"WAL records between snapshot+compaction cycles of the durable store (0 = 256)")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "log encoding: text or json")
+	pprofAddr := fs.String("pprof-addr", "",
+		"optional ops listener mounting net/http/pprof under /debug/pprof (empty = off; bind loopback — the profiles expose internals)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		fatalf("serve takes no positional arguments")
+	}
+
+	log, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	svc, err := serve.NewService(serve.Config{
@@ -47,18 +58,26 @@ func cmdServe(args []string) {
 		DrainGrace:    *drainGrace,
 		StoreDir:      *storeDir,
 		SnapshotEvery: *snapshotEvery,
+		Logger:        log,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "starmesh: job service on %s (workers=%d queue=%d pool=%t engine=%s plan=%t store=%s)\n",
-		*addr, *workers, *queue, *pool, *engine, *plan, storeKind(*storeDir))
+	log.Info("job service starting",
+		"addr", *addr, "workers", *workers, "queue", *queue, "pool", *pool,
+		"engine", *engine, "plan", *plan, "store", storeKind(*storeDir))
 	if dur := svc.Durability(); dur.Store == "wal" &&
 		(dur.RecoveredQueued > 0 || dur.ReexecutedRunning > 0 || dur.CanceledAtRecovery > 0) {
-		fmt.Fprintf(os.Stderr, "starmesh: crash recovery re-admitted %d queued, re-executing %d interrupted, canceled %d\n",
-			dur.RecoveredQueued, dur.ReexecutedRunning, dur.CanceledAtRecovery)
+		log.Info("crash recovery complete",
+			"requeued", dur.RecoveredQueued,
+			"reexecuting", dur.ReexecutedRunning,
+			"canceled", dur.CanceledAtRecovery,
+			"wal_records", dur.WALRecords)
+	}
+	if *pprofAddr != "" {
+		go servePprof(log, *pprofAddr)
 	}
 	err = svc.ListenAndServe(ctx, *addr)
 	switch {
@@ -66,12 +85,47 @@ func cmdServe(args []string) {
 		// The -drain-grace deadline fired: stragglers were canceled at
 		// their checkpoints — the configured graceful outcome, not a
 		// failure.
-		fmt.Fprintln(os.Stderr, "starmesh: drained (grace deadline reached, running jobs canceled)")
+		log.Info("drained", "outcome", "grace deadline reached, running jobs canceled")
 		return
 	case err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, http.ErrServerClosed):
 		fatalf("%v", err)
 	}
-	fmt.Fprintln(os.Stderr, "starmesh: drained cleanly")
+	log.Info("drained", "outcome", "clean")
+}
+
+// buildLogger assembles the service logger from the -log-level /
+// -log-format flags. Logs go to stderr — stdout stays free for
+// subcommands that print results.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("starmesh: -log-level %q: want debug, info, warn or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("starmesh: -log-format %q: want text or json", format)
+	}
+}
+
+// servePprof runs the ops listener: net/http/pprof only, on its own
+// mux and address, so the profiling surface never shares a port with
+// the public API.
+func servePprof(log *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Info("pprof ops listener on", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Error("pprof listener failed", "error", err)
+	}
 }
 
 func storeKind(dir string) string {

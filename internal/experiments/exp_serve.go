@@ -86,11 +86,17 @@ func ServeLoad(w io.Writer) error {
 		fmt.Sprintf("%.1f", cmp.Durable.ThroughputJobsPerSec),
 		cmp.Durable.LatencyP50Ns/1e6, cmp.Durable.LatencyP99Ns/1e6,
 		"-", "-")
+	t.Add("bare-noobs", cmp.Bare.Jobs, cmp.Bare.ElapsedNs/1e6,
+		fmt.Sprintf("%.1f", cmp.Bare.ThroughputJobsPerSec),
+		cmp.Bare.LatencyP50Ns/1e6, cmp.Bare.LatencyP99Ns/1e6,
+		"-", "-")
 	t.Fprint(w)
 	fmt.Fprintf(w, "\nparity vs standalone runs: %t   pooled speedup: %.2fx   backpressure rejections: %d+%d+%d\n",
 		cmp.ParityOK, rec.SpeedupPooled, cmp.Pooled.Rejected, cmp.Unpooled.Rejected, cmp.Durable.Rejected)
 	fmt.Fprintf(w, "wal durability overhead: %.1f%% of pooled throughput (%d records logged, %d snapshots)\n",
 		100*rec.WALOverheadFrac, rec.DurableWALRecords, rec.DurableSnapshots)
+	fmt.Fprintf(w, "observability overhead: %.1f%% of bare throughput   scheduler queue-wait p99: %.2fms\n",
+		100*rec.ObsOverheadFrac, float64(rec.PooledQueueWaitP99Ns)/1e6)
 
 	path := os.Getenv("BENCH_SERVE_PATH")
 	if path == "" {
@@ -121,9 +127,26 @@ func ServeLoad(w io.Writer) error {
 		}
 		fmt.Fprintf(w, "WARNING: %s on this host\n", msg)
 	}
+	// The observability budget: counters, histograms and trace appends
+	// must not cost more than 5% of bare (NoObs) throughput — the
+	// instruments are lock-free atomics and the per-job trace is a
+	// handful of appends, so anything above that is a hot-path
+	// regression.
+	if rec.ObsOverheadFrac > obsOverheadBudget {
+		msg := fmt.Sprintf("observability overhead %.1f%% exceeds the %.0f%% budget (pooled %.1f vs bare %.1f jobs/s)",
+			100*rec.ObsOverheadFrac, 100*obsOverheadBudget, rec.PooledThroughput, rec.BareThroughput)
+		if os.Getenv("BENCH_SERVE_GATE") != "" {
+			return fmt.Errorf("serve: %s", msg)
+		}
+		fmt.Fprintf(w, "WARNING: %s on this host\n", msg)
+	}
 	return nil
 }
 
 // walOverheadBudget is the gated ceiling on the durable store's
 // throughput cost relative to the in-memory pooled run.
 const walOverheadBudget = 0.10
+
+// obsOverheadBudget is the gated ceiling on the metrics/trace
+// instrumentation's throughput cost relative to the bare NoObs run.
+const obsOverheadBudget = 0.05

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"starmesh/client"
+	"starmesh/internal/obs"
 	"starmesh/internal/serve"
 	"starmesh/internal/workload"
 )
@@ -64,10 +65,40 @@ type LoadResult struct {
 	// watch stream included).
 	LatencyP50Ns int64 `json:"latency_p50_ns"`
 	LatencyP99Ns int64 `json:"latency_p99_ns"`
+	// QueueWaitP99Ns is the service-side p99 queue wait (submit →
+	// claim), scraped from /v1/metrics after the run — the scheduler's
+	// own view of the admission backlog, as opposed to the client-side
+	// LatencyP99Ns which also includes execution and the watch stream.
+	// Zero when the service ran without metrics (NoObs).
+	QueueWaitP99Ns int64 `json:"queue_wait_p99_ns"`
 	// BySpec holds, per spec name, the result every job of that spec
 	// returned; RunLoad fails if two runs of one spec ever disagree
 	// (the service determinism contract).
 	BySpec map[string]ScenarioResult `json:"-"`
+}
+
+// ScrapeQueueWaitP99 reads the service's /v1/metrics exposition and
+// returns the p99 of starmesh_queue_wait_seconds (0 with an error if
+// the exposition is unreachable, invalid, or missing the histogram).
+func ScrapeQueueWaitP99(ctx context.Context, baseURL string) (time.Duration, error) {
+	text, err := client.New(baseURL).Metrics(ctx)
+	if err != nil {
+		return 0, err
+	}
+	// Validate before use: the bench doubles as CI's exposition-format
+	// smoke — a malformed /v1/metrics fails the serve job here.
+	if err := obs.Validate(text); err != nil {
+		return 0, fmt.Errorf("loadgen: /v1/metrics failed exposition validation: %w", err)
+	}
+	sc, err := obs.ParseText(text)
+	if err != nil {
+		return 0, fmt.Errorf("loadgen: parsing /v1/metrics: %w", err)
+	}
+	q, ok := sc.HistogramQuantile("starmesh_queue_wait_seconds", nil, 0.99)
+	if !ok {
+		return 0, fmt.Errorf("loadgen: /v1/metrics has no starmesh_queue_wait_seconds histogram")
+	}
+	return time.Duration(q * float64(time.Second)), nil
 }
 
 // RunLoad drives the API at baseURL closed-loop and reports
@@ -201,8 +232,9 @@ func percentile(samples []time.Duration, p int) time.Duration {
 	return sorted[rank-1]
 }
 
-// Comparison is the pooled-vs-unpooled-vs-durable measurement plus
-// the parity verdict against standalone scenario runs.
+// Comparison is the pooled-vs-unpooled-vs-durable-vs-bare
+// measurement plus the parity verdict against standalone scenario
+// runs.
 type Comparison struct {
 	Pooled   LoadResult `json:"pooled"`
 	Unpooled LoadResult `json:"unpooled"`
@@ -211,6 +243,11 @@ type Comparison struct {
 	// Pooled is what durability costs — every transition appended and
 	// checksummed on the submit/claim/finish path.
 	Durable LoadResult `json:"durable"`
+	// Bare re-runs the pooled configuration with metrics disabled
+	// (NoObs): the throughput delta against Pooled is what the
+	// observability layer costs — every counter bump, histogram
+	// observation and trace append on the hot path.
+	Bare LoadResult `json:"bare"`
 	// DurableWALRecords and DurableSnapshots are the WAL counters the
 	// durable run accumulated — evidence the log was actually on.
 	DurableWALRecords int64 `json:"durable_wal_records"`
@@ -235,6 +272,17 @@ func (c *Comparison) WALOverheadFrac() float64 {
 		return 0
 	}
 	return 1 - c.Durable.ThroughputJobsPerSec/c.Pooled.ThroughputJobsPerSec
+}
+
+// ObsOverheadFrac is the fraction of bare throughput the metrics and
+// trace instrumentation cost (0.03 = the instrumented pooled run is
+// 3% slower than the same run with NoObs; negative = noise in the
+// instrumented run's favor).
+func (c *Comparison) ObsOverheadFrac() float64 {
+	if c.Bare.ThroughputJobsPerSec <= 0 {
+		return 0
+	}
+	return 1 - c.Pooled.ThroughputJobsPerSec/c.Bare.ThroughputJobsPerSec
 }
 
 // RunComparison measures the same closed-loop load twice — per-shape
@@ -278,6 +326,16 @@ func RunComparison(svcCfg serve.Config, load LoadConfig) (Comparison, error) {
 		}
 		ts := httptest.NewServer(svc.Handler())
 		res, err := RunLoad(ts.URL, load)
+		if err == nil && !cfg.NoObs {
+			// The scrape happens after the run's clock stops, so it
+			// never perturbs the measurement it reports on.
+			p99, serr := ScrapeQueueWaitP99(context.Background(), ts.URL)
+			if serr != nil {
+				err = serr
+			} else {
+				res.QueueWaitP99Ns = p99.Nanoseconds()
+			}
+		}
 		stats := svc.Stats()
 		ts.Close()
 		svc.Drain()
@@ -341,6 +399,18 @@ func RunComparison(svcCfg serve.Config, load LoadConfig) (Comparison, error) {
 		if err := checkParity("durable", durable); err != nil {
 			return cmp, err
 		}
+		// The bare run is the pooled configuration minus all
+		// instrumentation (NoObs): its delta against Pooled is the
+		// observability tax, gated by the serve experiment.
+		bareCfg := svcCfg
+		bareCfg.NoObs = true
+		bare, _, err := measure(bareCfg)
+		if err != nil {
+			return cmp, fmt.Errorf("bare run: %w", err)
+		}
+		if err := checkParity("bare", bare); err != nil {
+			return cmp, err
+		}
 		if r == 0 || pooled.ThroughputJobsPerSec > cmp.Pooled.ThroughputJobsPerSec {
 			cmp.Pooled, pooledStats = pooled, pStats
 		}
@@ -349,6 +419,9 @@ func RunComparison(svcCfg serve.Config, load LoadConfig) (Comparison, error) {
 		}
 		if r == 0 || durable.ThroughputJobsPerSec > cmp.Durable.ThroughputJobsPerSec {
 			cmp.Durable, durableStats = durable, dStats
+		}
+		if r == 0 || bare.ThroughputJobsPerSec > cmp.Bare.ThroughputJobsPerSec {
+			cmp.Bare = bare
 		}
 	}
 	cmp.DurableWALRecords = durableStats.Durability.WALRecords
@@ -406,6 +479,16 @@ type BenchRecord struct {
 	DurableSnapshots  int64   `json:"durable_snapshots"`
 	WALOverheadFrac   float64 `json:"wal_overhead_frac"`
 
+	// The bare (NoObs, pooled) measurement and the observability
+	// overhead it exposes — the number the serve experiment gates at
+	// 5%. PooledQueueWaitP99Ns is the scheduler-side p99 queue wait
+	// scraped from the instrumented pooled run's /v1/metrics.
+	BareJobs             int     `json:"bare_jobs"`
+	BareNs               int64   `json:"bare_ns"`
+	BareThroughput       float64 `json:"bare_jobs_per_sec"`
+	ObsOverheadFrac      float64 `json:"obs_overhead_frac"`
+	PooledQueueWaitP99Ns int64   `json:"pooled_queue_wait_p99_ns"`
+
 	SpeedupPooled  float64 `json:"speedup_pooled_vs_unpooled"`
 	PoolBuilds     int64   `json:"pool_builds"`
 	PoolReuses     int64   `json:"pool_reuses"`
@@ -450,10 +533,16 @@ func NewBenchRecord(svcCfg serve.Config, load LoadConfig, cmp Comparison, gomaxp
 		DurableWALRecords:  cmp.DurableWALRecords,
 		DurableSnapshots:   cmp.DurableSnapshots,
 		WALOverheadFrac:    cmp.WALOverheadFrac(),
-		PoolBuilds:         cmp.PoolBuilds,
-		PoolReuses:         cmp.PoolReuses,
-		UnpooledBuilds:     cmp.UnpooledBuilds,
-		ParityOK:           cmp.ParityOK,
+		BareJobs:           cmp.Bare.Jobs,
+		BareNs:             cmp.Bare.ElapsedNs,
+		BareThroughput:     cmp.Bare.ThroughputJobsPerSec,
+		ObsOverheadFrac:    cmp.ObsOverheadFrac(),
+
+		PooledQueueWaitP99Ns: cmp.Pooled.QueueWaitP99Ns,
+		PoolBuilds:           cmp.PoolBuilds,
+		PoolReuses:           cmp.PoolReuses,
+		UnpooledBuilds:       cmp.UnpooledBuilds,
+		ParityOK:             cmp.ParityOK,
 	}
 	if cmp.Unpooled.ThroughputJobsPerSec > 0 {
 		rec.SpeedupPooled = cmp.Pooled.ThroughputJobsPerSec / cmp.Unpooled.ThroughputJobsPerSec

@@ -28,7 +28,10 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
+
+	"starmesh/internal/obs"
 )
 
 // Health is the /v1/healthz body.
@@ -43,24 +46,114 @@ type Health struct {
 }
 
 // Handler returns the service's HTTP API: the v1 surface plus the
-// legacy unversioned aliases.
+// legacy unversioned aliases. Every route is wrapped at registration
+// with the metrics/logging middleware (see instrument), labeled by
+// its route pattern — never by the raw URL, which would explode the
+// metric cardinality with job ids.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, prefix := range []string{"/v1", ""} {
-		mux.HandleFunc("POST "+prefix+"/jobs", s.handleSubmit)
-		mux.HandleFunc("POST "+prefix+"/jobs:batch", s.handleSubmitBatch)
-		mux.HandleFunc("GET "+prefix+"/jobs/{id}", s.handleJob)
-		mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.handleCancel)
-		mux.HandleFunc("GET "+prefix+"/jobs/{id}/watch", s.handleWatch)
-		mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
-		mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealthz)
+		handle := func(method, pattern string, h http.HandlerFunc) {
+			mux.HandleFunc(method+" "+prefix+pattern, s.instrument(prefix+pattern, h))
+		}
+		handle("POST", "/jobs", s.handleSubmit)
+		handle("POST", "/jobs:batch", s.handleSubmitBatch)
+		handle("GET", "/jobs/{id}", s.handleJob)
+		handle("DELETE", "/jobs/{id}", s.handleCancel)
+		handle("GET", "/jobs/{id}/watch", s.handleWatch)
+		handle("GET", "/stats", s.handleStats)
+		handle("GET", "/healthz", s.handleHealthz)
+		handle("GET", "/metrics", s.handleMetrics)
 	}
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleList))
 	// The legacy listing keeps its pre-v1 wire shape — a bare JSON
 	// array, limit 0 = all — so existing consumers survive the alias
 	// release unchanged; only /v1/jobs speaks JobPage.
-	mux.HandleFunc("GET /jobs", s.handleListLegacy)
+	mux.HandleFunc("GET /jobs", s.instrument("/jobs", s.handleListLegacy))
 	return mux
+}
+
+// nextRequestID numbers requests process-wide for log correlation.
+var nextRequestID atomic.Int64
+
+// statusWriter captures the response status for the middleware while
+// passing Flusher through — the watch stream depends on flushing.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps one route with the observability middleware:
+// a request id (generated or propagated from X-Request-Id, echoed
+// back, threaded through the context for logging), the per-route
+// request counter and latency histogram labeled by route pattern,
+// the in-flight gauge, and a structured log line per request.
+func (s *Service) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = fmt.Sprintf("req-%06d", nextRequestID.Add(1))
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		ctx := WithRequestID(r.Context(), reqID)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		if s.met != nil {
+			s.met.httpInFlight.Add(1)
+		}
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if s.met != nil {
+			s.met.httpInFlight.Add(-1)
+			s.met.observeHTTP(route, r.Method, sw.status, elapsed)
+		}
+		log := s.logWith(ctx)
+		attrs := []any{"method", r.Method, "route", route, "status", sw.status, "dur_ms", elapsed.Milliseconds()}
+		switch {
+		case sw.status >= 500:
+			log.Error("http request", attrs...)
+		case sw.status >= 400:
+			log.Warn("http request", attrs...)
+		default:
+			log.Debug("http request", attrs...)
+		}
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition. With metrics
+// disabled (Config.NoObs) the route answers 404 — scrapers should
+// see a hard failure, not an empty exposition that looks like a
+// healthy service with zero traffic.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.MetricsRegistry()
+	if reg == nil {
+		writeErrorCode(w, CodeNotFound, "metrics are disabled (NoObs)", nil)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = reg.WriteText(w)
 }
 
 func (s *Service) handleListLegacy(w http.ResponseWriter, r *http.Request) {

@@ -32,14 +32,16 @@ type pool struct {
 	inUse  int
 }
 
-// checkout returns an idle machine or builds a fresh one. The build
-// runs outside the lock so a slow construction never blocks
-// checkouts of other workers (they simply build their own).
-func (p *pool) checkout() (workload.Resource, error) {
+// checkout returns an idle machine or builds a fresh one, reporting
+// which happened (built=true on a miss) so the caller can trace and
+// count it. The build runs outside the lock so a slow construction
+// never blocks checkouts of other workers (they simply build their
+// own).
+func (p *pool) checkout() (r workload.Resource, built bool, err error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return nil, ErrPoolClosed
+		return nil, false, ErrPoolClosed
 	}
 	if n := len(p.idle); p.pooled && n > 0 {
 		r := p.idle[n-1]
@@ -48,12 +50,12 @@ func (p *pool) checkout() (workload.Resource, error) {
 		p.reuses++
 		p.inUse++
 		p.mu.Unlock()
-		return r, nil
+		return r, false, nil
 	}
 	p.builds++
 	p.inUse++
 	p.mu.Unlock()
-	return p.build(), nil
+	return p.build(), true, nil
 }
 
 // checkin returns a machine after a job. Pooled machines are Reset —

@@ -42,9 +42,12 @@ func TestPoolReusesAndResetsMachines(t *testing.T) {
 	spec := JobSpec{Kind: KindSort, N: 4, Dist: "uniform", Seed: 3}
 	p := &pool{shape: spec.Shape(), build: buildOf(t, spec), pooled: true}
 
-	r1, err := p.checkout()
+	r1, built, err := p.checkout()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !built {
+		t.Fatal("first checkout of an empty pool did not report built")
 	}
 	first, err := runOf(t, spec, r1)
 	if err != nil {
@@ -56,9 +59,12 @@ func TestPoolReusesAndResetsMachines(t *testing.T) {
 	}
 	p.checkin(r1)
 
-	r2, err := p.checkout()
+	r2, built, err := p.checkout()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if built {
+		t.Fatal("checkout with an idle machine reported built instead of reuse")
 	}
 	if r2 != r1 {
 		t.Fatal("pool built a new machine instead of reusing the idle one")
@@ -92,7 +98,7 @@ func TestPoolReusesAndResetsMachines(t *testing.T) {
 func TestUnpooledCheckinCloses(t *testing.T) {
 	f := &fakeResource{}
 	p := &pool{shape: "fake", build: func() workload.Resource { return f }, pooled: false}
-	r, err := p.checkout()
+	r, _, err := p.checkout()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +117,7 @@ func TestUnpooledCheckinCloses(t *testing.T) {
 func TestPoolDoubleCloseIsIdempotent(t *testing.T) {
 	f := &fakeResource{}
 	p := &pool{shape: "fake", build: func() workload.Resource { return f }, pooled: true}
-	r, _ := p.checkout()
+	r, _, _ := p.checkout()
 	p.checkin(r)
 	p.close()
 	p.close()
@@ -133,9 +139,9 @@ func TestCheckoutAfterDrainFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, _ := p.checkout()
+	out, _, _ := p.checkout()
 	ps.closeAll()
-	if _, err := p.checkout(); !errors.Is(err, ErrPoolClosed) {
+	if _, _, err := p.checkout(); !errors.Is(err, ErrPoolClosed) {
 		t.Fatalf("checkout after drain returned %v, want ErrPoolClosed", err)
 	}
 	if _, err := ps.forShape("other", func() workload.Resource { return &fakeResource{} }); !errors.Is(err, ErrPoolClosed) {
@@ -152,7 +158,7 @@ func TestCheckoutAfterDrainFails(t *testing.T) {
 func TestGraphResourceIsStateless(t *testing.T) {
 	spec := JobSpec{Kind: KindFaultRoute, N: 4, Faults: 2, Pairs: 4, Seed: 9}
 	p := &pool{shape: spec.Shape(), build: buildOf(t, spec), pooled: true}
-	r, err := p.checkout()
+	r, _, err := p.checkout()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +167,7 @@ func TestGraphResourceIsStateless(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.checkin(r)
-	r2, _ := p.checkout()
+	r2, _, _ := p.checkout()
 	again, err := runOf(t, spec, r2)
 	if err != nil {
 		t.Fatal(err)

@@ -8,10 +8,12 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
+	"starmesh/internal/obs"
 	"starmesh/internal/simd"
 	"starmesh/internal/workload"
 )
@@ -53,6 +55,15 @@ type Config struct {
 	// compaction cycles of the durable store (0 = 256; ignored
 	// without StoreDir).
 	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// NoObs disables the metrics layer entirely: no registry, no
+	// instrument updates on any path, /v1/metrics answers 404. The
+	// bench harness uses it to measure the metrics path's own
+	// overhead; production services leave it off.
+	NoObs bool `json:"no_obs,omitempty"`
+	// Logger receives the service's structured logs (nil = discard —
+	// library consumers stay quiet; cmd wires a real handler from
+	// -log-level/-log-format).
+	Logger *slog.Logger `json:"-"`
 }
 
 // withDefaults resolves the zero values to their effective settings
@@ -117,6 +128,12 @@ type Service struct {
 	queue chan string
 	start time.Time
 
+	// Observability: nil met/reg under Config.NoObs — every
+	// instrumentation point nil-checks, so the disabled path costs one
+	// branch. log is never nil (discard by default).
+	met *serveMetrics
+	log *slog.Logger
+
 	// baseCtx parents every job's context; baseCancel is the
 	// last-resort abort (Drain deadline passed).
 	baseCtx    context.Context
@@ -170,6 +187,36 @@ func newService(cfg Config, startWorkers bool) (*Service, error) {
 		baseCancel: baseCancel,
 		drained:    make(chan struct{}),
 	}
+	s.log = eff.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	if !eff.NoObs {
+		s.met = newServeMetrics(s)
+		// Store hooks: queue-wait and run-time histograms plus the
+		// terminal counters, observed under the store lock where the
+		// transitions are ordered.
+		met := s.met
+		st.setHooks(
+			func(kind string, wait time.Duration) {
+				met.jobsRunning.Add(1)
+				met.queueWaitSeconds.Observe(wait.Seconds())
+			},
+			func(status Status, kind string, run time.Duration, ran bool) {
+				if ran {
+					met.jobsRunning.Add(-1)
+					met.jobRunSeconds.With(kind).Observe(run.Seconds())
+				}
+				met.jobsFinished.With(string(status), kind).Inc()
+			},
+		)
+		if ds, ok := st.(*durableStore); ok {
+			ds.setObs(&s.met.wal)
+		}
+		// Every machine the pools build reports into the engine
+		// counters.
+		s.engineOpts = append(s.engineOpts, simd.WithCollector(newEngineCollector(s.met)))
+	}
 	// Re-admit recovered work in original admission order before any
 	// worker starts or any new submission lands.
 	for _, id := range recovered {
@@ -190,20 +237,33 @@ func newService(cfg Config, startWorkers bool) (*Service, error) {
 func (s *Service) Submit(spec JobSpec) (Job, error) {
 	norm, err := spec.Normalized()
 	if err != nil {
+		s.reject("invalid_spec")
 		return Job{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
+		s.reject("draining")
 		return Job{}, ErrDraining
 	}
 	job := s.store.add(norm, time.Now())
 	select {
 	case s.queue <- job.ID:
+		if s.met != nil {
+			s.met.jobsAdmitted.With(norm.Kind).Inc()
+		}
 		return job, nil
 	default:
 		s.store.remove(job.ID)
+		s.reject("queue_full")
 		return Job{}, ErrQueueFull
+	}
+}
+
+// reject counts one refused submission.
+func (s *Service) reject(reason string) {
+	if s.met != nil {
+		s.met.jobsRejected.With(reason).Inc()
 	}
 }
 
@@ -227,23 +287,27 @@ func (s *Service) SubmitBatch(specs []JobSpec) ([]Job, error) {
 		norm[i] = n
 	}
 	if len(batchErr.Items) > 0 {
+		s.reject("invalid_spec")
 		return nil, &batchErr
 	}
 	// A batch larger than the whole queue can never be admitted: that
 	// is a spec problem (non-retryable 400), not transient queue_full
 	// backpressure a client should sleep on.
 	if len(norm) > s.queueCap {
+		s.reject("invalid_spec")
 		return nil, fmt.Errorf("%w: batch of %d can never fit the %d-deep queue — split it",
 			ErrInvalidSpec, len(norm), s.queueCap)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
+		s.reject("draining")
 		return nil, ErrDraining
 	}
 	// Capacity check under the admission lock: workers only ever
 	// free space, so len(specs) sends cannot block once it passes.
 	if cap(s.queue)-len(s.queue) < len(norm) {
+		s.reject("queue_full")
 		return nil, fmt.Errorf("%w: batch of %d exceeds free queue capacity %d",
 			ErrQueueFull, len(norm), cap(s.queue)-len(s.queue))
 	}
@@ -253,6 +317,9 @@ func (s *Service) SubmitBatch(specs []JobSpec) ([]Job, error) {
 		job := s.store.add(n, now)
 		s.queue <- job.ID
 		jobs[i] = job
+		if s.met != nil {
+			s.met.jobsAdmitted.With(n.Kind).Inc()
+		}
 	}
 	return jobs, nil
 }
@@ -299,6 +366,16 @@ func (s *Service) Stats() Stats {
 	s.mu.Unlock()
 	st.Pools = s.pools.stats()
 	return st
+}
+
+// MetricsRegistry exposes the service's metric registry (nil under
+// Config.NoObs) — the backing of GET /v1/metrics, also usable
+// in-process for snapshots.
+func (s *Service) MetricsRegistry() *obs.Registry {
+	if s.met == nil {
+		return nil
+	}
+	return s.met.reg
 }
 
 // Durability describes the job-store backend: "memory", or the WAL
@@ -393,15 +470,26 @@ func (s *Service) worker() {
 func (s *Service) runJob(id string) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
+	ctx = WithJobID(ctx, id)
 	spec, ok := s.store.claim(id, time.Now(), cancel)
 	if !ok {
 		return // canceled while queued
 	}
-	res, err := s.execute(ctx, spec)
+	log := s.logWith(ctx)
+	log.Debug("job claimed", "kind", spec.Kind, "shape", spec.Shape())
+	res, err := s.execute(ctx, id, spec)
 	s.store.finish(id, res, err, time.Now())
+	if done, ok := s.store.get(id); ok {
+		if err != nil {
+			log.Info("job finished", "kind", spec.Kind, "status", string(done.Status), "error", err)
+		} else {
+			log.Debug("job finished", "kind", spec.Kind, "status", string(done.Status),
+				"unit_routes", res.UnitRoutes, "conflicts", res.Conflicts)
+		}
+	}
 }
 
-func (s *Service) execute(ctx context.Context, spec JobSpec) (res ScenarioResult, err error) {
+func (s *Service) execute(ctx context.Context, id string, spec JobSpec) (res ScenarioResult, err error) {
 	// A pre-canceled job (deadline drain, cancel racing the claim)
 	// skips machine checkout entirely.
 	if err := ctx.Err(); err != nil {
@@ -411,16 +499,28 @@ func (s *Service) execute(ctx context.Context, spec JobSpec) (res ScenarioResult
 	if err != nil {
 		return res, err
 	}
-	pl, err := s.pools.forShape(fam.Shape(spec), func() workload.Resource {
+	shape := fam.Shape(spec)
+	pl, err := s.pools.forShape(shape, func() workload.Resource {
 		return fam.Build(spec, s.engineOpts...)
 	})
 	if err != nil {
 		return res, err
 	}
-	r, err := pl.checkout()
+	checkoutStart := time.Now()
+	r, built, err := pl.checkout()
 	if err != nil {
 		return res, err
 	}
+	if s.met != nil {
+		s.met.checkoutWaitSeconds.With(shape).Observe(time.Since(checkoutStart).Seconds())
+	}
+	// The machine_ready span: which pool served the job and whether
+	// the checkout hit (reused) or missed (built).
+	src := "reused"
+	if built {
+		src = "built"
+	}
+	s.store.trace(id, time.Now(), TraceMachineReady, "shape="+shape+" "+src)
 	defer pl.checkin(r)
 	defer func() {
 		if p := recover(); p != nil {

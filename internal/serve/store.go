@@ -52,8 +52,17 @@ type Store interface {
 	cancelAllRunning()
 	// watch subscribes to a job's status transitions.
 	watch(id string) (Job, <-chan Job, func(), error)
+	// trace appends a mid-run event to a live job's timeline (durable
+	// stores log it so the timeline survives a crash).
+	trace(id string, now time.Time, event, detail string)
 	// aggregate computes the store's part of Stats.
 	aggregate(uptime time.Duration) Stats
+	// watchStats samples live watch-subscription state (subscriber
+	// channels, cumulative drops) for the metrics layer.
+	watchStats() (subscribers int, drops int64)
+	// setHooks installs the metrics observers called on claim and
+	// finish (before any worker starts).
+	setHooks(onClaim func(kind string, wait time.Duration), onFinish func(status Status, kind string, run time.Duration, ran bool))
 	// durability describes the backend (kind, WAL paths, recovery
 	// counts) for /v1/healthz and /v1/stats.
 	durability() Durability
@@ -104,6 +113,11 @@ type Job struct {
 	// execution time (set when the job finishes).
 	WaitNs int64 `json:"wait_ns,omitempty"`
 	RunNs  int64 `json:"run_ns,omitempty"`
+
+	// Trace is the job's span timeline (see trace.go): every lifecycle
+	// event with its duration since the previous one, persisted with
+	// the job through the WAL.
+	Trace []TraceEvent `json:"trace,omitempty"`
 }
 
 // snapshot copies the job for handing outside the store lock.
@@ -113,6 +127,7 @@ func (j *Job) snapshot() Job {
 		r := *j.Result
 		out.Result = &r
 	}
+	out.Trace = append([]TraceEvent(nil), j.Trace...)
 	return out
 }
 
@@ -157,6 +172,7 @@ const (
 	opCancel    walOp = "cancel"    // queued → canceled
 	opCancelReq walOp = "cancelreq" // running, cancellation requested
 	opRemove    walOp = "remove"    // admission rollback
+	opTrace     walOp = "trace"     // mid-run trace event appended
 )
 
 // store is the mutex-guarded job table.
@@ -172,6 +188,13 @@ type store struct {
 	// the WAL's record order identical to the store's transition
 	// order.
 	logf func(op walOp, j *Job)
+
+	// onClaim and onFinish, when set, observe transitions for the
+	// metrics layer (queue-wait and run-time histograms, finished
+	// counters; ran=false means the job was canceled straight out of
+	// the queue). Called under mu; implementations must be cheap.
+	onClaim  func(kind string, wait time.Duration)
+	onFinish func(status Status, kind string, run time.Duration, ran bool)
 
 	// watchDrops counts transition snapshots dropped because a
 	// subscriber's channel was full (surfaced in /v1/stats so lossy
@@ -317,6 +340,7 @@ func (st *store) add(spec JobSpec, now time.Time) Job {
 		Status:  StatusQueued,
 		Created: now,
 	}
+	appendTrace(j, now, TraceSubmitted, "")
 	st.jobs[j.ID] = j
 	st.order = append(st.order, j.ID)
 	st.counts[StatusQueued]++
@@ -451,11 +475,15 @@ func (st *store) claim(id string, now time.Time, cancel context.CancelFunc) (Job
 	j.Status = StatusRunning
 	j.Started = now
 	st.counts[StatusRunning]++
+	appendTrace(j, now, TraceClaimed, "")
 	if cancel != nil {
 		st.cancels[id] = cancel
 	}
 	if st.logf != nil {
 		st.logf(opClaim, j)
+	}
+	if st.onClaim != nil {
+		st.onClaim(j.Spec.Kind, now.Sub(j.Created))
 	}
 	st.publish(j)
 	return j.Spec, true
@@ -494,9 +522,13 @@ func (st *store) finish(id string, res workload.ScenarioResult, err error, now t
 		res.ElapsedNs = j.RunNs
 		j.Result = &res
 	}
+	appendTrace(j, now, string(j.Status), j.Error)
 	st.foldFinished(j)
 	if st.logf != nil {
 		st.logf(opFinish, j)
+	}
+	if st.onFinish != nil {
+		st.onFinish(j.Status, j.Spec.Kind, now.Sub(j.Started), true)
 	}
 	st.publish(j)
 	st.evict()
@@ -550,9 +582,13 @@ func (st *store) cancel(id string, now time.Time) (Job, error) {
 		st.counts[j.Status]--
 		j.Status = StatusCanceled
 		j.Finished = now
+		appendTrace(j, now, string(StatusCanceled), "canceled while queued")
 		st.foldCanceledQueued(j)
 		if st.logf != nil {
 			st.logf(opCancel, j)
+		}
+		if st.onFinish != nil {
+			st.onFinish(StatusCanceled, j.Spec.Kind, 0, false)
 		}
 		st.publish(j)
 		snap := j.snapshot()
@@ -560,6 +596,7 @@ func (st *store) cancel(id string, now time.Time) (Job, error) {
 		return snap, nil
 	case StatusRunning:
 		j.CancelRequested = true
+		appendTrace(j, now, TraceCancelRequested, "")
 		if cancel, ok := st.cancels[id]; ok {
 			cancel()
 		}
@@ -591,9 +628,11 @@ func (st *store) foldCanceledQueued(j *Job) {
 func (st *store) cancelAllRunning() {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	now := time.Now()
 	for id, cancel := range st.cancels {
 		if j, ok := st.jobs[id]; ok {
 			j.CancelRequested = true
+			appendTrace(j, now, TraceCancelRequested, "drain deadline")
 			if st.logf != nil {
 				st.logf(opCancelReq, j)
 			}
@@ -684,6 +723,24 @@ type KindStats struct {
 	Canceled   int64  `json:"canceled"`
 	UnitRoutes int64  `json:"unit_routes"`
 	Conflicts  int64  `json:"conflicts"`
+}
+
+// setHooks installs the metrics observers. Called once before any
+// worker starts, so no lock is needed.
+func (st *store) setHooks(onClaim func(string, time.Duration), onFinish func(Status, string, time.Duration, bool)) {
+	st.onClaim = onClaim
+	st.onFinish = onFinish
+}
+
+// watchStats samples the live watch-subscription state for the
+// metrics layer: active subscriber channels and cumulative drops.
+func (st *store) watchStats() (subscribers int, drops int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, chans := range st.watchers {
+		subscribers += len(chans)
+	}
+	return subscribers, st.watchDrops
 }
 
 // durability of the in-memory store: there is none — state dies

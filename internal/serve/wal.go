@@ -167,6 +167,12 @@ type durableStore struct {
 	frozen    bool // crash-simulated (tests) or degraded: no more appends
 	dur       Durability
 	recovered []string // queued ids to re-admit, admission order
+
+	// walObs, when set (setObs, after open), observes append/sync/
+	// snapshot timings for the metrics layer. Counters that already
+	// live in dur (records, snapshots, recovery) are bridged at scrape
+	// time instead.
+	walObs *walObs
 }
 
 // openDurableStore opens (or creates) the durable store rooted at
@@ -336,6 +342,13 @@ func (st *store) apply(rec *walRecord) {
 	case opCancelReq:
 		if j, ok := st.jobs[id]; ok && j.Status == StatusRunning {
 			j.CancelRequested = true
+			j.Trace = append([]TraceEvent(nil), rec.Job.Trace...)
+		}
+	case opTrace:
+		// The record carries the job's whole timeline; replay is a
+		// state overwrite like every other op.
+		if j, ok := st.jobs[id]; ok && !j.Status.Terminal() {
+			j.Trace = append([]TraceEvent(nil), rec.Job.Trace...)
 		}
 	case opRemove:
 		j, ok := st.jobs[id]
@@ -371,6 +384,7 @@ func (ds *durableStore) recoverInterrupted(now time.Time) {
 				j.Status = StatusCanceled
 				j.Finished = now
 				j.Error = "canceled: cancellation requested before the service restarted"
+				appendTrace(j, now, string(StatusCanceled), "finalized at recovery")
 				st.foldCanceledQueued(j)
 				ds.dur.CanceledAtRecovery++
 			} else {
@@ -379,6 +393,13 @@ func (ds *durableStore) recoverInterrupted(now time.Time) {
 				// is bit-identical to the one the crash interrupted.
 				j.Status = StatusQueued
 				j.Started = time.Time{}
+				// The interrupted run's trace is stale — the re-execution
+				// restarts the timeline from admission, with a recovered
+				// marker in between.
+				if len(j.Trace) > 0 {
+					j.Trace = j.Trace[:1]
+				}
+				appendTrace(j, now, TraceRecovered, "re-queued for deterministic re-execution")
 				st.counts[StatusQueued]++
 				ds.recovered = append(ds.recovered, j.ID)
 				ds.dur.ReexecutedRunning++
@@ -402,9 +423,18 @@ func (ds *durableStore) logRecord(op walOp, j *Job) {
 		ds.degrade(fmt.Sprintf("marshal %s record: %v", op, err))
 		return
 	}
-	if _, err := ds.f.Write(appendFrame(make([]byte, 0, frameHeaderLen+len(payload)), payload)); err != nil {
+	frame := appendFrame(make([]byte, 0, frameHeaderLen+len(payload)), payload)
+	var start time.Time
+	if ds.walObs != nil {
+		start = time.Now()
+	}
+	if _, err := ds.f.Write(frame); err != nil {
 		ds.degrade(fmt.Sprintf("append %s record: %v", op, err))
 		return
+	}
+	if ds.walObs != nil {
+		ds.walObs.appendSeconds.Observe(time.Since(start).Seconds())
+		ds.walObs.appendBytes.Add(int64(len(frame)))
 	}
 	ds.dur.WALRecords++
 	ds.sinceSnap++
@@ -471,6 +501,12 @@ func windowNs(w *latWindow) []int64 {
 // snapshot + (possibly still-full, LSN-skipped) log. Caller holds
 // store.mu (or has exclusive access during open).
 func (ds *durableStore) snapshotLocked(now time.Time) error {
+	if ds.walObs != nil {
+		start := time.Now()
+		defer func() {
+			ds.walObs.snapshotSeconds.Observe(time.Since(start).Seconds())
+		}()
+	}
 	snap := ds.buildSnapshot(now)
 	payload, err := json.Marshal(&snap)
 	if err != nil {
@@ -483,7 +519,14 @@ func (ds *durableStore) snapshotLocked(now time.Time) error {
 	}
 	_, werr := tmp.Write(appendFrame(make([]byte, 0, frameHeaderLen+len(payload)), payload))
 	if werr == nil {
+		var start time.Time
+		if ds.walObs != nil {
+			start = time.Now()
+		}
 		werr = tmp.Sync()
+		if ds.walObs != nil {
+			ds.walObs.syncSeconds.Observe(time.Since(start).Seconds())
+		}
 	}
 	if cerr := tmp.Close(); werr == nil {
 		werr = cerr
@@ -510,6 +553,14 @@ func (ds *durableStore) snapshotLocked(now time.Time) error {
 	ds.dur.Snapshots++
 	ds.dur.LastSnapshot = now
 	return nil
+}
+
+// setObs attaches the WAL timing instruments — called once by the
+// Service after open, before any worker starts.
+func (ds *durableStore) setObs(w *walObs) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.walObs = w
 }
 
 // durability reports the WAL state for /v1/healthz and /v1/stats.

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // PlanKeyer is an optional Topology extension: a stable identity of
@@ -306,6 +307,9 @@ func (m *Machine) recordRoute(src, dst string, portOf PortFunc, modelA bool) int
 	st.finalize()
 	m.execStep(&st, m.Reg(src), m.Reg(dst))
 	m.rec.plan.steps = append(m.rec.plan.steps, st)
+	if m.collector != nil {
+		m.collector.RecordRoutes(1, st.conflicts)
+	}
 	return st.conflicts
 }
 
@@ -383,12 +387,25 @@ func (m *Machine) Replay(p *Plan) (routes, conflicts int) {
 			m.rec.plan.steps = append(m.rec.plan.steps, st)
 			conflicts += st.conflicts
 		}
+		if m.collector != nil {
+			m.collector.RecordRoutes(len(p.steps), conflicts)
+		}
 		return len(p.steps), conflicts
+	}
+	// The collector is notified once per replay with batched totals —
+	// timing and per-step calls stay out of the inner loop.
+	var start time.Time
+	if m.collector != nil {
+		start = time.Now()
 	}
 	for i := range p.steps {
 		st := &p.steps[i]
 		m.execStep(st, slices[bp.handles[st.src]], slices[bp.handles[st.dst]])
 		conflicts += st.conflicts
+	}
+	if m.collector != nil {
+		m.collector.RecordReplay(time.Since(start), len(p.steps))
+		m.collector.RecordRoutes(len(p.steps), conflicts)
 	}
 	return len(p.steps), conflicts
 }

@@ -51,6 +51,10 @@ type Machine struct {
 	rec      *planRecorder
 	bound    map[*Plan]*boundPlan
 	plansOff bool
+	// collector, when non-nil, receives route/replay events (see
+	// collector.go). Survives Reset: it belongs to the machine's
+	// owner, not to any one job.
+	collector Collector
 }
 
 // New builds a machine with no registers. Options select the
@@ -249,6 +253,9 @@ func (m *Machine) route(src, dst string, portOf PortFunc, modelA bool) int {
 		m.stats.ModelB++
 	}
 	m.stats.ReceiveConflicts += conflicts
+	if m.collector != nil {
+		m.collector.RecordRoutes(1, conflicts)
+	}
 	return conflicts
 }
 
