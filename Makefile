@@ -7,7 +7,7 @@ GO ?= go
 # no global tool install, the version is part of the repo contract.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race race-recovery bench bench-plans bench-serve bench-compare lint fmt vet staticcheck cover
+.PHONY: all build test race race-recovery bench bench-plans bench-serve bench-tenants bench-compare lint fmt vet staticcheck cover
 
 all: build test
 
@@ -67,6 +67,16 @@ bench-plans:
 bench-serve:
 	GOMAXPROCS=2 BENCH_SERVE_GATE=1 $(GO) run ./cmd/experiments -run serve
 
+## bench-tenants: the multi-tenant fairness gate. One hot tenant
+## (weight 2, 8 closed-loop clients) floods the queue while three
+## light tenants (weight 1, 3 clients each) keep working, all over
+## real HTTP with per-tenant API keys. Writes BENCH_tenants.json and
+## fails if a light tenant's p99 queue wait under contention exceeds
+## 2x its solo baseline or any tenant's throughput share deviates
+## more than 15% from its fair-queueing weight.
+bench-tenants:
+	GOMAXPROCS=4 BENCH_TENANTS_GATE=1 $(GO) run ./cmd/experiments -run tenants
+
 ## bench-compare: the interval bench-regression gate. Repeats the
 ## S_8 sweep (default 5 reps), writes the min/median/max interval to
 ## BENCH_compare_new.json and fails only when the fresh throughput
@@ -99,7 +109,7 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -1
 	$(GO) run ./cmd/covercheck -profile coverage.out \
 		-floor starmesh/internal/workload=70 \
-		-floor starmesh/internal/serve=80 \
+		-floor starmesh/internal/serve=94 \
 		-floor starmesh/client=80 \
 		-floor starmesh/internal/obs=90
 

@@ -393,6 +393,11 @@ func TestEngineBenchRecord(t *testing.T) {
 	t.Logf("S_%d sweep ×%d: baseline %v, sequential %v (%.2fx), parallel %v; replay ×%d: sequential %v, 4-proc %.2fx (%d host CPUs) → %s",
 		engineBenchN, reps, baseTime, seqTime, rec.SpeedupEngine, parTime,
 		scalingReps, replaySeqTime, speedupAt4, rec.HostCPUs, path)
+	if os.Getenv("BENCH_ENGINE_RECORD") != "" {
+		exptab.StepSummary("### Engine bench (S_%d)\n"+
+			"engine speedup %.2fx vs baseline · parallel replay at 4 procs %.2fx (gate ≥ 1.5x, %d host CPUs)",
+			engineBenchN, rec.SpeedupEngine, speedupAt4, rec.HostCPUs)
+	}
 }
 
 // TestPlanBenchRecord measures compiled route plans and the
@@ -515,6 +520,11 @@ func TestPlanBenchRecord(t *testing.T) {
 	t.Logf("S_%d sweep ×%d: closure %v, replay %v (%.2fx); batch ×%d workers: spawn %v, pool %v (%.2fx) → %s",
 		engineBenchN, reps, closureTime, replayTime, rec.SpeedupReplay,
 		batchWorkers, spawnTime, poolTime, rec.SpeedupPool, path)
+	if os.Getenv("BENCH_PLANS_RECORD") != "" {
+		exptab.StepSummary("### Plans bench (S_%d)\n"+
+			"plan replay %.2fx vs closure · pooled batch %.2fx vs spawn · parity %t",
+			engineBenchN, rec.SpeedupReplay, rec.SpeedupPool, parityOK && batchParity)
+	}
 }
 
 // Scaling sub-benchmarks: the O(n²) conversions and O(n) neighbor

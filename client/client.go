@@ -40,6 +40,7 @@ type Client struct {
 	jitter     func(d time.Duration) time.Duration
 	sleep      func(ctx context.Context, d time.Duration) error
 	onBackoff  func(d time.Duration)
+	apiKey     string
 }
 
 // Option configures a Client.
@@ -85,6 +86,13 @@ func WithSleep(fn func(ctx context.Context, d time.Duration) error) Option {
 func WithBackpressureHook(fn func(d time.Duration)) Option {
 	return func(c *Client) { c.onBackoff = fn }
 }
+
+// WithAPIKey sends the key as X-API-Key on every request, selecting
+// the tenant whose rate limits, queue quota and fair-queueing weight
+// govern this client's traffic. Without a key the client is the
+// shared anonymous tenant (rejected outright when the server runs
+// with require_key).
+func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
 
 // New returns a client for the service at baseURL (e.g.
 // "http://localhost:8080"). The client always speaks the /v1 routes.
@@ -224,6 +232,9 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return "", err
@@ -309,6 +320,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

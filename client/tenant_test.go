@@ -1,0 +1,121 @@
+// Tenant-facing client tests: WithAPIKey threads X-API-Key through
+// every call, per-tenant rate limits back off independently (one
+// tenant's empty bucket never slows another's client), and the typed
+// unauthorized/rate_limited predicates match the server's taxonomy.
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"starmesh/internal/serve"
+)
+
+// newTenantService spins up a service with a tenant registry and
+// returns the server URL for per-key clients.
+func newTenantService(t *testing.T, cfg serve.Config) string {
+	t.Helper()
+	svc, err := serve.NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	})
+	return ts.URL
+}
+
+// TestPerTenantRateLimitIndependence drives two keyed clients into
+// one service: tenant a's bucket holds a single token refilled at
+// 0.001/s, tenant b is unlimited. a's client must burn its retry
+// budget sleeping exactly the server-computed Retry-After (1000s at
+// that rate, observed by a fake clock) and surface rate_limited —
+// while b's client, talking to the same server the whole time, never
+// sleeps at all.
+func TestPerTenantRateLimitIndependence(t *testing.T) {
+	url := newTenantService(t, serve.Config{Workers: 1, Queue: 16,
+		Tenants: []serve.TenantConfig{
+			{Name: "a", Key: "key-a", RatePerSec: 0.001, Burst: 1},
+			{Name: "b", Key: "key-b", Weight: 2},
+		}})
+	ctx := context.Background()
+
+	var sleptA, sleptB []time.Duration
+	ca := New(url, WithAPIKey("key-a"), WithMaxRetries(2), client429Sleeper(&sleptA))
+	cb := New(url, WithAPIKey("key-b"), client429Sleeper(&sleptB))
+
+	// a's burst token admits one job, attributed to tenant a.
+	job, err := ca.Submit(ctx, quickSpec(1))
+	if err != nil {
+		t.Fatalf("burst submit: %v", err)
+	}
+	if job.Tenant != "a" {
+		t.Fatalf("job tenant %q, want a", job.Tenant)
+	}
+
+	// The bucket is empty for the next ~1000s: the client retries on
+	// the server's Retry-After, exhausts its budget, and reports the
+	// typed rate_limited — distinct from queue_full backpressure.
+	_, err = ca.Submit(ctx, quickSpec(2))
+	if !IsRateLimited(err) {
+		t.Fatalf("empty-bucket submit returned %v, want rate_limited", err)
+	}
+	if IsQueueFull(err) {
+		t.Fatal("rate_limited must not read as queue_full")
+	}
+	if len(sleptA) != 2 || sleptA[0] != 1000*time.Second || sleptA[1] != 1000*time.Second {
+		t.Fatalf("a's fake clock recorded %v, want [1000s 1000s] from the computed Retry-After", sleptA)
+	}
+
+	// b's client shares the server but not the bucket: every submit
+	// lands first try, no backoff, correct attribution.
+	for seed := int64(10); seed < 13; seed++ {
+		job, err := cb.Submit(ctx, quickSpec(seed))
+		if err != nil {
+			t.Fatalf("tenant b submit: %v", err)
+		}
+		if job.Tenant != "b" {
+			t.Fatalf("job tenant %q, want b", job.Tenant)
+		}
+	}
+	if len(sleptB) != 0 {
+		t.Fatalf("tenant b slept %v behind a's rate limit", sleptB)
+	}
+}
+
+// TestClientUnauthorized pins the 401 path: under require_key a
+// keyless client and a wrong-key client both get the typed
+// unauthorized error, which the retry loop must not retry.
+func TestClientUnauthorized(t *testing.T) {
+	url := newTenantService(t, serve.Config{Workers: 1, Queue: 8, RequireKey: true,
+		Tenants: []serve.TenantConfig{{Name: "ci", Key: "key-ci"}}})
+	ctx := context.Background()
+
+	var slept []time.Duration
+	for _, key := range []string{"", "wrong"} {
+		c := New(url, WithAPIKey(key), WithMaxRetries(5), client429Sleeper(&slept))
+		if _, err := c.Submit(ctx, quickSpec(1)); !IsUnauthorized(err) {
+			t.Fatalf("key %q returned %v, want unauthorized", key, err)
+		}
+	}
+	if len(slept) != 0 {
+		t.Fatalf("client retried a 401 %d times — unauthorized is not transient", len(slept))
+	}
+
+	// The real key works, and the whole lifecycle stays keyed: Await
+	// polls and the result lands under the tenant.
+	c := New(url, WithAPIKey("key-ci"))
+	job, err := c.Submit(ctx, quickSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job, err = c.Await(ctx, job.ID); err != nil || job.Status != StatusDone || job.Tenant != "ci" {
+		t.Fatalf("keyed lifecycle: %+v, %v", job, err)
+	}
+}

@@ -41,10 +41,15 @@ const (
 	TraceMachineReady    = serve.TraceMachineReady
 	TraceCancelRequested = serve.TraceCancelRequested
 	TraceRecovered       = serve.TraceRecovered
+	TracePreempted       = serve.TracePreempted
 )
 
 // Stats is the aggregated service view (GET /v1/stats).
 type Stats = serve.Stats
+
+// TenantStats is one tenant's row in the windowed leaderboard
+// (Stats.Tenants).
+type TenantStats = serve.TenantStats
 
 // JobPage is one page of the job listing (GET /v1/jobs).
 type JobPage = serve.JobPage
@@ -62,6 +67,8 @@ const (
 	CodeNotFound        = serve.CodeNotFound
 	CodeTerminal        = serve.CodeTerminal
 	CodeQueueFull       = serve.CodeQueueFull
+	CodeRateLimited     = serve.CodeRateLimited
+	CodeUnauthorized    = serve.CodeUnauthorized
 	CodeDraining        = serve.CodeDraining
 	CodeInternal        = serve.CodeInternal
 )
@@ -112,6 +119,14 @@ func IsTerminal(err error) bool { return codeIs(err, CodeTerminal) }
 // IsQueueFull reports 429 backpressure that survived the retry
 // budget.
 func IsQueueFull(err error) bool { return codeIs(err, CodeQueueFull) }
+
+// IsRateLimited reports a 429 tenant rate-limit rejection that
+// survived the retry budget (the tenant's token bucket, as opposed
+// to queue backpressure — see IsQueueFull).
+func IsRateLimited(err error) bool { return codeIs(err, CodeRateLimited) }
+
+// IsUnauthorized reports a 401 unknown-or-missing API key rejection.
+func IsUnauthorized(err error) bool { return codeIs(err, CodeUnauthorized) }
 
 // IsDraining reports a 503 draining rejection.
 func IsDraining(err error) bool { return codeIs(err, CodeDraining) }

@@ -31,6 +31,9 @@ func (c *Client) Watch(ctx context.Context, id string) (*Watcher, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err

@@ -24,8 +24,10 @@ import (
 func remoteFlags(fs *flag.FlagSet) func() *client.Client {
 	addr := fs.String("addr", "http://localhost:8080", "base URL of the job service")
 	retries := fs.Int("retries", 4, "429 retry budget per call (-1 = retry forever)")
+	apiKey := fs.String("api-key", os.Getenv("STARMESH_API_KEY"),
+		"tenant API key sent as X-API-Key (default $STARMESH_API_KEY; empty = anonymous tenant)")
 	return func() *client.Client {
-		return client.New(*addr, client.WithMaxRetries(*retries))
+		return client.New(*addr, client.WithMaxRetries(*retries), client.WithAPIKey(*apiKey))
 	}
 }
 

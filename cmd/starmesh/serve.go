@@ -34,6 +34,8 @@ func cmdServe(args []string) {
 		"durable WAL-backed job store directory (empty = in-memory; on restart, queued jobs are re-admitted in order and interrupted running jobs re-execute deterministically)")
 	snapshotEvery := fs.Int("snapshot-every", 0,
 		"WAL records between snapshot+compaction cycles of the durable store (0 = 256)")
+	tenantsPath := fs.String("tenants", "",
+		"tenant registry JSON file (API keys, fair-queueing weights, rate limits, queue quotas; see docs/tenancy.md). Empty = single anonymous tenant")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	logFormat := fs.String("log-format", "text", "log encoding: text or json")
 	pprofAddr := fs.String("pprof-addr", "",
@@ -48,6 +50,14 @@ func cmdServe(args []string) {
 		fatalf("%v", err)
 	}
 
+	var tenantsFile serve.TenantsFile
+	if *tenantsPath != "" {
+		tenantsFile, err = serve.LoadTenantsFile(*tenantsPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
 	svc, err := serve.NewService(serve.Config{
 		Workers:       *workers,
 		Queue:         *queue,
@@ -58,6 +68,8 @@ func cmdServe(args []string) {
 		DrainGrace:    *drainGrace,
 		StoreDir:      *storeDir,
 		SnapshotEvery: *snapshotEvery,
+		Tenants:       tenantsFile.Tenants,
+		RequireKey:    tenantsFile.RequireKey,
 		Logger:        log,
 	})
 	if err != nil {
@@ -67,7 +79,8 @@ func cmdServe(args []string) {
 	defer stop()
 	log.Info("job service starting",
 		"addr", *addr, "workers", *workers, "queue", *queue, "pool", *pool,
-		"engine", *engine, "plan", *plan, "store", storeKind(*storeDir))
+		"engine", *engine, "plan", *plan, "store", storeKind(*storeDir),
+		"tenants", len(tenantsFile.Tenants), "require_key", tenantsFile.RequireKey)
 	if dur := svc.Durability(); dur.Store == "wal" &&
 		(dur.RecoveredQueued > 0 || dur.ReexecutedRunning > 0 || dur.CanceledAtRecovery > 0) {
 		log.Info("crash recovery complete",

@@ -82,6 +82,9 @@ func BenchCompare(w io.Writer) error {
 	margin := envFloat("BENCH_COMPARE_MARGIN", 0.5)
 	regressed, verdict := rec.RegressionAgainst(baseline, margin)
 	fmt.Fprintf(w, "baseline %s (%s): %s\n", basePath, baseline.Timestamp, verdict)
+	exptab.StepSummary("### Bench-compare (S_%d sweep × %d)\n"+
+		"sweeps/s min/median/max: %.1f / %.1f / %.1f — %s",
+		n, reps, rec.SweepsPS.Min, rec.SweepsPS.Median, rec.SweepsPS.Max, verdict)
 	if regressed {
 		msg := fmt.Sprintf("bench-compare: sweep throughput regressed: %s", verdict)
 		if os.Getenv("BENCH_COMPARE_GATE") != "" {

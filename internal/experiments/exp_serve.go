@@ -106,6 +106,11 @@ func ServeLoad(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "record written to %s\n", path)
+	exptab.StepSummary("### Serve load (closed loop)\n"+
+		"| mode | jobs/s |\n|---|---|\n| pooled | %.1f |\n| build-per-job | %.1f |\n| wal-durable | %.1f |\n| bare-noobs | %.1f |\n\n"+
+		"pooled speedup %.2fx · WAL overhead %.1f%% · obs overhead %.1f%% · parity %t",
+		rec.PooledThroughput, rec.UnpooledThroughput, rec.DurableThroughput, rec.BareThroughput,
+		rec.SpeedupPooled, 100*rec.WALOverheadFrac, 100*rec.ObsOverheadFrac, rec.ParityOK)
 
 	if rec.SpeedupPooled < 1 {
 		msg := fmt.Sprintf("pooled throughput (%.1f jobs/s) below build-per-job (%.1f jobs/s)",

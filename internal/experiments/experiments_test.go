@@ -23,6 +23,11 @@ func TestMain(m *testing.M) {
 	os.Setenv("BENCH_COMPARE_BASELINE", filepath.Join(dir, "BENCH_compare.json"))
 	os.Setenv("BENCH_COMPARE_N", "6")
 	os.Setenv("BENCH_COMPARE_REPS", "3")
+	// Route the fairness record to scratch too, and shrink its phases
+	// so the suite stays fast; gate ratios are only meaningful on the
+	// full window CI runs.
+	os.Setenv("BENCH_TENANTS_PATH", filepath.Join(dir, "BENCH_tenants.json"))
+	os.Setenv("BENCH_TENANTS_PHASE_MS", "400")
 	code := m.Run()
 	os.RemoveAll(dir)
 	os.Exit(code)

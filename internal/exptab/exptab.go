@@ -7,6 +7,7 @@ package exptab
 import (
 	"fmt"
 	"io"
+	"os"
 	"strings"
 )
 
@@ -69,6 +70,28 @@ func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintln(w, strings.Repeat("-", total))
 	for _, r := range t.Rows {
 		line(r)
+	}
+}
+
+// StepSummary appends a Markdown fragment to the file named by
+// $GITHUB_STEP_SUMMARY — GitHub Actions renders it on the job's
+// summary page, so each bench job surfaces its key numbers without
+// anyone digging through logs. Outside Actions (the variable unset)
+// it is a no-op; write errors are reported but never fail the
+// experiment, since the summary is advisory next to the gates.
+func StepSummary(format string, args ...any) {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "exptab: opening step summary: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, format+"\n", args...); err != nil {
+		fmt.Fprintf(os.Stderr, "exptab: writing step summary: %v\n", err)
 	}
 }
 

@@ -291,7 +291,7 @@ func TestStorePageFiltersByStatus(t *testing.T) {
 	st := newStore()
 	now := time.Now()
 	for i := 0; i < 6; i++ {
-		j := st.add(JobSpec{Kind: KindSweep, N: 3}, now)
+		j := st.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now)
 		if i%2 == 0 {
 			if _, ok := st.claim(j.ID, now, nil); !ok {
 				t.Fatal("claim failed")

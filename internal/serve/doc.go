@@ -73,6 +73,26 @@
 // internal/faultfs is the deterministic fault-injection harness the
 // recovery tests are built on.
 //
+// # Multi-tenant traffic shaping
+//
+// Tenancy is first-class (tenant.go, sched.go; docs/tenancy.md).
+// Config.Tenants — loaded from a JSON registry by LoadTenantsFile —
+// maps API keys to named tenants, each with a fair-queueing weight,
+// an optional token-bucket rate limit (429 rate_limited with a
+// computed Retry-After) and an optional per-tenant queue quota.
+// Submissions resolve the X-API-Key header to a tenant (missing key
+// = the anonymous tenant, or 401 unauthorized under RequireKey),
+// and the admission queue is a weighted fair queue: deficit
+// round-robin over per-tenant queues, so a flooding tenant
+// lengthens only its own backlog and backlogged tenants complete
+// jobs in proportion to their weights. Spec.Priority (0-9) orders
+// jobs within one tenant's queue and can preempt a running
+// lower-priority multi-trial sweep at its cancellation checkpoint —
+// the victim requeues with partial stats and re-executes
+// bit-identically. Stats carries a sliding-window per-tenant
+// leaderboard (StatsWindow) with Poisson throughput intervals and
+// rank-uncertainty bounds.
+//
 // # The v1 contract
 //
 // The HTTP surface is versioned under /v1 (pre-v1 unversioned paths
@@ -84,16 +104,16 @@
 //	GET    /v1/jobs/{id}       job status and result     → 200 Job
 //	DELETE /v1/jobs/{id}       cancel queued or running  → 200 Job
 //	GET    /v1/jobs/{id}/watch ndjson transition stream  → 200 Job…
-//	GET    /v1/stats           aggregated service view   → 200 Stats
+//	GET    /v1/stats           aggregated view, ?window= → 200 Stats
 //	GET    /v1/healthz         liveness + drain state    → 200/503 Health
 //
 // Errors are structured — {"error":{"code":…,"message":…}} — with a
 // typed code taxonomy (ErrorCode) mapped to HTTP statuses exactly
-// once (errors.go): invalid_spec/invalid_argument 400, not_found
-// 404, terminal 409, queue_full 429 (+Retry-After), draining 503,
-// internal 500. The watch stream is a store subscription: every
-// status transition publishes a snapshot; the stream ends after the
-// terminal one.
+// once (errors.go): invalid_spec/invalid_argument 400, unauthorized
+// 401, not_found 404, terminal 409, queue_full/rate_limited 429
+// (+Retry-After), draining 503, internal 500. The watch stream is a
+// store subscription: every status transition publishes a snapshot;
+// the stream ends after the terminal one.
 //
 // The public typed client (starmesh/client) is the supported caller:
 // the CLI's remote subcommands and the load generator

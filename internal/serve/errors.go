@@ -27,6 +27,13 @@ var (
 	// terminal status (done, failed or canceled) — a 409 conflict, not
 	// a silent no-op.
 	ErrTerminal = errors.New("serve: job already terminal")
+	// ErrRateLimited rejects a submission the tenant's token bucket
+	// cannot cover — a 429 whose Retry-After says when it could
+	// (RateLimitError carries the wait).
+	ErrRateLimited = errors.New("serve: tenant rate limit exceeded")
+	// ErrUnauthorized rejects a submission whose X-API-Key is unknown,
+	// or that presents none while the registry requires one.
+	ErrUnauthorized = errors.New("serve: unauthorized")
 )
 
 // ErrNotCancelable is the pre-v1 name of ErrTerminal, kept as an
@@ -43,6 +50,8 @@ const (
 	CodeNotFound        ErrorCode = "not_found"        // 404: no such job (or evicted)
 	CodeTerminal        ErrorCode = "terminal"         // 409: job already done/failed/canceled
 	CodeQueueFull       ErrorCode = "queue_full"       // 429: admission queue full, honor Retry-After
+	CodeRateLimited     ErrorCode = "rate_limited"     // 429: tenant token bucket empty, honor Retry-After
+	CodeUnauthorized    ErrorCode = "unauthorized"     // 401: unknown or missing API key
 	CodeDraining        ErrorCode = "draining"         // 503: service shutting down
 	CodeInternal        ErrorCode = "internal"         // 500: anything unclassified
 )
@@ -56,8 +65,10 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusNotFound
 	case CodeTerminal:
 		return http.StatusConflict
-	case CodeQueueFull:
+	case CodeQueueFull, CodeRateLimited:
 		return http.StatusTooManyRequests
+	case CodeUnauthorized:
+		return http.StatusUnauthorized
 	case CodeDraining:
 		return http.StatusServiceUnavailable
 	default:
@@ -74,6 +85,10 @@ func codeOf(err error) ErrorCode {
 		return CodeNotFound
 	case errors.Is(err, ErrTerminal):
 		return CodeTerminal
+	case errors.Is(err, ErrRateLimited):
+		return CodeRateLimited
+	case errors.Is(err, ErrUnauthorized):
+		return CodeUnauthorized
 	case errors.Is(err, ErrQueueFull):
 		return CodeQueueFull
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrPoolClosed):

@@ -177,7 +177,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, CodeInvalidArgument, fmt.Sprintf("bad job spec: %v", err), nil)
 		return
 	}
-	job, err := s.Submit(spec)
+	job, err := s.SubmitWithKey(r.Header.Get("X-API-Key"), spec)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -204,7 +204,7 @@ func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, CodeInvalidArgument, fmt.Sprintf("bad batch request: %v", err), nil)
 		return
 	}
-	jobs, err := s.SubmitBatch(req.Specs)
+	jobs, err := s.SubmitBatchWithKey(r.Header.Get("X-API-Key"), req.Specs)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -307,8 +307,20 @@ func (s *Service) handleWatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleStats serves the aggregated view; ?window=30s (a Go
+// duration) sets the trailing window of the per-tenant leaderboard.
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	window := time.Duration(0)
+	if q := r.URL.Query().Get("window"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			writeErrorCode(w, CodeInvalidArgument,
+				fmt.Sprintf("bad window %q (want a positive Go duration like 30s)", q), nil)
+			return
+		}
+		window = d
+	}
+	writeJSON(w, http.StatusOK, s.StatsWindow(window))
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -341,11 +353,17 @@ func writeError(w http.ResponseWriter, err error) {
 	if errors.As(err, &batch) {
 		details = batch.Items
 	}
+	// A rate-limit rejection knows exactly how long until the token
+	// bucket covers the request; say so instead of the generic 1s.
+	var rl *RateLimitError
+	if errors.As(err, &rl) {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(rl.Wait)))
+	}
 	writeErrorCode(w, code, err.Error(), details)
 }
 
 func writeErrorCode(w http.ResponseWriter, code ErrorCode, msg string, details []BatchItemError) {
-	if code == CodeQueueFull {
+	if (code == CodeQueueFull || code == CodeRateLimited) && w.Header().Get("Retry-After") == "" {
 		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, code.HTTPStatus(), ErrorBody{Error: ErrorInfo{

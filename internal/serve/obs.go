@@ -10,6 +10,7 @@ package serve
 
 import (
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -31,9 +32,25 @@ type serveMetrics struct {
 	jobsRunning      obs.Gauge
 	jobsAdmitted     *obs.CounterVec // kind
 	jobsRejected     *obs.CounterVec // reason
-	jobsFinished     *obs.CounterVec // status, kind
+	jobsFinished     *obs.CounterVec // status, kind, tenant
 	queueWaitSeconds obs.Histogram
 	jobRunSeconds    *obs.HistogramVec // kind
+
+	// Tenancy. The per-series handles the scheduler hot path bumps
+	// are cached in the maps below (struct/string keys, no joins):
+	// CounterVec.With is variadic and allocates its argument slice on
+	// every call, so the finish hook resolves each (status, kind,
+	// tenant) series exactly once and then increments a cached handle
+	// — no allocations in the steady state.
+	tenantAdmittedVec *obs.CounterVec   // tenant
+	tenantRejectedVec *obs.CounterVec   // tenant, reason
+	tenantWaitVec     *obs.HistogramVec // tenant
+	tenantPreempts    *obs.CounterVec   // (no labels; preemptions are rare)
+	handleMu          sync.RWMutex
+	finishedHandles   map[finishKey]obs.Counter
+	admittedHandles   map[string]obs.Counter
+	rejectedHandles   map[rejectKey]obs.Counter
+	tenantWaitHandles map[string]obs.Histogram
 
 	// Pools.
 	checkoutWaitSeconds *obs.HistogramVec // shape
@@ -76,18 +93,40 @@ func newServeMetrics(s *Service) *serveMetrics {
 	m.jobsRejected = r.Counter("starmesh_jobs_rejected_total",
 		"Submissions rejected at admission, by reason (queue_full, draining, invalid_spec).", "reason")
 	m.jobsFinished = r.Counter("starmesh_jobs_finished_total",
-		"Jobs that reached a terminal status, by status and kind.", "status", "kind")
+		"Jobs that reached a terminal status, by status, kind and tenant.", "status", "kind", "tenant")
 	m.queueWaitSeconds = r.Histogram("starmesh_queue_wait_seconds",
 		"Time jobs spent queued before a worker claimed them.", nil).With()
 	m.jobRunSeconds = r.Histogram("starmesh_job_run_seconds",
 		"Execution time of finished jobs, by scenario kind.", runSecondsBuckets, "kind")
 	r.CollectFunc("starmesh_queue_depth",
-		"Jobs waiting in the admission queue.", obs.TypeGauge, nil,
-		func() []obs.Sample { return []obs.Sample{{Value: float64(len(s.queue))}} })
+		"Jobs waiting in the scheduler, all tenants.", obs.TypeGauge, nil,
+		func() []obs.Sample { return []obs.Sample{{Value: float64(s.sched.depth())}} })
 	r.CollectFunc("starmesh_queue_capacity",
 		"Admission queue capacity (the configured depth; recovered backlog rides above it).",
 		obs.TypeGauge, nil,
 		func() []obs.Sample { return []obs.Sample{{Value: float64(s.queueCap)}} })
+
+	// Tenancy.
+	m.tenantAdmittedVec = r.Counter("starmesh_tenant_admitted_total",
+		"Jobs admitted, by tenant.", "tenant")
+	m.tenantRejectedVec = r.Counter("starmesh_tenant_rejected_total",
+		"Submissions rejected, by tenant and reason (rate_limited, queue_full, invalid_spec, draining).",
+		"tenant", "reason")
+	m.tenantWaitVec = r.Histogram("starmesh_tenant_queue_wait_seconds",
+		"Time jobs spent queued before a worker claimed them, by tenant.", nil, "tenant")
+	m.tenantPreempts = r.Counter("starmesh_jobs_preempted_total",
+		"Running jobs bounced back to their tenant queue by a higher-priority submission.")
+	r.CollectFunc("starmesh_tenant_queue_depth",
+		"Jobs waiting in the scheduler, by tenant (backlogged tenants only).",
+		obs.TypeGauge, []string{"tenant"},
+		func() []obs.Sample {
+			depths := s.sched.depths()
+			out := make([]obs.Sample, 0, len(depths))
+			for name, n := range depths {
+				out = append(out, obs.Sample{LabelValues: []string{name}, Value: float64(n)})
+			}
+			return out
+		})
 
 	// Pools: builds/reuses/occupancy sampled from the pool counters.
 	r.CollectFunc("starmesh_pool_builds_total",
@@ -188,7 +227,83 @@ func newServeMetrics(s *Service) *serveMetrics {
 			return []obs.Sample{{Value: v}}
 		})
 
+	m.finishedHandles = make(map[finishKey]obs.Counter)
+	m.admittedHandles = make(map[string]obs.Counter)
+	m.rejectedHandles = make(map[rejectKey]obs.Counter)
+	m.tenantWaitHandles = make(map[string]obs.Histogram)
+
 	return m
+}
+
+// finishKey identifies one resolved jobs_finished series.
+type finishKey struct{ status, kind, tenant string }
+
+// rejectKey identifies one resolved tenant_rejected series.
+type rejectKey struct{ tenant, reason string }
+
+// finished resolves the (status, kind, tenant) finish counter,
+// cached so the store's finish hook allocates nothing after the
+// first job of each combination.
+func (m *serveMetrics) finished(status Status, kind, tenant string) obs.Counter {
+	k := finishKey{string(status), kind, tenant}
+	m.handleMu.RLock()
+	c, ok := m.finishedHandles[k]
+	m.handleMu.RUnlock()
+	if ok {
+		return c
+	}
+	c = m.jobsFinished.With(k.status, k.kind, k.tenant)
+	m.handleMu.Lock()
+	m.finishedHandles[k] = c
+	m.handleMu.Unlock()
+	return c
+}
+
+// tenantAdmitted resolves a tenant's admission counter (cached).
+func (m *serveMetrics) tenantAdmitted(tenant string) obs.Counter {
+	m.handleMu.RLock()
+	c, ok := m.admittedHandles[tenant]
+	m.handleMu.RUnlock()
+	if ok {
+		return c
+	}
+	c = m.tenantAdmittedVec.With(tenant)
+	m.handleMu.Lock()
+	m.admittedHandles[tenant] = c
+	m.handleMu.Unlock()
+	return c
+}
+
+// tenantRejected resolves a (tenant, reason) rejection counter
+// (cached).
+func (m *serveMetrics) tenantRejected(tenant, reason string) obs.Counter {
+	k := rejectKey{tenant, reason}
+	m.handleMu.RLock()
+	c, ok := m.rejectedHandles[k]
+	m.handleMu.RUnlock()
+	if ok {
+		return c
+	}
+	c = m.tenantRejectedVec.With(tenant, reason)
+	m.handleMu.Lock()
+	m.rejectedHandles[k] = c
+	m.handleMu.Unlock()
+	return c
+}
+
+// tenantQueueWait resolves a tenant's queue-wait histogram (cached).
+func (m *serveMetrics) tenantQueueWait(tenant string) obs.Histogram {
+	m.handleMu.RLock()
+	h, ok := m.tenantWaitHandles[tenant]
+	m.handleMu.RUnlock()
+	if ok {
+		return h
+	}
+	h = m.tenantWaitVec.With(tenant)
+	m.handleMu.Lock()
+	m.tenantWaitHandles[tenant] = h
+	m.handleMu.Unlock()
+	return h
 }
 
 // poolSamples maps every pool's stats through one field selector.

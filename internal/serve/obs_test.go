@@ -81,8 +81,15 @@ func TestMetricsEndpointCoversEverySubsystem(t *testing.T) {
 	if v, ok := sc.Value("starmesh_jobs_admitted_total", map[string]string{"kind": "sort"}); !ok || v != 2 {
 		t.Fatalf("jobs_admitted_total{kind=sort} = %v, %t; want 2", v, ok)
 	}
-	if v, ok := sc.Value("starmesh_jobs_finished_total", map[string]string{"status": "done", "kind": "sort"}); !ok || v != 2 {
-		t.Fatalf("jobs_finished_total{done,sort} = %v, %t; want 2", v, ok)
+	if v, ok := sc.Value("starmesh_jobs_finished_total",
+		map[string]string{"status": "done", "kind": "sort", "tenant": DefaultTenant}); !ok || v != 2 {
+		t.Fatalf("jobs_finished_total{done,sort,anon} = %v, %t; want 2", v, ok)
+	}
+	if v, ok := sc.Value("starmesh_tenant_admitted_total", map[string]string{"tenant": DefaultTenant}); !ok || v != 2 {
+		t.Fatalf("tenant_admitted_total{anon} = %v, %t; want 2", v, ok)
+	}
+	if v, ok := sc.Value("starmesh_tenant_queue_wait_seconds_count", map[string]string{"tenant": DefaultTenant}); !ok || v != 2 {
+		t.Fatalf("tenant_queue_wait_seconds_count{anon} = %v, %t; want 2", v, ok)
 	}
 	if v, ok := sc.Value("starmesh_jobs_running", nil); !ok || v != 0 {
 		t.Fatalf("jobs_running = %v, %t; want 0 after both jobs finished", v, ok)
@@ -255,7 +262,7 @@ func TestTraceSurvivesCrashRecovery(t *testing.T) {
 
 	// A job that completes before the crash: its trace must replay
 	// bit-intact.
-	done := ds.add(JobSpec{Kind: KindSweep, N: 3}, now)
+	done := ds.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now)
 	if _, ok := ds.claim(done.ID, now.Add(time.Millisecond), nil); !ok {
 		t.Fatal("claim failed")
 	}
@@ -267,7 +274,7 @@ func TestTraceSurvivesCrashRecovery(t *testing.T) {
 	// restarts from submitted with a recovered marker — the old
 	// claimed/machine_ready events describe an execution that never
 	// finished and would mislead.
-	interrupted := ds.add(JobSpec{Kind: KindSweep, N: 4}, now)
+	interrupted := ds.add(JobSpec{Kind: KindSweep, N: 4}, DefaultTenant, now)
 	if _, ok := ds.claim(interrupted.ID, now.Add(time.Millisecond), nil); !ok {
 		t.Fatal("claim failed")
 	}

@@ -1,0 +1,245 @@
+// The weighted fair queue: per-tenant job queues drained by deficit
+// round robin. The single bounded FIFO channel the service used
+// through PR 8 let one hot tenant occupy every slot; here each
+// tenant queues separately, and workers visit the backlogged tenants
+// in a ring, each visit granting deficit equal to the tenant's
+// weight and serving that many jobs before moving on — so over any
+// busy window, tenants get worker time proportional to their
+// weights, independent of how fast they submit.
+//
+// Within one tenant the queue orders by (priority desc, admission
+// seq asc): a tenant's urgent jobs jump its own line, never another
+// tenant's. The global capacity bound is unchanged from the channel
+// days (ErrQueueFull backpressure); per-tenant MaxQueued quotas
+// bound how much of it one tenant can hold.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// queuedJob is one scheduler entry. seq is the admission sequence
+// (from the job id), the FIFO tiebreak within a priority class.
+type queuedJob struct {
+	id       string
+	seq      int
+	priority int
+}
+
+// tenantQueue is one tenant's pending jobs plus its DRR state.
+type tenantQueue struct {
+	name    string
+	weight  int
+	deficit int
+	jobs    []queuedJob
+}
+
+// insert places j by (priority desc, seq asc).
+func (q *tenantQueue) insert(j queuedJob) {
+	i := sort.Search(len(q.jobs), func(i int) bool {
+		if q.jobs[i].priority != j.priority {
+			return q.jobs[i].priority < j.priority
+		}
+		return q.jobs[i].seq > j.seq
+	})
+	q.jobs = append(q.jobs, queuedJob{})
+	copy(q.jobs[i+1:], q.jobs[i:])
+	q.jobs[i] = j
+}
+
+// wfq is the scheduler: a capacity-bounded set of per-tenant queues
+// and the DRR ring of the currently backlogged ones. Blocking pop
+// replaces the channel receive the workers used to range over.
+type wfq struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	size     int
+	closed   bool // intake closed (drain); pop returns false once empty
+
+	queues map[string]*tenantQueue
+	active []*tenantQueue // backlogged tenants, the DRR ring
+	idx    int            // ring position
+}
+
+func newWFQ(capacity int) *wfq {
+	w := &wfq{capacity: capacity, queues: make(map[string]*tenantQueue)}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// push enqueues one job for a tenant. force bypasses both the global
+// capacity and the tenant quota — recovery re-admission and
+// preemption requeues must never fail. The error is ErrQueueFull
+// (global) or a wrapped ErrQueueFull naming the tenant quota.
+func (w *wfq) push(tenantName string, weight, maxQueued int, j queuedJob, force bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !force && w.size >= w.capacity {
+		return ErrQueueFull
+	}
+	q, ok := w.queues[tenantName]
+	if !ok {
+		q = &tenantQueue{name: tenantName}
+		w.queues[tenantName] = q
+	}
+	q.weight = weight
+	if q.weight <= 0 {
+		q.weight = 1
+	}
+	if !force && maxQueued > 0 && len(q.jobs) >= maxQueued {
+		return &TenantQueueFullError{Tenant: tenantName, MaxQueued: maxQueued}
+	}
+	q.insert(j)
+	if len(q.jobs) == 1 {
+		w.active = append(w.active, q)
+	}
+	w.size++
+	w.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available and returns the DRR pick;
+// ok=false means the intake is closed and every queue is empty — the
+// worker's signal to exit (the old "channel closed").
+func (w *wfq) pop() (id string, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.size == 0 {
+		if w.closed {
+			return "", false
+		}
+		w.cond.Wait()
+	}
+	q := w.active[w.idx]
+	if q.deficit <= 0 {
+		// Fresh visit in this round: grant the tenant its share.
+		q.deficit = q.weight
+	}
+	j := q.jobs[0]
+	copy(q.jobs, q.jobs[1:])
+	q.jobs = q.jobs[:len(q.jobs)-1]
+	q.deficit--
+	w.size--
+	if len(q.jobs) == 0 {
+		// Emptied: leave the ring and forfeit any leftover deficit
+		// (banking credit across idle periods would let a returning
+		// tenant burst past its share).
+		q.deficit = 0
+		w.active = append(w.active[:w.idx], w.active[w.idx+1:]...)
+		if len(w.active) > 0 {
+			w.idx %= len(w.active)
+		} else {
+			w.idx = 0
+		}
+	} else if q.deficit == 0 {
+		w.idx = (w.idx + 1) % len(w.active)
+	}
+	return j.id, true
+}
+
+// remove drops a queued job (canceled while waiting) so it stops
+// occupying queue capacity. The worker-side claim already tolerates
+// canceled ids, so remove is an optimization, not a correctness
+// requirement — but without it a canceled backlog would keep
+// rejecting live submissions.
+func (w *wfq) remove(tenantName, id string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	q, ok := w.queues[tenantName]
+	if !ok {
+		return
+	}
+	for i := range q.jobs {
+		if q.jobs[i].id == id {
+			copy(q.jobs[i:], q.jobs[i+1:])
+			q.jobs = q.jobs[:len(q.jobs)-1]
+			w.size--
+			if len(q.jobs) == 0 {
+				q.deficit = 0
+				for ai, aq := range w.active {
+					if aq == q {
+						w.active = append(w.active[:ai], w.active[ai+1:]...)
+						if ai < w.idx {
+							w.idx--
+						}
+						if len(w.active) > 0 {
+							w.idx %= len(w.active)
+						} else {
+							w.idx = 0
+						}
+						break
+					}
+				}
+			}
+			return
+		}
+	}
+}
+
+// closeIntake stops admission: pushes still work only with force,
+// and pop drains what remains, then reports done.
+func (w *wfq) closeIntake() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// depth is the total queued-job count.
+func (w *wfq) depth() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// free is the remaining global capacity (0 when over capacity from
+// forced pushes).
+func (w *wfq) free() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.size >= w.capacity {
+		return 0
+	}
+	return w.capacity - w.size
+}
+
+// queuedFor is one tenant's current backlog.
+func (w *wfq) queuedFor(tenantName string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if q, ok := w.queues[tenantName]; ok {
+		return len(q.jobs)
+	}
+	return 0
+}
+
+// depths snapshots every tenant's backlog (for the per-tenant queue
+// depth gauge and the leaderboard).
+func (w *wfq) depths() map[string]int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string]int, len(w.queues))
+	for name, q := range w.queues {
+		if len(q.jobs) > 0 {
+			out[name] = len(q.jobs)
+		}
+	}
+	return out
+}
+
+// TenantQueueFullError is a 429 queue_full rejection scoped to one
+// tenant's MaxQueued quota (the shared queue may have room — this
+// tenant's slice of it does not).
+type TenantQueueFullError struct {
+	Tenant    string
+	MaxQueued int
+}
+
+func (e *TenantQueueFullError) Error() string {
+	return fmt.Sprintf("serve: tenant %q queue quota full (max_queued %d)", e.Tenant, e.MaxQueued)
+}
+
+func (e *TenantQueueFullError) Unwrap() error { return ErrQueueFull }

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// drainWFQ pops every queued job without blocking (the queue must
+// hold size jobs).
+func drainWFQ(t *testing.T, w *wfq, n int) []string {
+	t.Helper()
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id, ok := w.pop()
+		if !ok {
+			t.Fatalf("pop %d reported closed", i)
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+func TestWFQDeficitRoundRobinShares(t *testing.T) {
+	w := newWFQ(100)
+	// Tenant a weight 3, tenant b weight 1, both fully backlogged.
+	for i := 0; i < 12; i++ {
+		if err := w.push("a", 3, 0, queuedJob{id: fmt.Sprintf("a-%02d", i), seq: i}, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.push("b", 1, 0, queuedJob{id: fmt.Sprintf("b-%02d", i), seq: i}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainWFQ(t, w, 8)
+	// One DRR round serves 3 of a, then 1 of b — repeating.
+	want := []string{"a-00", "a-01", "a-02", "b-00", "a-03", "a-04", "a-05", "b-01"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DRR order %v, want %v", got, want)
+		}
+	}
+	if d := w.depth(); d != 16 {
+		t.Fatalf("depth = %d after 8 of 24 popped", d)
+	}
+}
+
+// An emptied queue forfeits leftover deficit: when tenant a returns,
+// it does not burst past its share with banked credit.
+func TestWFQNoDeficitBanking(t *testing.T) {
+	w := newWFQ(100)
+	w.push("a", 4, 0, queuedJob{id: "a-0", seq: 0}, false)
+	w.push("b", 1, 0, queuedJob{id: "b-0", seq: 0}, false)
+	w.push("b", 1, 0, queuedJob{id: "b-1", seq: 1}, false)
+	// a is served once (deficit 4→3) and empties — the 3 leftover
+	// must vanish.
+	got := drainWFQ(t, w, 3)
+	if got[0] != "a-0" || got[1] != "b-0" || got[2] != "b-1" {
+		t.Fatalf("order %v", got)
+	}
+	// a returns with fresh jobs: a fresh grant of 4, not 4+3.
+	for i := 1; i <= 5; i++ {
+		w.push("a", 4, 0, queuedJob{id: fmt.Sprintf("a-%d", i), seq: i}, false)
+	}
+	w.push("b", 1, 0, queuedJob{id: "b-2", seq: 2}, false)
+	got = drainWFQ(t, w, 6)
+	want := []string{"a-1", "a-2", "a-3", "a-4", "b-2", "a-5"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after return: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWFQPriorityOrdersWithinTenant(t *testing.T) {
+	w := newWFQ(100)
+	w.push("a", 1, 0, queuedJob{id: "low-1", seq: 1, priority: 0}, false)
+	w.push("a", 1, 0, queuedJob{id: "low-2", seq: 2, priority: 0}, false)
+	w.push("a", 1, 0, queuedJob{id: "high", seq: 3, priority: 5}, false)
+	w.push("a", 1, 0, queuedJob{id: "mid-a", seq: 4, priority: 2}, false)
+	w.push("a", 1, 0, queuedJob{id: "mid-b", seq: 5, priority: 2}, false)
+	got := drainWFQ(t, w, 5)
+	want := []string{"high", "mid-a", "mid-b", "low-1", "low-2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("priority order %v, want %v", got, want)
+		}
+	}
+}
+
+// Priority jumps only the tenant's own line — another tenant's DRR
+// turn is untouched by a high-priority job elsewhere.
+func TestWFQPriorityDoesNotCrossTenants(t *testing.T) {
+	w := newWFQ(100)
+	w.push("a", 1, 0, queuedJob{id: "a-normal", seq: 1, priority: 0}, false)
+	w.push("b", 1, 0, queuedJob{id: "b-urgent", seq: 2, priority: 9}, false)
+	got := drainWFQ(t, w, 2)
+	if got[0] != "a-normal" || got[1] != "b-urgent" {
+		t.Fatalf("cross-tenant order %v: b's urgency must not preempt a's ring turn", got)
+	}
+}
+
+func TestWFQCapacityAndQuota(t *testing.T) {
+	w := newWFQ(3)
+	if err := w.push("a", 1, 2, queuedJob{id: "a-1", seq: 1}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.push("a", 1, 2, queuedJob{id: "a-2", seq: 2}, false); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant quota (2) hit before global capacity (3).
+	err := w.push("a", 1, 2, queuedJob{id: "a-3", seq: 3}, false)
+	var qerr *TenantQueueFullError
+	if !errors.As(err, &qerr) || qerr.Tenant != "a" || !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("quota rejection = %v", err)
+	}
+	// Another tenant still fits.
+	if err := w.push("b", 1, 0, queuedJob{id: "b-1", seq: 4}, false); err != nil {
+		t.Fatal(err)
+	}
+	// Global capacity.
+	if err := w.push("b", 1, 0, queuedJob{id: "b-2", seq: 5}, false); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("global rejection = %v", err)
+	}
+	// force bypasses both bounds (recovery / preemption requeues).
+	if err := w.push("a", 1, 2, queuedJob{id: "a-forced", seq: 6}, true); err != nil {
+		t.Fatalf("forced push failed: %v", err)
+	}
+	if w.free() != 0 {
+		t.Fatalf("free = %d with an over-capacity queue", w.free())
+	}
+	if w.queuedFor("a") != 3 {
+		t.Fatalf("queuedFor(a) = %d", w.queuedFor("a"))
+	}
+	if w.queuedFor("missing") != 0 {
+		t.Fatal("unknown tenant reports a backlog")
+	}
+	d := w.depths()
+	if d["a"] != 3 || d["b"] != 1 {
+		t.Fatalf("depths = %v", d)
+	}
+}
+
+func TestWFQRemove(t *testing.T) {
+	w := newWFQ(10)
+	w.push("a", 1, 0, queuedJob{id: "a-1", seq: 1}, false)
+	w.push("a", 1, 0, queuedJob{id: "a-2", seq: 2}, false)
+	w.push("b", 1, 0, queuedJob{id: "b-1", seq: 3}, false)
+	w.remove("a", "a-1")
+	w.remove("a", "nope") // unknown id: no-op
+	w.remove("c", "x")    // unknown tenant: no-op
+	if w.depth() != 2 {
+		t.Fatalf("depth = %d after remove", w.depth())
+	}
+	got := drainWFQ(t, w, 2)
+	if got[0] != "a-2" || got[1] != "b-1" {
+		t.Fatalf("after remove: %v", got)
+	}
+	// Removing a tenant's last job drops its ring slot entirely.
+	w.push("a", 1, 0, queuedJob{id: "a-3", seq: 4}, false)
+	w.remove("a", "a-3")
+	w.push("b", 1, 0, queuedJob{id: "b-2", seq: 5}, false)
+	if got := drainWFQ(t, w, 1); got[0] != "b-2" {
+		t.Fatalf("ring corrupted after last-job remove: %v", got)
+	}
+}
+
+func TestWFQCloseDrainsThenStops(t *testing.T) {
+	w := newWFQ(10)
+	w.push("a", 1, 0, queuedJob{id: "a-1", seq: 1}, false)
+	w.closeIntake()
+	if id, ok := w.pop(); !ok || id != "a-1" {
+		t.Fatalf("pop after close = %q, %t; the backlog must drain", id, ok)
+	}
+	if _, ok := w.pop(); ok {
+		t.Fatal("pop on a closed empty queue must report done")
+	}
+	// Forced push after close still works (preemption requeue during
+	// drain); a worker must still drain it.
+	if err := w.push("a", 1, 0, queuedJob{id: "a-2", seq: 2}, true); err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := w.pop(); !ok || id != "a-2" {
+		t.Fatalf("forced post-close job not drained: %q, %t", id, ok)
+	}
+}

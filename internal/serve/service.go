@@ -11,6 +11,7 @@ import (
 	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"starmesh/internal/obs"
@@ -64,6 +65,13 @@ type Config struct {
 	// library consumers stay quiet; cmd wires a real handler from
 	// -log-level/-log-format).
 	Logger *slog.Logger `json:"-"`
+	// Tenants is the API-key tenant registry (see TenantConfig and
+	// the -tenants flag). Empty means single-tenant: everything runs
+	// as DefaultTenant with weight 1 and no limits.
+	Tenants []TenantConfig `json:"tenants,omitempty"`
+	// RequireKey rejects keyless submissions with 401 unauthorized
+	// instead of admitting them as DefaultTenant.
+	RequireKey bool `json:"require_key,omitempty"`
 }
 
 // withDefaults resolves the zero values to their effective settings
@@ -123,10 +131,16 @@ type Service struct {
 	queueCap   int
 	engineOpts []simd.Option
 
-	store Store
-	pools *poolSet
-	queue chan string
-	start time.Time
+	store   Store
+	pools   *poolSet
+	sched   *wfq
+	tenants *tenantSet
+	start   time.Time
+
+	// running counts claimed-and-executing jobs — the preemption
+	// trigger's "are all workers busy" signal, maintained by runJob
+	// without taking any lock.
+	running atomic.Int64
 
 	// Observability: nil met/reg under Config.NoObs — every
 	// instrumentation point nil-checks, so the disabled path costs one
@@ -160,6 +174,10 @@ func newService(cfg Config, startWorkers bool) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	tenants, err := newTenantSet(eff.Tenants, eff.RequireKey)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	var st Store = newStore()
 	var recovered []string
 	if eff.StoreDir != "" {
@@ -178,10 +196,12 @@ func newService(cfg Config, startWorkers bool) (*Service, error) {
 		engineOpts: opts,
 		store:      st,
 		pools:      newPoolSet(!eff.NoPool),
-		// The channel holds the recovered backlog ahead of the
-		// configured depth, so re-admission never blocks and new
-		// submissions still see eff.Queue of fresh capacity.
-		queue:      make(chan string, eff.Queue+len(recovered)),
+		// The scheduler holds the recovered backlog ahead of the
+		// configured depth, exactly as the old channel did, so
+		// re-admission never rejects and new submissions still see
+		// eff.Queue of fresh capacity.
+		sched:      newWFQ(eff.Queue + len(recovered)),
+		tenants:    tenants,
 		start:      time.Now(),
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
@@ -198,16 +218,17 @@ func newService(cfg Config, startWorkers bool) (*Service, error) {
 		// transitions are ordered.
 		met := s.met
 		st.setHooks(
-			func(kind string, wait time.Duration) {
+			func(tenant, kind string, wait time.Duration) {
 				met.jobsRunning.Add(1)
 				met.queueWaitSeconds.Observe(wait.Seconds())
+				met.tenantQueueWait(tenant).Observe(wait.Seconds())
 			},
-			func(status Status, kind string, run time.Duration, ran bool) {
+			func(status Status, tenant, kind string, run time.Duration, ran bool) {
 				if ran {
 					met.jobsRunning.Add(-1)
 					met.jobRunSeconds.With(kind).Observe(run.Seconds())
 				}
-				met.jobsFinished.With(string(status), kind).Inc()
+				met.finished(status, kind, tenant).Inc()
 			},
 		)
 		if ds, ok := st.(*durableStore); ok {
@@ -218,9 +239,16 @@ func newService(cfg Config, startWorkers bool) (*Service, error) {
 		s.engineOpts = append(s.engineOpts, simd.WithCollector(newEngineCollector(s.met)))
 	}
 	// Re-admit recovered work in original admission order before any
-	// worker starts or any new submission lands.
+	// worker starts or any new submission lands. Forced pushes ride
+	// above the configured capacity (new submissions still see
+	// eff.Queue of fresh room) and land in each job's tenant queue by
+	// admission sequence — so per-tenant order survives the crash.
 	for _, id := range recovered {
-		s.queue <- id
+		job, ok := s.store.get(id)
+		if !ok {
+			continue
+		}
+		s.enqueue(job, true)
 	}
 	if startWorkers {
 		for i := 0; i < s.workers; i++ {
@@ -231,52 +259,124 @@ func newService(cfg Config, startWorkers bool) (*Service, error) {
 	return s, nil
 }
 
-// Submit validates and admits a job, returning its queued snapshot.
-// A full queue fails fast with ErrQueueFull; a draining service with
-// ErrDraining; a bad spec with an error wrapping ErrInvalidSpec.
-func (s *Service) Submit(spec JobSpec) (Job, error) {
+// Submit validates and admits a job as the default (anonymous)
+// tenant, returning its queued snapshot. A full queue fails fast
+// with ErrQueueFull; a draining service with ErrDraining; a bad spec
+// with an error wrapping ErrInvalidSpec. Under Config.RequireKey it
+// fails with ErrUnauthorized — use SubmitWithKey.
+func (s *Service) Submit(spec JobSpec) (Job, error) { return s.SubmitWithKey("", spec) }
+
+// SubmitWithKey resolves the tenant of an X-API-Key value ("" = the
+// default tenant, unless RequireKey) and admits the job through that
+// tenant's rate limit, quota and queue. On top of Submit's errors:
+// an unknown key is ErrUnauthorized, an empty token bucket a
+// *RateLimitError (429 with Retry-After), a tenant over its
+// MaxQueued quota a *TenantQueueFullError.
+func (s *Service) SubmitWithKey(apiKey string, spec JobSpec) (Job, error) {
+	t, err := s.tenants.forKey(apiKey)
+	if err != nil {
+		s.reject("", "unauthorized")
+		return Job{}, err
+	}
 	norm, err := spec.Normalized()
 	if err != nil {
-		s.reject("invalid_spec")
+		s.reject(t.name, "invalid_spec")
 		return Job{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	if t.bucket != nil {
+		if wait, ok := t.bucket.take(time.Now(), 1); !ok {
+			s.reject(t.name, "rate_limited")
+			return Job{}, &RateLimitError{Tenant: t.name, Wait: wait}
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		s.reject("draining")
+		s.reject(t.name, "draining")
 		return Job{}, ErrDraining
 	}
-	job := s.store.add(norm, time.Now())
-	select {
-	case s.queue <- job.ID:
-		if s.met != nil {
-			s.met.jobsAdmitted.With(norm.Kind).Inc()
-		}
-		return job, nil
-	default:
+	job := s.store.add(norm, t.name, time.Now())
+	if err := s.enqueue(job, false); err != nil {
 		s.store.remove(job.ID)
-		s.reject("queue_full")
-		return Job{}, ErrQueueFull
+		s.reject(t.name, "queue_full")
+		return Job{}, err
+	}
+	s.admitted(t.name, norm.Kind)
+	s.maybePreempt(norm.Priority)
+	return job, nil
+}
+
+// enqueue pushes a job into its tenant's queue. force bypasses
+// capacity and quota (recovery re-admission, preemption requeues).
+func (s *Service) enqueue(job Job, force bool) error {
+	t, known := s.tenants.byName[job.Tenant]
+	weight, maxQueued := 1, 0
+	if known {
+		weight, maxQueued = t.weight, t.maxQueued
+	}
+	return s.sched.push(job.Tenant, weight, maxQueued,
+		queuedJob{id: job.ID, seq: seqOf(job.ID), priority: job.Spec.Priority}, force)
+}
+
+// maybePreempt checks whether a just-admitted job of this priority
+// should bounce a running lower-priority sweep back to its queue.
+// Only fires when every worker is busy — with free workers the new
+// job gets picked up anyway.
+func (s *Service) maybePreempt(priority int) {
+	if priority <= 0 || s.running.Load() < int64(s.workers) {
+		return
+	}
+	if id, ok := s.store.requestPreempt(priority, time.Now()); ok {
+		if s.met != nil {
+			s.met.tenantPreempts.With().Inc()
+		}
+		s.log.Info("job preempted for higher-priority submission", "job", id, "priority", priority)
 	}
 }
 
-// reject counts one refused submission.
-func (s *Service) reject(reason string) {
+// admitted counts one admission.
+func (s *Service) admitted(tenant, kind string) {
+	if s.met != nil {
+		s.met.jobsAdmitted.With(kind).Inc()
+		s.met.tenantAdmitted(tenant).Inc()
+	}
+}
+
+// reject counts one refused submission ("" tenant = the key never
+// resolved).
+func (s *Service) reject(tenant, reason string) {
 	if s.met != nil {
 		s.met.jobsRejected.With(reason).Inc()
+		if tenant != "" {
+			s.met.tenantRejected(tenant, reason).Inc()
+		}
 	}
 }
 
-// SubmitBatch validates and admits a set of jobs atomically: either
-// every spec is valid and the queue has room for all of them — each
-// becomes a queued job, in order — or nothing is admitted. Validation
-// failures return a *BatchError (wrapping ErrInvalidSpec) naming
-// every offending index; insufficient queue space is ErrQueueFull.
+// SubmitBatch validates and admits a set of jobs atomically as the
+// default tenant — see SubmitBatchWithKey.
 func (s *Service) SubmitBatch(specs []JobSpec) ([]Job, error) {
+	return s.SubmitBatchWithKey("", specs)
+}
+
+// SubmitBatchWithKey validates and admits a set of jobs atomically
+// under one tenant: either every spec is valid, the tenant's bucket
+// covers the whole batch and the queue (global and tenant quota) has
+// room for all of them — each becomes a queued job, in order — or
+// nothing is admitted. Validation failures return a *BatchError
+// (wrapping ErrInvalidSpec) naming every offending index;
+// insufficient queue space is ErrQueueFull.
+func (s *Service) SubmitBatchWithKey(apiKey string, specs []JobSpec) ([]Job, error) {
+	t, err := s.tenants.forKey(apiKey)
+	if err != nil {
+		s.reject("", "unauthorized")
+		return nil, err
+	}
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("%w: batch needs at least one spec", ErrInvalidSpec)
 	}
 	norm := make([]JobSpec, len(specs))
+	maxPriority := 0
 	var batchErr BatchError
 	for i, spec := range specs {
 		n, err := spec.Normalized()
@@ -285,42 +385,58 @@ func (s *Service) SubmitBatch(specs []JobSpec) ([]Job, error) {
 			continue
 		}
 		norm[i] = n
+		if n.Priority > maxPriority {
+			maxPriority = n.Priority
+		}
 	}
 	if len(batchErr.Items) > 0 {
-		s.reject("invalid_spec")
+		s.reject(t.name, "invalid_spec")
 		return nil, &batchErr
 	}
 	// A batch larger than the whole queue can never be admitted: that
 	// is a spec problem (non-retryable 400), not transient queue_full
 	// backpressure a client should sleep on.
 	if len(norm) > s.queueCap {
-		s.reject("invalid_spec")
+		s.reject(t.name, "invalid_spec")
 		return nil, fmt.Errorf("%w: batch of %d can never fit the %d-deep queue — split it",
 			ErrInvalidSpec, len(norm), s.queueCap)
+	}
+	// The whole batch takes tokens atomically: admitting half a batch
+	// at the rate limit would break the all-or-nothing contract.
+	if t.bucket != nil {
+		if wait, ok := t.bucket.take(time.Now(), float64(len(norm))); !ok {
+			s.reject(t.name, "rate_limited")
+			return nil, &RateLimitError{Tenant: t.name, Wait: wait}
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		s.reject("draining")
+		s.reject(t.name, "draining")
 		return nil, ErrDraining
 	}
-	// Capacity check under the admission lock: workers only ever
-	// free space, so len(specs) sends cannot block once it passes.
-	if cap(s.queue)-len(s.queue) < len(norm) {
-		s.reject("queue_full")
+	// Capacity check under the admission lock: workers only ever free
+	// space, so the per-spec pushes cannot fail once this passes.
+	if free := s.sched.free(); free < len(norm) {
+		s.reject(t.name, "queue_full")
 		return nil, fmt.Errorf("%w: batch of %d exceeds free queue capacity %d",
-			ErrQueueFull, len(norm), cap(s.queue)-len(s.queue))
+			ErrQueueFull, len(norm), free)
+	}
+	if t.maxQueued > 0 && s.sched.queuedFor(t.name)+len(norm) > t.maxQueued {
+		s.reject(t.name, "queue_full")
+		return nil, &TenantQueueFullError{Tenant: t.name, MaxQueued: t.maxQueued}
 	}
 	jobs := make([]Job, len(norm))
 	now := time.Now()
 	for i, n := range norm {
-		job := s.store.add(n, now)
-		s.queue <- job.ID
+		job := s.store.add(n, t.name, now)
+		// force: capacity and quota were just checked for the batch as
+		// a whole, and nothing can shrink them under s.mu.
+		_ = s.enqueue(job, true)
 		jobs[i] = job
-		if s.met != nil {
-			s.met.jobsAdmitted.With(n.Kind).Inc()
-		}
+		s.admitted(t.name, n.Kind)
 	}
+	s.maybePreempt(maxPriority)
 	return jobs, nil
 }
 
@@ -350,12 +466,28 @@ func (s *Service) Watch(id string) (Job, <-chan Job, func(), error) {
 // with bounded latency, and the partial stats are preserved on the
 // record). A terminal job returns ErrTerminal.
 func (s *Service) Cancel(id string) (Job, error) {
-	return s.store.cancel(id, time.Now())
+	job, err := s.store.cancel(id, time.Now())
+	if err == nil && job.Status == StatusCanceled && job.Started.IsZero() {
+		// Canceled straight out of the queue: release its scheduler
+		// slot so it stops counting against capacity and quota. A
+		// worker racing us may have popped it already — claim skips
+		// canceled jobs, and remove tolerates the absence.
+		s.sched.remove(job.Tenant, id)
+	}
+	return job, err
 }
 
 // Stats aggregates the service view: status counts, latency
-// percentiles, unit-route totals and per-shape pool counters.
-func (s *Service) Stats() Stats {
+// percentiles, unit-route totals, per-shape pool counters and the
+// per-tenant leaderboard over the default trailing window.
+func (s *Service) Stats() Stats { return s.StatsWindow(defaultTenantWindow) }
+
+// StatsWindow is Stats with the tenant leaderboard computed over the
+// given trailing window (GET /v1/stats?window=30s; ≤0 = default).
+func (s *Service) StatsWindow(window time.Duration) Stats {
+	if window <= 0 {
+		window = defaultTenantWindow
+	}
 	st := s.store.aggregate(time.Since(s.start))
 	st.Workers = s.workers
 	st.QueueCap = s.queueCap
@@ -365,6 +497,10 @@ func (s *Service) Stats() Stats {
 	st.Draining = s.draining
 	s.mu.Unlock()
 	st.Pools = s.pools.stats()
+	now := time.Now()
+	st.TenantWindowNs = window.Nanoseconds()
+	st.Tenants = buildTenantStats(s.store.tenantWindow(now, window), window,
+		s.tenants.weightOf, s.sched.depths())
 	return st
 }
 
@@ -402,7 +538,7 @@ func (s *Service) beginDrain() {
 		return
 	}
 	s.draining = true
-	close(s.queue) // Submit holds s.mu, so no send can race this
+	s.sched.closeIntake() // Submit holds s.mu, so no push can race this
 }
 
 // Drain gracefully shuts the service down: admission stops
@@ -453,10 +589,15 @@ func (s *Service) Close() error {
 	return nil
 }
 
-// worker drains the queue until Drain closes it.
+// worker drains the scheduler until Drain closes it and the queues
+// empty.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for id := range s.queue {
+	for {
+		id, ok := s.sched.pop()
+		if !ok {
+			return
+		}
 		s.runJob(id)
 	}
 }
@@ -475,10 +616,24 @@ func (s *Service) runJob(id string) {
 	if !ok {
 		return // canceled while queued
 	}
+	s.running.Add(1)
 	log := s.logWith(ctx)
 	log.Debug("job claimed", "kind", spec.Kind, "shape", spec.Shape())
 	res, err := s.execute(ctx, id, spec)
-	s.store.finish(id, res, err, time.Now())
+	requeued := s.store.finish(id, res, err, time.Now())
+	s.running.Add(-1)
+	if requeued {
+		// Preempted at its checkpoint: back into its tenant's queue
+		// (forced — a requeue must never bounce off capacity). The
+		// re-execution starts from the spec's seed, so the eventual
+		// result is bit-identical to an uninterrupted run.
+		if job, ok := s.store.get(id); ok {
+			_ = s.enqueue(job, true)
+			log.Info("job preempted and requeued", "kind", spec.Kind, "tenant", job.Tenant,
+				"preemptions", job.Preemptions)
+		}
+		return
+	}
 	if done, ok := s.store.get(id); ok {
 		if err != nil {
 			log.Info("job finished", "kind", spec.Kind, "status", string(done.Status), "error", err)

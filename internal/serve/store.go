@@ -28,8 +28,9 @@ import (
 // (every transition is logged, and recovery re-admits interrupted
 // work). The Service neither knows nor cares which it runs on.
 type Store interface {
-	// add admits a job in the queued state and returns its snapshot.
-	add(spec JobSpec, now time.Time) Job
+	// add admits a job in the queued state, owned by tenant, and
+	// returns its snapshot.
+	add(spec JobSpec, tenant string, now time.Time) Job
 	// remove forgets a job that never made it into the queue
 	// (admission rollback after ErrQueueFull).
 	remove(id string)
@@ -43,8 +44,16 @@ type Store interface {
 	// claim transitions a queued job to running; false means the job
 	// was canceled while waiting and the worker must skip it.
 	claim(id string, now time.Time, cancel context.CancelFunc) (JobSpec, bool)
-	// finish records a running job's outcome.
-	finish(id string, res workload.ScenarioResult, err error, now time.Time)
+	// finish records a running job's outcome. requeued=true means the
+	// job was preempted (not terminal): it went back to queued with
+	// its partial stats preserved and the caller must re-enqueue it.
+	finish(id string, res workload.ScenarioResult, err error, now time.Time) (requeued bool)
+	// requestPreempt picks the best preemption victim among running
+	// jobs — preemptible (a multi-trial sweep), not already being
+	// canceled or preempted, and of strictly lower priority — and
+	// fires its context cancel. The job requeues at its next
+	// checkpoint instead of finishing canceled.
+	requestPreempt(priority int, now time.Time) (id string, ok bool)
 	// cancel aborts a job (queued: immediately; running: at its next
 	// checkpoint; terminal: ErrTerminal).
 	cancel(id string, now time.Time) (Job, error)
@@ -62,7 +71,10 @@ type Store interface {
 	watchStats() (subscribers int, drops int64)
 	// setHooks installs the metrics observers called on claim and
 	// finish (before any worker starts).
-	setHooks(onClaim func(kind string, wait time.Duration), onFinish func(status Status, kind string, run time.Duration, ran bool))
+	setHooks(onClaim func(tenant, kind string, wait time.Duration), onFinish func(status Status, tenant, kind string, run time.Duration, ran bool))
+	// tenantWindow aggregates the finish events of the trailing
+	// window per tenant — the /v1/stats leaderboard's raw material.
+	tenantWindow(now time.Time, window time.Duration) map[string]*tenantAgg
 	// durability describes the backend (kind, WAL paths, recovery
 	// counts) for /v1/healthz and /v1/stats.
 	durability() Durability
@@ -91,10 +103,14 @@ func (s Status) Terminal() bool {
 
 // Job is one admitted job and its outcome.
 type Job struct {
-	ID     string  `json:"id"`
-	Spec   JobSpec `json:"spec"`
-	Shape  string  `json:"shape"`
-	Status Status  `json:"status"`
+	ID   string  `json:"id"`
+	Spec JobSpec `json:"spec"`
+	// Tenant names the submitting tenant (resolved from X-API-Key;
+	// DefaultTenant when no key was presented). It rides the WAL with
+	// the job, so recovery re-admits into the right tenant queue.
+	Tenant string `json:"tenant,omitempty"`
+	Shape  string `json:"shape"`
+	Status Status `json:"status"`
 	// Result is set once the job is done; its unit routes, conflicts
 	// and self-check are bit-identical to a standalone run of the
 	// same spec.
@@ -105,6 +121,15 @@ type Job struct {
 	// requested; the job transitions to canceled at its next
 	// cooperative checkpoint.
 	CancelRequested bool `json:"cancel_requested,omitempty"`
+	// Preemptions counts how many times a higher-priority submission
+	// bounced this job back to the queue mid-run.
+	Preemptions int `json:"preemptions,omitempty"`
+	// preempting marks a running job whose context was canceled to
+	// make room for a higher-priority one: the checkpoint abort
+	// requeues it instead of finishing it canceled. Deliberately not
+	// serialized — a crash mid-preemption recovers through the normal
+	// interrupted-running path (requeue + re-execute), same outcome.
+	preempting bool
 
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started,omitzero"`
@@ -173,6 +198,7 @@ const (
 	opCancelReq walOp = "cancelreq" // running, cancellation requested
 	opRemove    walOp = "remove"    // admission rollback
 	opTrace     walOp = "trace"     // mid-run trace event appended
+	opPreempt   walOp = "preempt"   // running → queued (preemption requeue)
 )
 
 // store is the mutex-guarded job table.
@@ -193,8 +219,8 @@ type store struct {
 	// metrics layer (queue-wait and run-time histograms, finished
 	// counters; ran=false means the job was canceled straight out of
 	// the queue). Called under mu; implementations must be cheap.
-	onClaim  func(kind string, wait time.Duration)
-	onFinish func(status Status, kind string, run time.Duration, ran bool)
+	onClaim  func(tenant, kind string, wait time.Duration)
+	onFinish func(status Status, tenant, kind string, run time.Duration, ran bool)
 
 	// watchDrops counts transition snapshots dropped because a
 	// subscriber's channel was full (surfaced in /v1/stats so lossy
@@ -216,6 +242,7 @@ type store struct {
 	byKind     map[string]*KindStats // cumulative per scenario kind
 	latTotal   latWindow             // created→finished of done/failed jobs
 	latRun     latWindow             // started→finished
+	tenantWin  tenantEventRing       // recent finish events, for windowed leaderboards
 }
 
 func newStore() *store {
@@ -329,18 +356,19 @@ func (st *store) evict() {
 }
 
 // add admits a job in the queued state and returns its snapshot.
-func (st *store) add(spec JobSpec, now time.Time) Job {
+func (st *store) add(spec JobSpec, tenant string, now time.Time) Job {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.next++
 	j := &Job{
 		ID:      fmt.Sprintf("job-%06d", st.next),
 		Spec:    spec,
+		Tenant:  tenant,
 		Shape:   spec.Shape(),
 		Status:  StatusQueued,
 		Created: now,
 	}
-	appendTrace(j, now, TraceSubmitted, "")
+	appendTrace(j, now, TraceSubmitted, "tenant="+tenant)
 	st.jobs[j.ID] = j
 	st.order = append(st.order, j.ID)
 	st.counts[StatusQueued]++
@@ -483,21 +511,46 @@ func (st *store) claim(id string, now time.Time, cancel context.CancelFunc) (Job
 		st.logf(opClaim, j)
 	}
 	if st.onClaim != nil {
-		st.onClaim(j.Spec.Kind, now.Sub(j.Created))
+		st.onClaim(j.Tenant, j.Spec.Kind, now.Sub(j.Created))
 	}
 	st.publish(j)
 	return j.Spec, true
 }
 
 // finish records a job's outcome and folds it into the aggregates.
-func (st *store) finish(id string, res workload.ScenarioResult, err error, now time.Time) {
+// A preempted job (preempting set, checkpoint abort, no user cancel)
+// does not finish: it transitions back to queued with the partial
+// stats of the interrupted run preserved on the record — the exact
+// cancel-checkpoint mechanism, with a requeue instead of a terminal
+// status. requeued=true tells the caller to re-enqueue it.
+func (st *store) finish(id string, res workload.ScenarioResult, err error, now time.Time) (requeued bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	j, ok := st.jobs[id]
 	if !ok || j.Status != StatusRunning {
-		return
+		return false
 	}
 	delete(st.cancels, id)
+	if j.preempting && jobCanceled(err) && !j.CancelRequested {
+		st.counts[j.Status]--
+		st.counts[StatusQueued]++
+		j.Status = StatusQueued
+		j.Started = time.Time{}
+		j.preempting = false
+		j.Preemptions++
+		res.Name = j.Spec.Name()
+		j.Result = &res // partial stats of the interrupted run
+		appendTrace(j, now, TracePreempted,
+			fmt.Sprintf("requeued with partial stats (%d unit routes)", res.UnitRoutes))
+		if st.logf != nil {
+			st.logf(opPreempt, j)
+		}
+		st.publish(j)
+		return true
+	}
+	// A preempt that lost the race to completion (or to a real
+	// cancel): fall through to the normal terminal transition.
+	j.preempting = false
 	st.counts[j.Status]--
 	j.Finished = now
 	j.WaitNs = j.Started.Sub(j.Created).Nanoseconds()
@@ -528,10 +581,11 @@ func (st *store) finish(id string, res workload.ScenarioResult, err error, now t
 		st.logf(opFinish, j)
 	}
 	if st.onFinish != nil {
-		st.onFinish(j.Status, j.Spec.Kind, now.Sub(j.Started), true)
+		st.onFinish(j.Status, j.Tenant, j.Spec.Kind, now.Sub(j.Started), true)
 	}
 	st.publish(j)
 	st.evict()
+	return false
 }
 
 // foldFinished folds a job that just reached a terminal status from
@@ -562,6 +616,7 @@ func (st *store) foldFinished(j *Job) {
 	st.finished++
 	st.latTotal.add(j.Finished.Sub(j.Created))
 	st.latRun.add(j.Finished.Sub(j.Started))
+	st.tenantWin.add(j)
 }
 
 // cancel aborts a job. Queued jobs transition to canceled
@@ -588,7 +643,7 @@ func (st *store) cancel(id string, now time.Time) (Job, error) {
 			st.logf(opCancel, j)
 		}
 		if st.onFinish != nil {
-			st.onFinish(StatusCanceled, j.Spec.Kind, 0, false)
+			st.onFinish(StatusCanceled, j.Tenant, j.Spec.Kind, 0, false)
 		}
 		st.publish(j)
 		snap := j.snapshot()
@@ -685,6 +740,15 @@ type Stats struct {
 	Draining bool `json:"draining"`
 
 	Pools []PoolStats `json:"pools"`
+
+	// TenantWindowNs is the trailing window the per-tenant leaderboard
+	// below covers (default 60s; GET /v1/stats?window= overrides).
+	TenantWindowNs int64 `json:"tenant_window_ns,omitempty"`
+	// Tenants is the windowed per-tenant leaderboard, ranked by
+	// throughput, with Poisson rank-confidence bounds (see
+	// TenantStats) — small windows make ranks noisy, so the bounds
+	// say which rank differences the window actually supports.
+	Tenants []TenantStats `json:"tenants,omitempty"`
 }
 
 // aggregate computes the store's part of Stats.
@@ -727,9 +791,51 @@ type KindStats struct {
 
 // setHooks installs the metrics observers. Called once before any
 // worker starts, so no lock is needed.
-func (st *store) setHooks(onClaim func(string, time.Duration), onFinish func(Status, string, time.Duration, bool)) {
+func (st *store) setHooks(onClaim func(string, string, time.Duration), onFinish func(Status, string, string, time.Duration, bool)) {
 	st.onClaim = onClaim
 	st.onFinish = onFinish
+}
+
+// requestPreempt picks and cancels the best preemption victim: a
+// running, preemptible (multi-trial sweep — the long-running class
+// with per-unit-route checkpoints) job of strictly lower priority,
+// with no cancel or preempt already in flight. Among candidates the
+// lowest priority loses; ties break to the most recently started
+// (least sunk work discarded). The victim's checkpoint abort then
+// requeues it via finish's preempting path.
+func (st *store) requestPreempt(priority int, now time.Time) (string, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var victim *Job
+	for id := range st.cancels {
+		j, ok := st.jobs[id]
+		if !ok || j.Status != StatusRunning || j.CancelRequested || j.preempting {
+			continue
+		}
+		if !preemptible(j.Spec) || j.Spec.Priority >= priority {
+			continue
+		}
+		if victim == nil ||
+			j.Spec.Priority < victim.Spec.Priority ||
+			(j.Spec.Priority == victim.Spec.Priority && j.Started.After(victim.Started)) {
+			victim = j
+		}
+	}
+	if victim == nil {
+		return "", false
+	}
+	victim.preempting = true
+	st.cancels[victim.ID]()
+	return victim.ID, true
+}
+
+// preemptible reports whether a spec's running job may be preempted:
+// only multi-trial sweeps — the workload class whose checkpoint
+// cadence (every unit route) makes the abort prompt and whose
+// re-execution cost is understood. Everything else runs to
+// completion once claimed.
+func preemptible(spec JobSpec) bool {
+	return spec.Kind == workload.KindSweep && spec.Trials > 1
 }
 
 // watchStats samples the live watch-subscription state for the

@@ -17,7 +17,7 @@ func TestStoreEvictsOldTerminalJobsKeepsAggregates(t *testing.T) {
 	now := time.Now()
 	var ids []string
 	for i := 0; i < 10; i++ {
-		j := st.add(JobSpec{Kind: KindSweep, N: 3}, now)
+		j := st.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now)
 		ids = append(ids, j.ID)
 		if _, ok := st.claim(j.ID, now.Add(time.Millisecond), nil); !ok {
 			t.Fatalf("claim %s failed", j.ID)
@@ -88,7 +88,7 @@ func TestStoreAggregatesPerKind(t *testing.T) {
 	st := newStore()
 	now := time.Now()
 	finish := func(spec JobSpec, res ScenarioResult, err error) {
-		j := st.add(spec, now)
+		j := st.add(spec, DefaultTenant, now)
 		if _, ok := st.claim(j.ID, now, nil); !ok {
 			t.Fatalf("claim %s failed", j.ID)
 		}
@@ -113,5 +113,45 @@ func TestStoreAggregatesPerKind(t *testing.T) {
 	}
 	if sw.Done != 2 || sw.Failed != 0 || sw.UnitRoutes != 22 || sw.Conflicts != 1 {
 		t.Fatalf("sweep aggregate wrong: %+v", sw)
+	}
+}
+
+// TestStoreSmallHelpers pins the leaf helpers: id sequence parsing
+// (malformed ids order first), the memory store's empty recovery
+// set, and the empty-percentile guard.
+func TestStoreSmallHelpers(t *testing.T) {
+	if seqOf("job-000042") != 42 {
+		t.Fatal("seqOf lost the sequence")
+	}
+	if seqOf("weird") != 0 || seqOf("job-xyz") != 0 {
+		t.Fatal("malformed ids must order first, not panic")
+	}
+	if got := newStore().recoveredQueued(); got != nil {
+		t.Fatalf("memory store recovered %v, want nothing", got)
+	}
+	if percentile(nil, 99) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+}
+
+// TestErrorTaxonomyLeafCases pins the fallback classification: an
+// unrecognized error is internal/500, and watchStats counts live
+// subscribers.
+func TestErrorTaxonomyLeafCases(t *testing.T) {
+	if codeOf(errAny) != CodeInternal {
+		t.Fatalf("unclassified error mapped to %q", codeOf(errAny))
+	}
+	if CodeInternal.HTTPStatus() != 500 || ErrorCode("madeup").HTTPStatus() != 500 {
+		t.Fatal("internal/unknown codes must map to 500")
+	}
+	st := newStore()
+	j := st.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, time.Now())
+	if _, _, stop, err := st.watch(j.ID); err != nil {
+		t.Fatal(err)
+	} else {
+		defer stop()
+	}
+	if subs, _ := st.watchStats(); subs != 1 {
+		t.Fatalf("watchStats counted %d subscribers, want 1", subs)
 	}
 }

@@ -1,0 +1,230 @@
+// Tenancy: the API-key tenant registry and per-tenant token-bucket
+// rate limits. Every submission resolves to exactly one tenant —
+// the key's tenant, or the built-in anonymous tenant when no key is
+// presented (unless Config.RequireKey) — and that tenant's identity
+// follows the job through the store, the WAL, the trace timeline,
+// the metrics and the windowed /v1/stats leaderboards. The weighted
+// fair queue in sched.go drains the per-tenant queues by these
+// weights; the token buckets here shape admission *rate* before the
+// queue shapes admission *order*.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the tenant of submissions that present no API key
+// (in-process callers included). It has weight 1, no rate limit and
+// no queue quota unless a TenantConfig names it explicitly.
+const DefaultTenant = "anon"
+
+// TenantConfig declares one tenant of the service: its API key, its
+// weighted-fair-queueing share, and its admission limits. The zero
+// limits mean unlimited — tenancy without shaping is still useful
+// for attribution.
+type TenantConfig struct {
+	// Name labels the tenant everywhere downstream: job records, WAL,
+	// traces, metrics, leaderboards.
+	Name string `json:"name"`
+	// Key is the X-API-Key value that resolves to this tenant.
+	Key string `json:"key"`
+	// Weight is the tenant's deficit-round-robin share of worker time
+	// relative to other backlogged tenants (0 = 1).
+	Weight int `json:"weight,omitempty"`
+	// RatePerSec refills the tenant's admission token bucket
+	// (0 = unlimited; fractional rates are fine).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity — how many submissions can land
+	// back-to-back before the rate applies (0 = max(1, ceil(rate))).
+	Burst int `json:"burst,omitempty"`
+	// MaxQueued caps the tenant's jobs waiting in the scheduler, so
+	// one tenant cannot occupy the whole shared queue (0 = no
+	// per-tenant cap; the global queue depth still applies).
+	MaxQueued int `json:"max_queued,omitempty"`
+}
+
+// TenantsFile is the -tenants config file shape.
+type TenantsFile struct {
+	// RequireKey rejects keyless submissions with 401 instead of
+	// admitting them as the anonymous tenant.
+	RequireKey bool `json:"require_key,omitempty"`
+	// Tenants is the registry (keys must be unique, names too).
+	Tenants []TenantConfig `json:"tenants"`
+}
+
+// LoadTenantsFile reads and validates a -tenants JSON config file.
+func LoadTenantsFile(path string) (TenantsFile, error) {
+	var tf TenantsFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return tf, fmt.Errorf("serve: tenants file: %w", err)
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return tf, fmt.Errorf("serve: tenants file %s: %w", path, err)
+	}
+	if _, err := newTenantSet(tf.Tenants, tf.RequireKey); err != nil {
+		return tf, fmt.Errorf("serve: tenants file %s: %w", path, err)
+	}
+	return tf, nil
+}
+
+// tenant is one resolved tenant with its live token bucket.
+type tenant struct {
+	name      string
+	weight    int
+	maxQueued int
+	bucket    *tokenBucket // nil = unlimited
+}
+
+// tenantSet resolves API keys to tenants.
+type tenantSet struct {
+	byKey      map[string]*tenant
+	byName     map[string]*tenant
+	requireKey bool
+	anon       *tenant
+}
+
+// newTenantSet validates the configs and builds the live registry.
+// The anonymous tenant always exists; a config naming DefaultTenant
+// overrides its limits (its Key then also works as an explicit key).
+func newTenantSet(cfgs []TenantConfig, requireKey bool) (*tenantSet, error) {
+	ts := &tenantSet{
+		byKey:      make(map[string]*tenant, len(cfgs)),
+		byName:     make(map[string]*tenant, len(cfgs)+1),
+		requireKey: requireKey,
+	}
+	for i, c := range cfgs {
+		if c.Name == "" {
+			return nil, fmt.Errorf("tenant[%d]: name is required", i)
+		}
+		if c.Key == "" && c.Name != DefaultTenant {
+			return nil, fmt.Errorf("tenant %q: key is required", c.Name)
+		}
+		if _, dup := ts.byName[c.Name]; dup {
+			return nil, fmt.Errorf("tenant %q: duplicate name", c.Name)
+		}
+		if c.Key != "" {
+			if _, dup := ts.byKey[c.Key]; dup {
+				return nil, fmt.Errorf("tenant %q: duplicate key", c.Name)
+			}
+		}
+		if c.Weight < 0 || c.RatePerSec < 0 || c.Burst < 0 || c.MaxQueued < 0 {
+			return nil, fmt.Errorf("tenant %q: weight, rate_per_sec, burst and max_queued must be non-negative", c.Name)
+		}
+		t := &tenant{name: c.Name, weight: c.Weight, maxQueued: c.MaxQueued}
+		if t.weight <= 0 {
+			t.weight = 1
+		}
+		if c.RatePerSec > 0 {
+			burst := c.Burst
+			if burst <= 0 {
+				burst = int(math.Ceil(c.RatePerSec))
+				if burst < 1 {
+					burst = 1
+				}
+			}
+			t.bucket = newTokenBucket(c.RatePerSec, burst)
+		}
+		ts.byName[c.Name] = t
+		if c.Key != "" {
+			ts.byKey[c.Key] = t
+		}
+	}
+	if anon, ok := ts.byName[DefaultTenant]; ok {
+		ts.anon = anon
+	} else {
+		ts.anon = &tenant{name: DefaultTenant, weight: 1}
+		ts.byName[DefaultTenant] = ts.anon
+	}
+	return ts, nil
+}
+
+// forKey resolves an X-API-Key value ("" = no key presented).
+func (ts *tenantSet) forKey(key string) (*tenant, error) {
+	if key == "" {
+		if ts.requireKey {
+			return nil, fmt.Errorf("%w: an X-API-Key header is required", ErrUnauthorized)
+		}
+		return ts.anon, nil
+	}
+	t, ok := ts.byKey[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown API key", ErrUnauthorized)
+	}
+	return t, nil
+}
+
+// weightOf returns a tenant's configured WFQ weight (1 for tenants
+// the registry does not know — recovered jobs from a previous
+// config survive with the default share).
+func (ts *tenantSet) weightOf(name string) int {
+	if t, ok := ts.byName[name]; ok {
+		return t.weight
+	}
+	return 1
+}
+
+// tokenBucket is a standard leaky token bucket: tokens refill at
+// rate per second up to burst; a take that cannot be covered
+// reports how long until it could be.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// take spends n tokens if the bucket covers them. ok=false leaves
+// the bucket untouched and returns how long until n tokens exist —
+// the Retry-After the 429 carries. A take larger than the burst can
+// never succeed; it reports the time to a full bucket.
+func (b *tokenBucket) take(now time.Time, n float64) (wait time.Duration, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = math.Min(b.burst, b.tokens+b.rate*dt)
+		}
+	}
+	b.last = now
+	if b.tokens >= n {
+		b.tokens -= n
+		return 0, true
+	}
+	need := math.Min(n, b.burst) - b.tokens
+	return time.Duration(need / b.rate * float64(time.Second)), false
+}
+
+// RateLimitError is a 429 rate_limited rejection: the tenant's token
+// bucket could not cover the submission. Wait is how long until it
+// could — the Retry-After value of the response.
+type RateLimitError struct {
+	Tenant string
+	Wait   time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("serve: tenant %q rate limit exceeded (retry in %v)", e.Tenant, e.Wait)
+}
+
+func (e *RateLimitError) Unwrap() error { return ErrRateLimited }
+
+// retryAfterSecs rounds a rate-limit wait up to the whole seconds an
+// HTTP Retry-After header can carry (minimum 1).
+func retryAfterSecs(wait time.Duration) int {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

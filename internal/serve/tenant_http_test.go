@@ -1,0 +1,239 @@
+// HTTP tenancy contract tests: X-API-Key resolution to 401/202, the
+// 429 rate_limited path with a computed Retry-After, atomic batch
+// token takes, per-tenant queue quotas, and the /v1/stats ?window=
+// leaderboard parameter.
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// doJSONKey is doJSON with an X-API-Key header; it also returns the
+// response headers (for Retry-After).
+func doJSONKey(t *testing.T, method, url, key, body string) (int, []byte, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data, resp.Header
+}
+
+// errCode extracts the structured error code from a response body.
+func errCode(t *testing.T, data []byte) string {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("unparseable error body %s: %v", data, err)
+	}
+	return env.Error.Code
+}
+
+func tenantTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Drain() })
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func TestHTTPTenantAuth(t *testing.T) {
+	_, ts := tenantTestServer(t, Config{Workers: 1, Queue: 8, RequireKey: true,
+		Tenants: []TenantConfig{{Name: "ci", Key: "key-ci", Weight: 2}}})
+
+	spec := `{"kind":"sweep","n":3}`
+	// No key under require_key: 401 unauthorized.
+	code, data, _ := doJSONKey(t, "POST", ts.URL+"/v1/jobs", "", spec)
+	if code != http.StatusUnauthorized || errCode(t, data) != "unauthorized" {
+		t.Fatalf("keyless submit: %d %s", code, data)
+	}
+	// Unknown key: same 401, keys are never half-matched.
+	code, data, _ = doJSONKey(t, "POST", ts.URL+"/v1/jobs", "bogus", spec)
+	if code != http.StatusUnauthorized || errCode(t, data) != "unauthorized" {
+		t.Fatalf("bogus-key submit: %d %s", code, data)
+	}
+	// A batch behind a bad key fails the same way.
+	code, data, _ = doJSONKey(t, "POST", ts.URL+"/v1/jobs:batch", "bogus",
+		`{"specs":[`+spec+`]}`)
+	if code != http.StatusUnauthorized || errCode(t, data) != "unauthorized" {
+		t.Fatalf("bogus-key batch: %d %s", code, data)
+	}
+	// The real key admits and the job record carries the tenant name.
+	code, data, _ = doJSONKey(t, "POST", ts.URL+"/v1/jobs", "key-ci", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("keyed submit: %d %s", code, data)
+	}
+	var job Job
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.Tenant != "ci" {
+		t.Fatalf("job tenant %q, want ci", job.Tenant)
+	}
+}
+
+func TestHTTPRateLimitRetryAfter(t *testing.T) {
+	_, ts := tenantTestServer(t, Config{Workers: 1, Queue: 8,
+		Tenants: []TenantConfig{
+			{Name: "slow", Key: "key-slow", RatePerSec: 0.5, Burst: 1},
+			{Name: "free", Key: "key-free"},
+		}})
+
+	spec := `{"kind":"sweep","n":3}`
+	code, data, _ := doJSONKey(t, "POST", ts.URL+"/v1/jobs", "key-slow", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("burst submit: %d %s", code, data)
+	}
+	// Bucket empty: the next token is ~2s away at 0.5/s, and the 429
+	// must say so rather than hand back a generic "1".
+	code, data, hdr := doJSONKey(t, "POST", ts.URL+"/v1/jobs", "key-slow", spec)
+	if code != http.StatusTooManyRequests || errCode(t, data) != "rate_limited" {
+		t.Fatalf("limited submit: %d %s", code, data)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After %q, want the computed \"2\"", ra)
+	}
+	// Another tenant's bucket is untouched by slow's exhaustion.
+	if code, data, _ := doJSONKey(t, "POST", ts.URL+"/v1/jobs", "key-free", spec); code != http.StatusAccepted {
+		t.Fatalf("unlimited tenant rejected: %d %s", code, data)
+	}
+}
+
+// TestHTTPBatchRateLimitAtomic pins the all-or-nothing token take: a
+// batch the bucket cannot cover is refused without draining it, so
+// the full burst is still there for a batch that fits.
+func TestHTTPBatchRateLimitAtomic(t *testing.T) {
+	svc, ts := tenantTestServer(t, Config{Workers: 1, Queue: 16,
+		Tenants: []TenantConfig{{Name: "b", Key: "key-b", RatePerSec: 0.001, Burst: 3}}})
+
+	spec := `{"kind":"sweep","n":3}`
+	specs3 := `{"specs":[` + spec + `,` + spec + `,` + spec + `]}`
+	specs4 := `{"specs":[` + spec + `,` + spec + `,` + spec + `,` + spec + `]}`
+
+	code, data, hdr := doJSONKey(t, "POST", ts.URL+"/v1/jobs:batch", "key-b", specs4)
+	if code != http.StatusTooManyRequests || errCode(t, data) != "rate_limited" {
+		t.Fatalf("over-burst batch: %d %s", code, data)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("rate-limited batch carries no Retry-After")
+	}
+	// The refusal left all 3 burst tokens in place.
+	code, data, _ = doJSONKey(t, "POST", ts.URL+"/v1/jobs:batch", "key-b", specs3)
+	if code != http.StatusAccepted {
+		t.Fatalf("exact-burst batch after refusal: %d %s", code, data)
+	}
+	// And now the bucket really is empty.
+	code, data, _ = doJSONKey(t, "POST", ts.URL+"/v1/jobs", "key-b", spec)
+	if code != http.StatusTooManyRequests || errCode(t, data) != "rate_limited" {
+		t.Fatalf("post-batch submit: %d %s", code, data)
+	}
+	if st := svc.Stats(); st.Queued+st.Running+st.Done != 3 {
+		t.Fatalf("admitted job count wrong: %+v", st)
+	}
+}
+
+// TestHTTPTenantQueueQuota fills one tenant's max_queued while the
+// worker is pinned: the quota 429 is queue_full scoped to that
+// tenant, and other tenants keep their room.
+func TestHTTPTenantQueueQuota(t *testing.T) {
+	svc, ts := tenantTestServer(t, Config{Workers: 1, Queue: 16,
+		Tenants: []TenantConfig{
+			{Name: "capped", Key: "key-capped", MaxQueued: 1},
+			{Name: "roomy", Key: "key-roomy"},
+		}})
+
+	// Pin the only worker so submissions stay queued.
+	pin := submitOrDie(t, svc, JobSpec{Kind: KindSweep, N: 4, Trials: 1_000_000})
+	waitRunning(t, svc, pin.ID)
+
+	spec := `{"kind":"sweep","n":3}`
+	code, data, _ := doJSONKey(t, "POST", ts.URL+"/v1/jobs", "key-capped", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("first capped submit: %d %s", code, data)
+	}
+	code, data, hdr := doJSONKey(t, "POST", ts.URL+"/v1/jobs", "key-capped", spec)
+	if code != http.StatusTooManyRequests || errCode(t, data) != "queue_full" {
+		t.Fatalf("quota overflow: %d %s", code, data)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("quota 429 carries no Retry-After")
+	}
+	// The global queue has 14 free slots — only capped is full.
+	if code, data, _ := doJSONKey(t, "POST", ts.URL+"/v1/jobs", "key-roomy", spec); code != http.StatusAccepted {
+		t.Fatalf("roomy tenant rejected by capped's quota: %d %s", code, data)
+	}
+	if _, err := svc.Cancel(pin.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPStatsWindowParam(t *testing.T) {
+	svc, ts := tenantTestServer(t, Config{Workers: 1, Queue: 8,
+		Tenants: []TenantConfig{{Name: "ci", Key: "key-ci", Weight: 3}}})
+
+	code, data, _ := doJSONKey(t, "POST", ts.URL+"/v1/jobs", "key-ci", `{"kind":"sweep","n":3}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, data)
+	}
+	var job Job
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, svc, job.ID)
+
+	// Malformed and non-positive windows are structured 400s.
+	for _, bad := range []string{"sideways", "-5s", "0s"} {
+		code, data, _ := doJSONKey(t, "GET", ts.URL+"/v1/stats?window="+bad, "", "")
+		if code != http.StatusBadRequest || errCode(t, data) != "invalid_argument" {
+			t.Fatalf("window=%s: %d %s", bad, code, data)
+		}
+	}
+	// A good window echoes its span and carries the keyed tenant's
+	// leaderboard row, weight included.
+	code, data, _ = doJSONKey(t, "GET", ts.URL+"/v1/stats?window=45s", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, data)
+	}
+	var st Stats
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TenantWindowNs != (45 * time.Second).Nanoseconds() {
+		t.Fatalf("window echoed %d ns, want 45s", st.TenantWindowNs)
+	}
+	var row *TenantStats
+	for i := range st.Tenants {
+		if st.Tenants[i].Tenant == "ci" {
+			row = &st.Tenants[i]
+		}
+	}
+	if row == nil || row.Jobs < 1 || row.Weight != 3 || row.Rank < 1 {
+		t.Fatalf("leaderboard row for ci missing or wrong: %+v", st.Tenants)
+	}
+}

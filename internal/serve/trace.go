@@ -28,6 +28,12 @@ const (
 	// jobs: everything after admission is forgotten (the re-execution
 	// starts the timeline over) and this event marks the restart.
 	TraceRecovered = "recovered"
+	// TracePreempted is recorded when a higher-priority submission
+	// preempts this running job at its cancellation checkpoint: the
+	// job goes back to its tenant's queue with the partial stats of
+	// the interrupted run preserved, and re-executes from its seed —
+	// bit-identical to an uninterrupted run — when its turn returns.
+	TracePreempted = "preempted"
 )
 
 // TraceEvent is one span event on a job's timeline.

@@ -344,6 +344,18 @@ func (st *store) apply(rec *walRecord) {
 			j.CancelRequested = true
 			j.Trace = append([]TraceEvent(nil), rec.Job.Trace...)
 		}
+	case opPreempt:
+		// Preemption requeue: running → queued with the partial result
+		// preserved. The job re-enters recovery's queued set, so a crash
+		// after a preempt still re-admits it — in admission order, in
+		// its tenant's queue.
+		j, ok := st.jobs[id]
+		if !ok || j.Status != StatusRunning {
+			return
+		}
+		st.counts[StatusRunning]--
+		*j = rec.Job
+		st.counts[StatusQueued]++
 	case opTrace:
 		// The record carries the job's whole timeline; replay is a
 		// state overwrite like every other op.

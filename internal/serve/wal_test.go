@@ -32,10 +32,10 @@ func TestDurableStoreRoundTrip(t *testing.T) {
 
 	// One of every lifecycle outcome: done, failed, canceled-queued,
 	// still queued.
-	done := ds.add(JobSpec{Kind: KindSweep, N: 3}, now)
-	failed := ds.add(JobSpec{Kind: KindSort, N: 3, Dist: "uniform", Seed: 1}, now)
-	canceled := ds.add(JobSpec{Kind: KindSweep, N: 3}, now)
-	queued := ds.add(JobSpec{Kind: KindSweep, N: 4}, now)
+	done := ds.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now)
+	failed := ds.add(JobSpec{Kind: KindSort, N: 3, Dist: "uniform", Seed: 1}, DefaultTenant, now)
+	canceled := ds.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now)
+	queued := ds.add(JobSpec{Kind: KindSweep, N: 4}, DefaultTenant, now)
 
 	if _, ok := ds.claim(done.ID, now.Add(time.Millisecond), nil); !ok {
 		t.Fatal("claim failed")
@@ -106,7 +106,7 @@ func TestRecoveryPreservesAdmissionOrderAndCursors(t *testing.T) {
 	now := time.Now()
 	var ids []string
 	for i := 0; i < 5; i++ {
-		ids = append(ids, ds.add(JobSpec{Kind: KindSweep, N: 3}, now).ID)
+		ids = append(ids, ds.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now).ID)
 	}
 	ds.freeze() // crash: nothing after this reaches disk
 
@@ -133,7 +133,7 @@ func TestRecoveryPreservesAdmissionOrderAndCursors(t *testing.T) {
 	}
 
 	// The id sequence continues where it left off — no reuse.
-	if j := ds2.add(JobSpec{Kind: KindSweep, N: 3}, now); j.ID != "job-000006" {
+	if j := ds2.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now); j.ID != "job-000006" {
 		t.Fatalf("post-recovery admission got id %s, want job-000006", j.ID)
 	}
 }
@@ -142,8 +142,8 @@ func TestRecoveryReexecutesInterruptedRunning(t *testing.T) {
 	dir := t.TempDir()
 	ds := openDurable(t, dir, 1000, nil)
 	now := time.Now()
-	running := ds.add(JobSpec{Kind: KindSweep, N: 3}, now)
-	queued := ds.add(JobSpec{Kind: KindSweep, N: 4}, now)
+	running := ds.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now)
+	queued := ds.add(JobSpec{Kind: KindSweep, N: 4}, DefaultTenant, now)
 	if _, ok := ds.claim(running.ID, now.Add(time.Millisecond), nil); !ok {
 		t.Fatal("claim failed")
 	}
@@ -174,7 +174,7 @@ func TestRecoveryHonorsRequestedCancel(t *testing.T) {
 	dir := t.TempDir()
 	ds := openDurable(t, dir, 1000, nil)
 	now := time.Now()
-	j := ds.add(JobSpec{Kind: KindSweep, N: 3}, now)
+	j := ds.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now)
 	if _, ok := ds.claim(j.ID, now.Add(time.Millisecond), nil); !ok {
 		t.Fatal("claim failed")
 	}
@@ -206,12 +206,12 @@ func TestTornTailTruncatedAtRecovery(t *testing.T) {
 	inj.Target(walFileName)
 	ds := openDurable(t, dir, 1000, inj.Open)
 	now := time.Now()
-	a := ds.add(JobSpec{Kind: KindSweep, N: 3}, now)
-	b := ds.add(JobSpec{Kind: KindSweep, N: 4}, now)
+	a := ds.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now)
+	b := ds.add(JobSpec{Kind: KindSweep, N: 4}, DefaultTenant, now)
 	// Tear the third record 10 bytes in: its header lands, most of its
 	// payload does not — what SIGKILL mid-append leaves behind.
 	inj.CutAfterBytes(inj.Written() + 10)
-	c := ds.add(JobSpec{Kind: KindSweep, N: 3}, now)
+	c := ds.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now)
 	ds.freeze()
 
 	ds2 := openDurable(t, dir, 1000, nil)
@@ -246,12 +246,12 @@ func TestCorruptRecordTruncatesTail(t *testing.T) {
 	inj.Target(walFileName)
 	ds := openDurable(t, dir, 1000, inj.Open)
 	now := time.Now()
-	a := ds.add(JobSpec{Kind: KindSweep, N: 3}, now)
+	a := ds.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now)
 	// Flip a payload byte of the second record in flight: the frame
 	// lands whole but its checksum no longer matches.
 	inj.CorruptByteAt(inj.Written() + frameHeaderLen + 4)
-	b := ds.add(JobSpec{Kind: KindSweep, N: 4}, now)
-	c := ds.add(JobSpec{Kind: KindSweep, N: 3}, now) // intact, but beyond the corruption
+	b := ds.add(JobSpec{Kind: KindSweep, N: 4}, DefaultTenant, now)
+	c := ds.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now) // intact, but beyond the corruption
 	ds.freeze()
 
 	ds2 := openDurable(t, dir, 1000, nil)
@@ -278,7 +278,7 @@ func TestSnapshotCompactionBoundsWALAndSurvivesTmpLeftover(t *testing.T) {
 	ds := openDurable(t, dir, 4, nil) // snapshot every 4 records
 	now := time.Now()
 	for i := 0; i < 6; i++ {
-		j := ds.add(JobSpec{Kind: KindSweep, N: 3}, now)
+		j := ds.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now)
 		if _, ok := ds.claim(j.ID, now.Add(time.Millisecond), nil); !ok {
 			t.Fatal("claim failed")
 		}
@@ -325,10 +325,10 @@ func TestWALWriteFailureDegradesToMemoryOnly(t *testing.T) {
 	ds := openDurable(t, dir, 1000, inj.Open)
 	defer ds.close()
 	now := time.Now()
-	a := ds.add(JobSpec{Kind: KindSweep, N: 3}, now)
+	a := ds.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now)
 
 	inj.FailNow()
-	b := ds.add(JobSpec{Kind: KindSweep, N: 4}, now)
+	b := ds.add(JobSpec{Kind: KindSweep, N: 4}, DefaultTenant, now)
 
 	// The write failure cost durability, not availability: both jobs
 	// are served from memory and further transitions keep working.
@@ -361,7 +361,7 @@ func TestWALWriteFailureDegradesToMemoryOnly(t *testing.T) {
 func TestCorruptSnapshotRefusesToOpen(t *testing.T) {
 	dir := t.TempDir()
 	ds := openDurable(t, dir, 1000, nil)
-	ds.add(JobSpec{Kind: KindSweep, N: 3}, time.Now())
+	ds.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, time.Now())
 	ds.close()
 
 	snapPath := filepath.Join(dir, snapFileName)
@@ -385,7 +385,7 @@ func TestWatchDropsCounted(t *testing.T) {
 
 	st := newStore()
 	now := time.Now()
-	j := st.add(JobSpec{Kind: KindSweep, N: 3}, now)
+	j := st.add(JobSpec{Kind: KindSweep, N: 3}, DefaultTenant, now)
 	_, ch, stop, err := st.watch(j.ID)
 	if err != nil {
 		t.Fatal(err)

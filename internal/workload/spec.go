@@ -55,6 +55,12 @@ const MaxDiagnosticTrials = 64
 // every unit route, so even the largest job aborts promptly).
 const MaxSweepTrials = 1 << 20
 
+// MaxPriority bounds the scheduling priority a spec may request
+// (0 = default, MaxPriority = most urgent). The range is validated
+// centrally in Normalized, before family dispatch — priority is a
+// scheduling property, not a per-family one.
+const MaxPriority = 9
+
 // Spec describes one scenario run.
 type Spec struct {
 	Kind string `json:"kind"`
@@ -88,6 +94,11 @@ type Spec struct {
 	// trials) and sweep (back-to-back full sweeps — the long-running
 	// job class) specs. Defaults to 1.
 	Trials int `json:"trials,omitempty"`
+	// Priority orders jobs within one tenant's queue (0–MaxPriority,
+	// higher first) and lets urgent submissions preempt long
+	// lower-priority sweeps at their cancellation checkpoints. It does
+	// not affect the result — only when the job runs.
+	Priority int `json:"priority,omitempty"`
 }
 
 // Normalized validates the spec against its family and fills
@@ -95,6 +106,9 @@ type Spec struct {
 // The error is actionable: it names the offending field and the
 // accepted range.
 func (s Spec) Normalized() (Spec, error) {
+	if s.Priority < 0 || s.Priority > MaxPriority {
+		return s, fmt.Errorf("workload: priority %d out of range (want 0..%d)", s.Priority, MaxPriority)
+	}
 	f, err := FamilyOf(s.Kind)
 	if err != nil {
 		return s, err
