@@ -7,7 +7,7 @@ GO ?= go
 # no global tool install, the version is part of the repo contract.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race race-recovery bench bench-plans bench-serve bench-tenants bench-compare lint fmt vet staticcheck cover
+.PHONY: all build test race race-recovery bench bench-plans bench-serve bench-tenants bench-compare bench-cluster lint fmt vet staticcheck cover
 
 all: build test
 
@@ -76,6 +76,17 @@ bench-serve:
 ## more than 15% from its fair-queueing weight.
 bench-tenants:
 	GOMAXPROCS=4 BENCH_TENANTS_GATE=1 $(GO) run ./cmd/experiments -run tenants
+
+## bench-cluster: the sharded-cluster gate. Boots three one-worker
+## nodes in-process behind real HTTP listeners, drives the same
+## closed-loop load through the routing client against the cluster
+## and against a single identical node (GOMAXPROCS=4), writes
+## BENCH_cluster.json, and fails if the cluster speedup falls below
+## 1.8x, any job result diverges from a standalone run, or the
+## drain exercise fails to migrate its held backlog bit-identically.
+## The speedup gate skips itself on hosts with fewer than 4 CPUs.
+bench-cluster:
+	GOMAXPROCS=4 BENCH_CLUSTER_GATE=1 $(GO) run ./cmd/experiments -run cluster
 
 ## bench-compare: the interval bench-regression gate. Repeats the
 ## S_8 sweep (default 5 reps), writes the min/median/max interval to

@@ -1,0 +1,433 @@
+// Cluster routing suite: a real 3-node in-process cluster (three
+// services behind httptest listeners sharing one map) driven through
+// the routing client — ownership determinism, the full job lifecycle
+// by cluster id, merged pagination's exactly-once walk under
+// concurrent finishes, the scatter-gather stats merge, batch
+// grouping with rollback, and drain-with-migration parity.
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"starmesh/internal/cluster"
+	"starmesh/internal/serve"
+	"starmesh/internal/workload"
+)
+
+// newTestCluster spins up n services behind httptest listeners,
+// wires them into one cluster map, and returns the routing client
+// plus the per-node services (keyed n1..nN).
+func newTestCluster(t *testing.T, n int, cfg serve.Config, opts ...Option) (*ClusterClient, map[string]*serve.Service) {
+	t.Helper()
+	m := cluster.Map{VNodes: 32}
+	services := make(map[string]*serve.Service, n)
+	for i := 0; i < n; i++ {
+		name := "n" + string(rune('1'+i))
+		svc, err := serve.NewService(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(svc.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = svc.Shutdown(ctx)
+		})
+		m.Nodes = append(m.Nodes, cluster.Node{Name: name, URL: ts.URL})
+		services[name] = svc
+	}
+	for name, svc := range services {
+		if err := svc.SetCluster(name, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cc, err := NewCluster(m, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc, services
+}
+
+// specMix returns quick specs spanning several pool shapes
+// (stargraph:4, stargraph:8, star:4 twice, star:6, none) so
+// ownership spreads across the cluster without any long-running job.
+func specMix(count int) []JobSpec {
+	shapes := []JobSpec{
+		{Kind: "faultroute", N: 4, Faults: 1, Pairs: 2},
+		{Kind: "faultroute", N: 8, Faults: 2, Pairs: 2},
+		{Kind: "sort", N: 4, Dist: "reversed"},
+		{Kind: "sweep", N: 4, Trials: 2},
+		{Kind: "sweep", N: 6, Trials: 2},
+		{Kind: "permroute", N: 4, Pattern: "random"},
+	}
+	specs := make([]JobSpec, count)
+	for i := range specs {
+		specs[i] = shapes[i%len(shapes)]
+		specs[i].Seed = int64(i + 1)
+	}
+	return specs
+}
+
+// slowClusterSpec is a multi-hundred-millisecond job (a star:8
+// diagnostic sweep; ~15ms per trial once the graph pool is warm) —
+// enough wall time per job that a single-worker node holds a queued
+// backlog while a test acts on it.
+func slowClusterSpec(seed int64) JobSpec {
+	return JobSpec{Kind: "sweep", N: 8, Trials: 20, Seed: seed}
+}
+
+func TestClusterSubmitRoutesByShape(t *testing.T) {
+	cc, services := newTestCluster(t, 3, serve.Config{Workers: 2, Queue: 64})
+	ctx := context.Background()
+
+	// DialCluster from any node must agree with the direct map.
+	info, ok := services["n2"].Cluster()
+	if !ok {
+		t.Fatal("node not clustered")
+	}
+	booted, err := NewCluster(info.Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := make(map[string]string)
+	for _, spec := range specMix(24) {
+		job, err := cc.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, _, ok := cluster.SplitID(job.ID)
+		if !ok {
+			t.Fatalf("job id %q not qualified", job.ID)
+		}
+		// Same shape always lands on the same node, and any client
+		// computing from the same map picks the same owner.
+		if prev, seen := owners[job.Shape]; seen && prev != node {
+			t.Fatalf("shape %s split across %s and %s", job.Shape, prev, node)
+		}
+		owners[job.Shape] = node
+		if bootNode, _, err := booted.ownerOf(spec); err != nil || bootNode != node {
+			t.Fatalf("bootstrapped client owner %q != %q", bootNode, node)
+		}
+		final, err := cc.Await(ctx, job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.Status != StatusDone || final.ID != job.ID {
+			t.Fatalf("job %s ended %s (%s)", job.ID, final.Status, final.Error)
+		}
+		// Reads by cluster id hit the right node.
+		got, err := cc.Get(ctx, job.ID)
+		if err != nil || got.Status != StatusDone {
+			t.Fatalf("get %s: %+v %v", job.ID, got.Status, err)
+		}
+		tr, err := cc.Trace(ctx, job.ID)
+		if err != nil || len(tr) == 0 || tr[0].Event != TraceSubmitted {
+			t.Fatalf("trace %s: %v %v", job.ID, tr, err)
+		}
+	}
+	if len(owners) < 2 {
+		t.Fatalf("all %d shapes landed on one node — ring not spreading", len(owners))
+	}
+	// Unknown node prefix and unqualified ids fail loudly.
+	if _, err := cc.Get(ctx, "nope/job-000001"); err == nil || !strings.Contains(err.Error(), "unknown node") {
+		t.Fatalf("unknown node err = %v", err)
+	}
+	if _, err := cc.Get(ctx, "job-000001"); err == nil {
+		t.Fatal("unqualified id should fail")
+	}
+}
+
+// The satellite guarantee: a merged ListAll walk with interleaved
+// page fetches yields every job exactly once while jobs are
+// finishing concurrently between pages.
+func TestClusterMergedPaginationExactlyOnce(t *testing.T) {
+	// Workers run DURING the walk, so statuses flip between page
+	// fetches; sweep trials keep each job alive a little while.
+	cc, _ := newTestCluster(t, 3, serve.Config{Workers: 1, Queue: 128})
+	ctx := context.Background()
+
+	specs := specMix(60)
+	want := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		job, err := cc.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[job.ID] = true
+	}
+	// Small pages force many cursor hops; a sleep between pages lets
+	// more jobs finish mid-walk.
+	got := make(map[string]int)
+	opts := ListOptions{Limit: 7}
+	pages := 0
+	for {
+		page, err := cc.List(ctx, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		for _, j := range page.Jobs {
+			got[j.ID]++
+			node, _, ok := cluster.SplitID(j.ID)
+			if !ok || node == "" {
+				t.Fatalf("listing leaked unqualified id %q", j.ID)
+			}
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		opts.Cursor = page.NextCursor
+		time.Sleep(2 * time.Millisecond)
+	}
+	if pages < 3 {
+		t.Fatalf("walk took %d pages — not exercising the cursor", pages)
+	}
+	for id := range want {
+		if got[id] != 1 {
+			t.Fatalf("job %s seen %d times, want exactly once", id, got[id])
+		}
+	}
+	for id := range got {
+		if !want[id] {
+			t.Fatalf("walk invented job %s", id)
+		}
+	}
+	// Await everything so cleanup is quick.
+	for id := range want {
+		if _, err := cc.Await(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := cc.ListAll(ctx, ListOptions{Status: StatusDone, Limit: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(want) {
+		t.Fatalf("ListAll(done) = %d jobs, want %d", len(all), len(want))
+	}
+}
+
+func TestClusterStatsMerge(t *testing.T) {
+	cc, services := newTestCluster(t, 3, serve.Config{Workers: 2, Queue: 64})
+	ctx := context.Background()
+
+	var ids []string
+	for _, spec := range specMix(18) {
+		job, err := cc.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+	}
+	for _, id := range ids {
+		if _, err := cc.Await(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 18 {
+		t.Fatalf("merged done = %d, want 18", st.Done)
+	}
+	var wantRoutes int64
+	perNodeDone := 0
+	for _, svc := range services {
+		s := svc.Stats()
+		wantRoutes += s.UnitRoutes
+		perNodeDone += s.Done
+	}
+	if st.UnitRoutes != wantRoutes || perNodeDone != 18 {
+		t.Fatalf("merged routes %d vs per-node sum %d (done sum %d)", st.UnitRoutes, wantRoutes, perNodeDone)
+	}
+	if st.Workers != 6 || st.Durability.Store != "cluster" {
+		t.Fatalf("merged config view: %+v", st)
+	}
+	// The anonymous tenant's merged leaderboard row covers the whole
+	// cluster, with a rank interval computed from merged counts.
+	if len(st.Tenants) != 1 {
+		t.Fatalf("tenants: %+v", st.Tenants)
+	}
+	row := st.Tenants[0]
+	if row.Jobs != 18 || row.Rank != 1 || row.RankLo != 1 || row.RankHi != 1 {
+		t.Fatalf("merged tenant row: %+v", row)
+	}
+	if row.ThroughputLo >= row.ThroughputJobsPerSec || row.ThroughputHi <= row.ThroughputJobsPerSec {
+		t.Fatalf("degenerate Poisson interval: %+v", row)
+	}
+}
+
+func TestClusterSubmitBatchGroupsAndRollsBack(t *testing.T) {
+	cc, _ := newTestCluster(t, 3, serve.Config{Workers: 1, Queue: 4})
+	ctx := context.Background()
+
+	// A small mixed batch fits every node's queue: admitted in spec
+	// order with qualified ids.
+	specs := specMix(4)
+	jobs, err := cc.SubmitBatch(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("batch returned %d jobs", len(jobs))
+	}
+	for i, j := range jobs {
+		if _, _, ok := cluster.SplitID(j.ID); !ok {
+			t.Fatalf("batch job %d id %q unqualified", i, j.ID)
+		}
+		if j.Spec.Seed != specs[i].Seed {
+			t.Fatalf("batch order broken at %d", i)
+		}
+		if _, err := cc.Await(ctx, j.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A batch whose later group can never fit its owner's queue
+	// (bigger than capacity) fails, and the earlier groups' jobs are
+	// rolled back — none left queued or running to completion.
+	var overload []JobSpec
+	head := JobSpec{Kind: "faultroute", N: 4, Faults: 1, Pairs: 2, Seed: 100}
+	overload = append(overload, head)
+	victim := slowClusterSpec(0) // slow: keeps its owner's queue full
+	for i := 0; i < 6; i++ {     // queue cap is 4
+		v := victim
+		v.Seed = int64(200 + i)
+		overload = append(overload, v)
+	}
+	headNode, _, err := cc.ownerOf(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimNode, _, err := cc.ownerOf(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if headNode == victimNode {
+		t.Skip("shapes landed on one node for this map; rollback path not reachable")
+	}
+	if _, err := cc.SubmitBatch(ctx, overload); err == nil {
+		t.Fatal("overloaded batch should fail")
+	} else if !strings.Contains(err.Error(), "earlier groups canceled") {
+		t.Fatalf("batch error = %v", err)
+	}
+}
+
+// Drain-with-migration end to end: a node with a held backlog drains,
+// its queued jobs land on survivors, and every migrated job's result
+// is bit-identical to a standalone run of the same spec.
+func TestClusterDrainMigratesBacklog(t *testing.T) {
+	// One worker per node + slow star:8 sweeps (~300ms each, all one
+	// shape so one owner) guarantee a queued backlog when the drain
+	// fires; a few quick mixed jobs ride along to other nodes.
+	cc, services := newTestCluster(t, 3, serve.Config{Workers: 1, Queue: 128})
+	ctx := context.Background()
+
+	specs := specMix(6)
+	for i := 0; i < 8; i++ {
+		specs = append(specs, slowClusterSpec(int64(1000+i)))
+	}
+	ids := make([]string, 0, len(specs))
+	for _, spec := range specs {
+		job, err := cc.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+	}
+	// Drain the node owning the sweep backlog.
+	drained, _, _ := cluster.SplitID(ids[len(ids)-1])
+	migrated, err := cc.Drain(ctx, drained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cc.Nodes()) != 2 {
+		t.Fatalf("client still routes %d nodes after drain", len(cc.Nodes()))
+	}
+	for _, n := range cc.Nodes() {
+		if n == drained {
+			t.Fatal("drained node still in the routing membership")
+		}
+	}
+	// Migrated successors must live on survivors and reproduce the
+	// original spec's results exactly.
+	newID := make(map[string]string, len(migrated))
+	for _, mj := range migrated {
+		node, _, _ := cluster.SplitID(mj.To)
+		if node == drained {
+			t.Fatalf("migrated job %s resubmitted to the drained node", mj.To)
+		}
+		newID[mj.From] = mj.To
+	}
+	finals := 0
+	for _, id := range ids {
+		target, wasMigrated := newID[id]
+		if !wasMigrated {
+			target = id
+		}
+		node, local, _ := cluster.SplitID(target)
+		svc := services[node]
+		var final Job
+		if node == drained {
+			// Ran (or is finishing) on the draining node: its listener
+			// may already be gone, so await in-process.
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				j, ok := svc.Job(local)
+				if !ok {
+					t.Fatalf("job %s lost on draining node", target)
+				}
+				if j.Status.Terminal() {
+					final = j
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("job %s stuck %s on draining node", target, j.Status)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		} else {
+			var err error
+			final, err = cc.Await(ctx, target)
+			if err != nil {
+				t.Fatalf("await %s: %v", target, err)
+			}
+		}
+		if final.Status != StatusDone {
+			t.Fatalf("job %s ended %s (%s)", target, final.Status, final.Error)
+		}
+		sc, err := workload.ScenarioFor(final.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sc.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.Result.UnitRoutes != want.UnitRoutes || final.Result.Conflicts != want.Conflicts || !final.Result.OK {
+			t.Fatalf("job %s diverged from standalone run: %+v != %+v", target, final.Result, want)
+		}
+		if wasMigrated {
+			finals++
+			// The drained node's copy is locally terminal with the
+			// migration marker.
+			_, oldLocal, _ := cluster.SplitID(id)
+			old, ok := services[drained].Job(oldLocal)
+			if !ok || old.Status != StatusCanceled || old.Error != serve.MigratedError {
+				t.Fatalf("drained copy of %s: %+v", id, old)
+			}
+		}
+	}
+	if len(migrated) == 0 {
+		t.Fatal("drain migrated nothing — backlog was not held")
+	}
+	if finals != len(migrated) {
+		t.Fatalf("verified %d migrated jobs, want %d", finals, len(migrated))
+	}
+}

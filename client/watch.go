@@ -2,6 +2,16 @@
 // The server streams newline-delimited JSON snapshots — the current
 // state first, then every status transition — and ends the stream
 // after the terminal one.
+//
+// A watch is long-lived, so the stream can die mid-flight for
+// transient reasons (connection reset, proxy idle timeout, a node
+// restarting). The Watcher reconnects automatically with capped,
+// jittered backoff and resumes from the last seen status: on
+// reconnect the server replays the current snapshot, and the Watcher
+// suppresses anything the caller has already seen, so Next delivers
+// each state at most once and never goes backward. Only a
+// structured API error on reconnect (job gone, node unclustered) or
+// exhausted retries surface to the caller.
 package client
 
 import (
@@ -11,14 +21,25 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"time"
 )
 
 // Watcher reads one job's status transitions from the server's
-// ndjson stream. Close releases the connection; canceling the ctx
-// passed to Watch does too.
+// ndjson stream, transparently reconnecting across transient stream
+// errors. Close releases the connection; canceling the ctx passed to
+// Watch does too.
 type Watcher struct {
+	c    *Client
+	ctx  context.Context
+	id   string
 	body io.ReadCloser
 	dec  *json.Decoder
+	last Job
+	seen bool
+	// stalls counts consecutive reconnects that delivered no snapshot
+	// — a stream that keeps accepting the connection and dying before
+	// sending anything must eventually error out, not livelock.
+	stalls int
 }
 
 // Watch opens a transition stream for a job. The first Next returns
@@ -26,37 +47,132 @@ type Watcher struct {
 // until the next transition. Next returns io.EOF after the terminal
 // snapshot has been delivered.
 func (c *Client) Watch(ctx context.Context, id string) (*Watcher, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/v1/jobs/"+url.PathEscape(id)+"/watch", nil)
-	if err != nil {
+	w := &Watcher{c: c, ctx: ctx, id: id}
+	if err := w.connect(); err != nil {
 		return nil, err
 	}
-	if c.apiKey != "" {
-		req.Header.Set("X-API-Key", c.apiKey)
-	}
-	resp, err := c.hc.Do(req)
+	return w, nil
+}
+
+// connect opens (or reopens) the stream.
+func (w *Watcher) connect() error {
+	req, err := http.NewRequestWithContext(w.ctx, http.MethodGet,
+		w.c.base+"/v1/jobs/"+url.PathEscape(w.id)+"/watch", nil)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	if w.c.apiKey != "" {
+		req.Header.Set("X-API-Key", w.c.apiKey)
+	}
+	resp, err := w.c.hc.Do(req)
+	if err != nil {
+		return err
 	}
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		return nil, apiErrorFrom(resp, data)
+		return apiErrorFrom(resp, data)
 	}
-	return &Watcher{
-		body: resp.Body,
-		dec:  json.NewDecoder(bufio.NewReader(resp.Body)),
-	}, nil
+	w.body = resp.Body
+	w.dec = json.NewDecoder(bufio.NewReader(resp.Body))
+	return nil
 }
 
 // Next returns the next snapshot from the stream; io.EOF once the
-// server has closed it after the terminal transition.
+// terminal snapshot has been delivered. A broken stream reconnects
+// under the hood: the caller only sees an error when the watch
+// context dies, the server rejects the reconnect (e.g. the job is
+// gone), or the retry budget runs out.
 func (w *Watcher) Next() (Job, error) {
-	var j Job
-	if err := w.dec.Decode(&j); err != nil {
-		return Job{}, err
+	for {
+		var j Job
+		err := w.dec.Decode(&j)
+		if err == nil {
+			// Replayed state after a reconnect: skip anything not newer
+			// than what the caller already saw. Replays do not reset the
+			// stall counter — only real progress does, so a stream that
+			// reconnects fine but never advances still errors out.
+			if w.seen && !newerSnapshot(j, w.last) {
+				continue
+			}
+			w.stalls = 0
+			w.last, w.seen = j, true
+			return j, nil
+		}
+		// Stream broke. After a terminal snapshot that is just the
+		// server closing a finished stream.
+		if w.seen && w.last.Status.Terminal() {
+			return Job{}, io.EOF
+		}
+		if cerr := w.ctx.Err(); cerr != nil {
+			return Job{}, cerr
+		}
+		if w.stalls++; w.stalls > watchMaxReconnects {
+			return Job{}, err
+		}
+		if rerr := w.reconnect(); rerr != nil {
+			return Job{}, rerr
+		}
 	}
-	return j, nil
+}
+
+// watchMaxReconnects bounds the consecutive failed reconnect
+// attempts of one stream gap (a successful reconnect resets it).
+const watchMaxReconnects = 5
+
+// reconnect reopens the stream with capped, jittered exponential
+// backoff. A structured API error is final — the server answered,
+// the stream is not coming back the way the caller expects.
+func (w *Watcher) reconnect() error {
+	w.body.Close()
+	delay := w.c.backoff
+	for attempt := 0; ; attempt++ {
+		err := w.connect()
+		if err == nil {
+			return nil
+		}
+		if api := AsAPIError(err); api != nil {
+			return err
+		}
+		if attempt >= watchMaxReconnects {
+			return err
+		}
+		wait := w.c.jitter(delay)
+		delay *= 2
+		if delay > 2*time.Second {
+			delay = 2 * time.Second
+		}
+		if serr := w.c.sleep(w.ctx, wait); serr != nil {
+			return serr
+		}
+	}
+}
+
+// statusRank orders the lifecycle for resume-after-reconnect
+// comparisons: queued < running < terminal.
+func statusRank(s Status) int {
+	switch {
+	case s.Terminal():
+		return 2
+	case s == StatusRunning:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// newerSnapshot reports whether j carries state beyond last. The
+// lifecycle only moves forward except preemption (running → queued,
+// Preemptions incremented), so preemption count dominates, then
+// status rank, then the cancel-requested flag.
+func newerSnapshot(j, last Job) bool {
+	if j.Preemptions != last.Preemptions {
+		return j.Preemptions > last.Preemptions
+	}
+	if jr, lr := statusRank(j.Status), statusRank(last.Status); jr != lr {
+		return jr > lr
+	}
+	return j.CancelRequested && !last.CancelRequested
 }
 
 // Close tears the stream down. Safe after EOF.

@@ -1,0 +1,85 @@
+// The cluster subcommand: operator's view of a sharded deployment.
+// Both verbs bootstrap the routing client from any member node's
+// GET /v1/cluster, so the operator never hand-maintains a peer list
+// the servers already agree on.
+//
+//	starmesh cluster status                    membership + merged scatter-gather stats
+//	starmesh cluster drain [-wait] <node>      drain one node, migrating its queued jobs
+package main
+
+import (
+	"flag"
+	"os"
+
+	"starmesh/client"
+)
+
+func cmdCluster(args []string) {
+	if len(args) < 1 {
+		fatalf("cluster needs a verb: status or drain")
+	}
+	verb, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("cluster "+verb, flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of any cluster member")
+	retries := fs.Int("retries", 4, "429 retry budget per call (-1 = retry forever)")
+	apiKey := fs.String("api-key", os.Getenv("STARMESH_API_KEY"),
+		"tenant API key sent as X-API-Key (default $STARMESH_API_KEY; empty = anonymous tenant)")
+	wait := false
+	if verb == "drain" {
+		fs.BoolVar(&wait, "wait", false, "await every migrated job's terminal status on its new node")
+	}
+	fs.Parse(rest)
+	switch verb {
+	case "status":
+		if fs.NArg() != 0 {
+			fatalf("cluster status takes no positional arguments")
+		}
+	case "drain":
+		if fs.NArg() != 1 {
+			fatalf("cluster drain needs exactly one node name (flags go before it)")
+		}
+	default:
+		fatalf("unknown cluster verb %q: want status or drain", verb)
+	}
+
+	ctx, stop := remoteCtx()
+	defer stop()
+	cc, err := client.DialCluster(ctx, *addr,
+		client.WithMaxRetries(*retries), client.WithAPIKey(*apiKey))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	switch verb {
+	case "status":
+		st, err := cc.Stats(ctx)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printJSON(struct {
+			Map   any `json:"map"`
+			Stats any `json:"stats"`
+		}{cc.Map(), st})
+	case "drain":
+		migrated, err := cc.Drain(ctx, fs.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printJSON(migrated)
+		if !wait {
+			return
+		}
+		failed := false
+		for _, mj := range migrated {
+			final, err := cc.Await(ctx, mj.To)
+			if err != nil {
+				fatalf("await %s: %v", mj.To, err)
+			}
+			printJSON(final)
+			failed = failed || final.Status != client.StatusDone
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+}

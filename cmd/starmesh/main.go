@@ -24,6 +24,7 @@
 //	starmesh cancel [-wait] <job-id>         cancel a queued or running job
 //	starmesh watch <job-id>                  stream status transitions
 //	starmesh stats [-healthz]                aggregated service view / health
+//	starmesh cluster status|drain <node>     sharded-cluster membership, stats, drain
 //
 // Node symbols are given in display order (front first), matching
 // the paper: `starmesh unmap 0 3 1 2` is the node (0 3 1 2).
@@ -84,13 +85,15 @@ func main() {
 		cmdWatch(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
+	case "cluster":
+		cmdCluster(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: starmesh <map|unmap|route|path|info|dot|fig7|surface|broadcast|saferoute|scenarios|run|serve|submit|jobs|cancel|watch|stats> [args]
+	fmt.Fprintf(os.Stderr, `usage: starmesh <map|unmap|route|path|info|dot|fig7|surface|broadcast|saferoute|scenarios|run|serve|submit|jobs|cancel|watch|stats|cluster> [args]
   map d_{n-1} ... d_1        mesh node -> star node
   unmap a_{n-1} ... a_0      star node -> mesh node
   route a... b...            shortest star route (two nodes of equal length)
@@ -112,6 +115,8 @@ all traffic through the typed starmesh/client package):
   cancel [-wait] <job-id>    cancel a queued or running job
   watch <job-id>             stream status transitions until terminal
   stats [-healthz]           aggregated stats or drain-aware health
+  cluster status             sharded cluster: membership + merged stats
+  cluster drain [-wait] <node>  drain one node, migrating its queued jobs
 
 scenario kinds (accepted by run, submit and POST /v1/jobs):
   %s

@@ -16,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"starmesh/internal/cluster"
 	"starmesh/internal/serve"
 )
 
@@ -40,6 +41,10 @@ func cmdServe(args []string) {
 	logFormat := fs.String("log-format", "text", "log encoding: text or json")
 	pprofAddr := fs.String("pprof-addr", "",
 		"optional ops listener mounting net/http/pprof under /debug/pprof (empty = off; bind loopback — the profiles expose internals)")
+	clusterName := fs.String("cluster", "",
+		"this node's name in a sharded cluster (requires -peers; see docs/cluster.md)")
+	peers := fs.String("peers", "",
+		"cluster membership as name=url[*weight],... — every node of the cluster, this one included")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		fatalf("serve takes no positional arguments")
@@ -74,6 +79,19 @@ func cmdServe(args []string) {
 	})
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *clusterName != "" || *peers != "" {
+		if *clusterName == "" || *peers == "" {
+			fatalf("-cluster and -peers must be set together")
+		}
+		nodes, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := svc.SetCluster(*clusterName, cluster.Map{Nodes: nodes}); err != nil {
+			fatalf("%v", err)
+		}
+		log.Info("cluster member", "self", *clusterName, "nodes", len(nodes))
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

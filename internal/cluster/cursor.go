@@ -1,0 +1,52 @@
+// The compound pagination cursor: one per-node cursor string folded
+// into a single opaque token, so the merged multi-node job listing
+// pages with the same cursor-stability guarantee each node already
+// gives. Encoding is plain "node=cursor;node=cursor" in sorted node
+// order — deterministic, so equal cursor states compare equal as
+// strings.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EncodeCursor folds per-node cursors into one token. Nodes with an
+// empty cursor are kept (an empty per-node cursor means "start from
+// the top of that node"); a nil or empty map encodes to "".
+func EncodeCursor(per map[string]string) string {
+	if len(per) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(per))
+	for n := range per {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, n+"="+per[n])
+	}
+	return strings.Join(parts, ";")
+}
+
+// DecodeCursor splits a compound token back into per-node cursors.
+// "" decodes to an empty map (a fresh walk).
+func DecodeCursor(s string) (map[string]string, error) {
+	per := make(map[string]string)
+	if s == "" {
+		return per, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		node, cur, ok := strings.Cut(part, "=")
+		if !ok || node == "" {
+			return nil, fmt.Errorf("cluster: bad cursor segment %q", part)
+		}
+		if _, dup := per[node]; dup {
+			return nil, fmt.Errorf("cluster: duplicate cursor node %q", node)
+		}
+		per[node] = cur
+	}
+	return per, nil
+}

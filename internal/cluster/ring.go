@@ -1,0 +1,116 @@
+// The consistent-hash ring: ownership assignment that moves at most
+// the departed (or arrived) node's share of keys on a membership
+// change. Each member contributes weight×vnodesPerWeight points on a
+// 64-bit circle; a key is owned by the first point clockwise of its
+// hash. The hash function is fixed (FNV-64a), so two processes that
+// agree on the member list agree on every owner without talking to
+// each other.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per unit of weight. 160
+// points per node keeps the ownership shares within a few percent of
+// the weights for realistic key populations while the ring stays
+// small enough to rebuild on every membership change.
+const DefaultVNodes = 160
+
+// Ring assigns string keys to node names by consistent hashing.
+// Build one with NewRing; the zero value owns nothing.
+type Ring struct {
+	points []point
+	names  []string
+}
+
+// point is one virtual node on the hash circle.
+type point struct {
+	hash uint64
+	node string
+}
+
+// hash64 is the ring's fixed hash: FNV-64a followed by a
+// splitmix64-style finalizer. Raw FNV avalanches poorly on the short,
+// nearly-identical strings vnode labels and pool keys are, which
+// skews arc lengths badly; the finalizer spreads them. Determinism
+// across processes and releases is part of the routing contract: a
+// client and every server must compute identical owners from the
+// same map, so this function must never change.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewRing builds a ring from the member nodes. vnodesPerWeight ≤ 0
+// means DefaultVNodes; a node's point count is weight×vnodesPerWeight
+// (weight ≤ 0 counts as 1). Node order does not matter: the point set
+// depends only on the (name, weight) pairs.
+func NewRing(nodes []Node, vnodesPerWeight int) *Ring {
+	if vnodesPerWeight <= 0 {
+		vnodesPerWeight = DefaultVNodes
+	}
+	r := &Ring{}
+	for _, n := range nodes {
+		w := n.Weight
+		if w <= 0 {
+			w = 1
+		}
+		for i := 0; i < w*vnodesPerWeight; i++ {
+			r.points = append(r.points, point{
+				hash: hash64(fmt.Sprintf("%s#%d", n.Name, i)),
+				node: n.Name,
+			})
+		}
+		r.names = append(r.names, n.Name)
+	}
+	// Ties break by name so the ordering is total and input-order
+	// independent (two distinct vnode labels colliding on a 64-bit
+	// hash is vanishingly rare, but the sort must not depend on it).
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	sort.Strings(r.names)
+	return r
+}
+
+// Owner returns the node that owns a key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point owns the top arc
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the member names, sorted.
+func (r *Ring) Nodes() []string {
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.names...)
+}
+
+// Len is the member count.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.names)
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real pool keys: topology/engine pairs.
+		keys[i] = fmt.Sprintf("grid:%dx%d/unit|beam=%d", i%37, i/37, i%5)
+	}
+	return keys
+}
+
+func ownerCounts(r *Ring, keys []string) map[string]int {
+	counts := make(map[string]int)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	return counts
+}
+
+// Distribution tracks the weights: a weight-2 node should own about
+// twice the keys of a weight-1 node, every node within a reasonable
+// tolerance of its expected share at DefaultVNodes.
+func TestRingDistributionFollowsWeights(t *testing.T) {
+	nodes := []Node{
+		{Name: "a", URL: "http://a", Weight: 1},
+		{Name: "b", URL: "http://b", Weight: 1},
+		{Name: "c", URL: "http://c", Weight: 2},
+	}
+	r := NewRing(nodes, 0)
+	keys := testKeys(20000)
+	counts := ownerCounts(r, keys)
+	totalWeight := 4.0
+	for _, n := range nodes {
+		want := float64(n.Weight) / totalWeight * float64(len(keys))
+		got := float64(counts[n.Name])
+		if got < 0.6*want || got > 1.4*want {
+			t.Errorf("node %s (weight %d): got %v keys, want about %v (±40%%)", n.Name, n.Weight, got, want)
+		}
+	}
+}
+
+// Removing a node must move only the keys it owned; every key owned
+// by a surviving node keeps its owner. That is the consistent-hash
+// contract — no shuffling among survivors.
+func TestRingRemovalMovesOnlyDepartedKeys(t *testing.T) {
+	nodes := []Node{
+		{Name: "a", URL: "http://a"},
+		{Name: "b", URL: "http://b"},
+		{Name: "c", URL: "http://c"},
+		{Name: "d", URL: "http://d"},
+	}
+	before := NewRing(nodes, 0)
+	after := NewRing(nodes[:3], 0) // drop d
+	keys := testKeys(10000)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was != "d" && was != is {
+			t.Fatalf("key %q moved %s→%s though %s survived", k, was, is, was)
+		}
+		if was == "d" {
+			moved++
+		}
+	}
+	// d's share should be about 1/4; allow wide slack, the invariant
+	// above is the real test.
+	if moved == 0 || moved > len(keys)/2 {
+		t.Errorf("moved %d of %d keys on removing 1 of 4 nodes, want about %d", moved, len(keys), len(keys)/4)
+	}
+}
+
+// Adding a node must move keys only onto the new node.
+func TestRingAddMovesKeysOnlyToNewNode(t *testing.T) {
+	nodes := []Node{
+		{Name: "a", URL: "http://a"},
+		{Name: "b", URL: "http://b"},
+		{Name: "c", URL: "http://c"},
+	}
+	before := NewRing(nodes, 0)
+	after := NewRing(append(nodes, Node{Name: "d", URL: "http://d"}), 0)
+	keys := testKeys(10000)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was != is {
+			if is != "d" {
+				t.Fatalf("key %q moved %s→%s on adding d", k, was, is)
+			}
+			moved++
+		}
+	}
+	want := len(keys) / 4
+	if moved == 0 || moved > len(keys)/2 {
+		t.Errorf("moved %d of %d keys on adding a 4th node, want about %d", moved, len(keys), want)
+	}
+}
+
+// Ownership must be a pure function of the member set: shuffling the
+// input order, or computing in another "process" (a fresh ring),
+// changes nothing.
+func TestRingDeterministicAcrossInputOrder(t *testing.T) {
+	nodes := []Node{
+		{Name: "a", URL: "http://a", Weight: 2},
+		{Name: "b", URL: "http://b"},
+		{Name: "c", URL: "http://c", Weight: 3},
+		{Name: "d", URL: "http://d"},
+	}
+	ref := NewRing(nodes, 0)
+	keys := testKeys(5000)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]Node(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r := NewRing(shuffled, 0)
+		for _, k := range keys {
+			if got, want := r.Owner(k), ref.Owner(k); got != want {
+				t.Fatalf("trial %d: owner(%q)=%s, want %s", trial, k, got, want)
+			}
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	var nilRing *Ring
+	if got := nilRing.Owner("k"); got != "" {
+		t.Errorf("nil ring owner = %q, want empty", got)
+	}
+	if nilRing.Len() != 0 || nilRing.Nodes() != nil {
+		t.Error("nil ring should be empty")
+	}
+	empty := NewRing(nil, 0)
+	if got := empty.Owner("k"); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+	one := NewRing([]Node{{Name: "solo", URL: "http://s"}}, 0)
+	for _, k := range testKeys(100) {
+		if one.Owner(k) != "solo" {
+			t.Fatal("single-node ring must own every key")
+		}
+	}
+	if one.Len() != 1 {
+		t.Errorf("Len = %d, want 1", one.Len())
+	}
+	got := NewRing([]Node{{Name: "b", URL: "u"}, {Name: "a", URL: "u"}}, 8).Nodes()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Nodes() = %v, want sorted [a b]", got)
+	}
+}

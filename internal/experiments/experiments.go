@@ -46,6 +46,7 @@ func All() []exptab.Experiment {
 		{ID: "serve", Name: "Infrastructure: job service load, pooled vs build-per-job", Run: ServeLoad},
 		{ID: "scenarios", Name: "Infrastructure: scenario registry smoke, one demo run per family", Run: ScenarioSmoke},
 		{ID: "tenants", Name: "Infrastructure: multi-tenant fairness, WFQ shares and light-tenant p99", Run: TenantFairness},
+		{ID: "cluster", Name: "Infrastructure: sharded cluster, 3-node scatter-gather vs single node", Run: ClusterLoad},
 		{ID: "bench-compare", Name: "Infrastructure: interval bench-regression gate (S_8 sweep reps)", Run: BenchCompare},
 	}
 }

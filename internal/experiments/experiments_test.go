@@ -28,6 +28,10 @@ func TestMain(m *testing.M) {
 	// full window CI runs.
 	os.Setenv("BENCH_TENANTS_PATH", filepath.Join(dir, "BENCH_tenants.json"))
 	os.Setenv("BENCH_TENANTS_PHASE_MS", "400")
+	// Same for the cluster record, with a shrunk closed loop; CI's
+	// cluster job runs the full default and gates the speedup.
+	os.Setenv("BENCH_CLUSTER_PATH", filepath.Join(dir, "BENCH_cluster.json"))
+	os.Setenv("BENCH_CLUSTER_JOBS", "4")
 	code := m.Run()
 	os.RemoveAll(dir)
 	os.Exit(code)

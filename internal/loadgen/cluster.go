@@ -1,0 +1,484 @@
+// The cluster comparison harness behind BENCH_cluster.json: the same
+// closed-loop load driven through the routing client against a
+// 3-node in-process cluster and against a single node, plus a drain
+// exercise that migrates a held backlog and re-verifies every
+// migrated job bit-identically. Like the serve bench, all traffic
+// goes through the public typed client over real HTTP listeners, so
+// the measured speedup includes the routing layer's own cost.
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"starmesh/client"
+	"starmesh/internal/cluster"
+	"starmesh/internal/serve"
+	"starmesh/internal/workload"
+)
+
+// ClusterLoadConfig shapes one cluster-vs-single comparison.
+type ClusterLoadConfig struct {
+	// Nodes is the cluster size (the single-node baseline always runs
+	// one node of the same per-node configuration).
+	Nodes int
+	// WorkersPerNode pins each node's worker count — the bench uses 1
+	// so the cluster's parallelism is the node count, not GOMAXPROCS.
+	WorkersPerNode int
+	Queue          int
+	// Clients and JobsPerClient define the closed loop, as in
+	// LoadConfig. Specs round-robin across the stream and should span
+	// several pool shapes, or everything routes to one owner.
+	Clients       int
+	JobsPerClient int
+	Specs         []JobSpec
+	// Reps interleaves cluster/single measurement pairs and keeps the
+	// best of each (0 = 1), like RunComparison.
+	Reps int
+	// DrainBacklog is how many slow star:8 sweep jobs the drain
+	// exercise queues before draining their owner (0 = 8).
+	DrainBacklog int
+}
+
+// ClusterComparison is the cluster-vs-single measurement plus the
+// drain-migration verdict.
+type ClusterComparison struct {
+	Cluster LoadResult `json:"cluster"`
+	Single  LoadResult `json:"single"`
+	// ShapeOwners is the deterministic shape→node assignment the ring
+	// produced for the bench specs — the evidence the load actually
+	// spread (the ring hash is frozen, so this never drifts).
+	ShapeOwners map[string]string `json:"shape_owners"`
+	// OwnerShapes counts shapes per node.
+	OwnerShapes map[string]int `json:"owner_shapes"`
+	// Migrated is how many queued jobs the drain exercise handed off;
+	// DrainParityOK means every one of them re-executed on a survivor
+	// bit-identically to a standalone run of its spec.
+	Migrated      int  `json:"migrated"`
+	DrainParityOK bool `json:"drain_parity_ok"`
+	// ParityOK covers the throughput phases: every job result on both
+	// topologies matched the standalone reference.
+	ParityOK bool `json:"parity_ok"`
+}
+
+// Speedup is cluster throughput over single-node throughput.
+func (c *ClusterComparison) Speedup() float64 {
+	if c.Single.ThroughputJobsPerSec <= 0 {
+		return 0
+	}
+	return c.Cluster.ThroughputJobsPerSec / c.Single.ThroughputJobsPerSec
+}
+
+// startCluster boots n services behind real listeners and wires them
+// into one cluster map. The caller must call stop (idempotent) —
+// and must not reuse the cluster after it.
+func startCluster(n int, cfg serve.Config) (cluster.Map, map[string]*serve.Service, func(), error) {
+	m := cluster.Map{}
+	services := make(map[string]*serve.Service, n)
+	var servers []*httptest.Server
+	stop := func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+		for _, svc := range services {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			_ = svc.Shutdown(ctx)
+			cancel()
+		}
+	}
+	for i := 0; i < n; i++ {
+		svc, err := serve.NewService(cfg)
+		if err != nil {
+			stop()
+			return m, nil, nil, err
+		}
+		ts := httptest.NewServer(svc.Handler())
+		servers = append(servers, ts)
+		name := fmt.Sprintf("n%d", i+1)
+		services[name] = svc
+		m.Nodes = append(m.Nodes, cluster.Node{Name: name, URL: ts.URL})
+	}
+	for name, svc := range services {
+		if err := svc.SetCluster(name, m); err != nil {
+			stop()
+			return m, nil, nil, err
+		}
+	}
+	return m, services, stop, nil
+}
+
+// runClusterLoad drives the routing client closed-loop, mirroring
+// RunLoad's accounting (throughput over wall clock, client-observed
+// latency percentiles, per-spec result map for the parity check).
+func runClusterLoad(cc *client.ClusterClient, clients, jobsPerClient int, specs []JobSpec) (LoadResult, error) {
+	type outcome struct {
+		job     Job
+		latency time.Duration
+		err     error
+	}
+	outcomes := make([]outcome, clients*jobsPerClient)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for j := 0; j < jobsPerClient; j++ {
+				idx := c*jobsPerClient + j
+				spec := specs[idx%len(specs)]
+				var o outcome
+				t0 := time.Now()
+				var job Job
+				job, o.err = cc.Submit(ctx, spec)
+				if o.err == nil {
+					o.job, o.err = cc.Await(ctx, job.ID)
+				}
+				o.latency = time.Since(t0)
+				outcomes[idx] = o
+				if o.err != nil {
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	out := LoadResult{ElapsedNs: elapsed.Nanoseconds(), BySpec: make(map[string]ScenarioResult)}
+	var latencies []time.Duration
+	for _, o := range outcomes {
+		if o.err != nil {
+			return out, o.err
+		}
+		out.Jobs++
+		latencies = append(latencies, o.latency)
+		if o.job.Status != serve.StatusDone {
+			out.Failed++
+			continue
+		}
+		key := o.job.Spec.Name()
+		norm := *o.job.Result
+		norm.Name = ""
+		norm.ElapsedNs = 0
+		if prev, ok := out.BySpec[key]; ok {
+			if prev != norm {
+				return out, fmt.Errorf("loadgen: spec %s returned diverging results across the cluster: %+v vs %+v", key, prev, norm)
+			}
+		} else {
+			out.BySpec[key] = norm
+		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		out.ThroughputJobsPerSec = float64(out.Jobs-out.Failed) / secs
+	}
+	out.LatencyP50Ns = percentile(latencies, 50).Nanoseconds()
+	out.LatencyP99Ns = percentile(latencies, 99).Nanoseconds()
+	return out, nil
+}
+
+// RunClusterComparison measures the same closed-loop load against an
+// n-node cluster and a single node of identical per-node
+// configuration, verifies both against standalone scenario runs,
+// then runs the drain-migration exercise on a fresh cluster. With
+// WorkersPerNode=1 the single-node run is strictly serial, so the
+// speedup isolates what sharding buys — the cluster's extra cores do
+// the work, the ring only points at them.
+func RunClusterComparison(cfg ClusterLoadConfig) (ClusterComparison, error) {
+	var cmp ClusterComparison
+	if cfg.Nodes < 2 || cfg.Clients < 1 || cfg.JobsPerClient < 1 || len(cfg.Specs) == 0 {
+		return cmp, fmt.Errorf("loadgen: cluster config needs ≥2 nodes, clients, jobs per client and specs")
+	}
+	svcCfg := serve.Config{Workers: cfg.WorkersPerNode, Queue: cfg.Queue}
+
+	// Standalone references first: the parity oracle, and the shared
+	// plan-cache warmup every measured topology then inherits equally.
+	wants := make(map[string]ScenarioResult, len(cfg.Specs))
+	for _, spec := range cfg.Specs {
+		sc, err := workload.ScenarioFor(spec)
+		if err != nil {
+			return cmp, err
+		}
+		want, err := sc.Run(context.Background())
+		if err != nil {
+			return cmp, fmt.Errorf("standalone %s: %w", sc.Name, err)
+		}
+		want.Name = ""
+		want.ElapsedNs = 0
+		norm, err := spec.Normalized()
+		if err != nil {
+			return cmp, err
+		}
+		wants[norm.Name()] = want
+	}
+	checkParity := func(mode string, res LoadResult) error {
+		for name, want := range wants {
+			got, ok := res.BySpec[name]
+			if !ok {
+				return fmt.Errorf("loadgen: %s run never completed spec %s", mode, name)
+			}
+			if got != want {
+				return fmt.Errorf("loadgen: %s result for %s diverged from standalone run: %+v vs %+v", mode, name, got, want)
+			}
+		}
+		return nil
+	}
+
+	measure := func(nodes int) (LoadResult, error) {
+		m, _, stop, err := startCluster(nodes, svcCfg)
+		if err != nil {
+			return LoadResult{}, err
+		}
+		defer stop()
+		cc, err := client.NewCluster(m)
+		if err != nil {
+			return LoadResult{}, err
+		}
+		return runClusterLoad(cc, cfg.Clients, cfg.JobsPerClient, cfg.Specs)
+	}
+
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	for r := 0; r < reps; r++ {
+		clusterRes, err := measure(cfg.Nodes)
+		if err != nil {
+			return cmp, fmt.Errorf("cluster run: %w", err)
+		}
+		if err := checkParity("cluster", clusterRes); err != nil {
+			return cmp, err
+		}
+		// The baseline is one node of the same build behind the same
+		// routing client, so both measurements pay identical client
+		// and HTTP costs and the delta is purely the sharding.
+		singleRes, err := measure(1)
+		if err != nil {
+			return cmp, fmt.Errorf("single-node run: %w", err)
+		}
+		if err := checkParity("single", singleRes); err != nil {
+			return cmp, err
+		}
+		if r == 0 || clusterRes.ThroughputJobsPerSec > cmp.Cluster.ThroughputJobsPerSec {
+			cmp.Cluster = clusterRes
+		}
+		if r == 0 || singleRes.ThroughputJobsPerSec > cmp.Single.ThroughputJobsPerSec {
+			cmp.Single = singleRes
+		}
+	}
+	cmp.ParityOK = true
+
+	// Record the deterministic shape→owner spread of the bench specs.
+	ring := cluster.Map{Nodes: make([]cluster.Node, 0, cfg.Nodes)}
+	for i := 0; i < cfg.Nodes; i++ {
+		ring.Nodes = append(ring.Nodes, cluster.Node{Name: fmt.Sprintf("n%d", i+1), URL: "x"})
+	}
+	r := ring.Ring()
+	cmp.ShapeOwners = make(map[string]string)
+	cmp.OwnerShapes = make(map[string]int)
+	for _, spec := range cfg.Specs {
+		norm, _ := spec.Normalized()
+		shape := norm.Shape()
+		if _, seen := cmp.ShapeOwners[shape]; seen {
+			continue
+		}
+		owner := r.Owner(shape)
+		cmp.ShapeOwners[shape] = owner
+		cmp.OwnerShapes[owner]++
+	}
+
+	migrated, drainOK, err := runDrainExercise(svcCfg, cfg)
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Migrated, cmp.DrainParityOK = migrated, drainOK
+	return cmp, nil
+}
+
+// runDrainExercise queues a slow single-shape backlog on a fresh
+// cluster, drains the owning node while the backlog is still queued,
+// and verifies every migrated job completed on a survivor with a
+// result bit-identical to a standalone run of its spec.
+func runDrainExercise(svcCfg serve.Config, cfg ClusterLoadConfig) (int, bool, error) {
+	backlog := cfg.DrainBacklog
+	if backlog < 1 {
+		backlog = 8
+	}
+	m, _, stop, err := startCluster(cfg.Nodes, svcCfg)
+	if err != nil {
+		return 0, false, err
+	}
+	defer stop()
+	cc, err := client.NewCluster(m)
+	if err != nil {
+		return 0, false, err
+	}
+	ctx := context.Background()
+	// One shape, one owner, ~hundreds of ms per job against a single
+	// worker: the backlog is still queued when the drain lands.
+	slow := JobSpec{Kind: serve.KindSweep, N: 8, Trials: 30}
+	var ids []string
+	for i := 0; i < backlog; i++ {
+		spec := slow
+		spec.Seed = int64(i + 1)
+		job, err := cc.Submit(ctx, spec)
+		if err != nil {
+			return 0, false, err
+		}
+		ids = append(ids, job.ID)
+	}
+	owner, _, _ := cluster.SplitID(ids[0])
+	migrated, err := cc.Drain(ctx, owner)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(migrated) == 0 {
+		return 0, false, fmt.Errorf("loadgen: drain exercise migrated nothing — the backlog drained before the drain request landed")
+	}
+	// The standalone reference for the one slow shape, computed once.
+	norm, err := slow.Normalized()
+	if err != nil {
+		return 0, false, err
+	}
+	for _, mj := range migrated {
+		node, _, _ := cluster.SplitID(mj.To)
+		if node == owner {
+			return 0, false, fmt.Errorf("loadgen: migrated job %s resubmitted to the drained node", mj.To)
+		}
+		final, err := cc.Await(ctx, mj.To)
+		if err != nil {
+			return 0, false, err
+		}
+		if final.Status != serve.StatusDone || final.Result == nil {
+			return 0, false, fmt.Errorf("loadgen: migrated job %s ended %s (%s)", mj.To, final.Status, final.Error)
+		}
+		ref := norm
+		ref.Seed = final.Spec.Seed
+		sc, err := workload.ScenarioFor(ref)
+		if err != nil {
+			return 0, false, err
+		}
+		want, err := sc.Run(ctx)
+		if err != nil {
+			return 0, false, err
+		}
+		if final.Result.UnitRoutes != want.UnitRoutes || final.Result.Conflicts != want.Conflicts || final.Result.OK != want.OK {
+			return len(migrated), false, fmt.Errorf("loadgen: migrated job %s diverged from standalone run: %+v vs %+v", mj.To, final.Result, want)
+		}
+	}
+	return len(migrated), true, nil
+}
+
+// ClusterBenchRecord is the schema of BENCH_cluster.json: the same
+// closed-loop load against an n-node cluster vs one node, with
+// parity asserted on both topologies and on every drain-migrated
+// job before any timing is reported.
+type ClusterBenchRecord struct {
+	Benchmark      string `json:"benchmark"`
+	API            string `json:"api"`
+	Timestamp      string `json:"timestamp"`
+	GoMaxProcs     int    `json:"gomaxprocs"`
+	Nodes          int    `json:"nodes"`
+	WorkersPerNode int    `json:"workers_per_node"`
+	Queue          int    `json:"queue"`
+	Clients        int    `json:"clients"`
+	JobsPerClient  int    `json:"jobs_per_client"`
+	Specs          int    `json:"specs"`
+	Shapes         int    `json:"shapes"`
+	Reps           int    `json:"reps"`
+
+	ClusterJobs       int     `json:"cluster_jobs"`
+	ClusterNs         int64   `json:"cluster_ns"`
+	ClusterThroughput float64 `json:"cluster_jobs_per_sec"`
+	ClusterP50Ns      int64   `json:"cluster_latency_p50_ns"`
+	ClusterP99Ns      int64   `json:"cluster_latency_p99_ns"`
+	SingleJobs        int     `json:"single_jobs"`
+	SingleNs          int64   `json:"single_ns"`
+	SingleThroughput  float64 `json:"single_jobs_per_sec"`
+	SingleP50Ns       int64   `json:"single_latency_p50_ns"`
+	SingleP99Ns       int64   `json:"single_latency_p99_ns"`
+
+	// Speedup is the headline: cluster over single-node throughput,
+	// gated at ≥1.8x on 3 nodes by CI's cluster job.
+	Speedup float64 `json:"speedup_cluster_vs_single"`
+	// ShapeOwners records the frozen ring's shape→node assignment for
+	// the bench specs; OwnerShapes the per-node shape counts.
+	ShapeOwners map[string]string `json:"shape_owners"`
+	OwnerShapes map[string]int    `json:"owner_shapes"`
+
+	Migrated      int  `json:"migrated"`
+	DrainParityOK bool `json:"drain_parity_ok"`
+	ParityOK      bool `json:"parity_ok"`
+}
+
+// NewClusterBenchRecord folds a comparison into the record schema.
+func NewClusterBenchRecord(cfg ClusterLoadConfig, cmp ClusterComparison, gomaxprocs int, timestamp string) ClusterBenchRecord {
+	return ClusterBenchRecord{
+		Benchmark:         "cluster-closed-loop-sharded-vs-single",
+		API:               "v1-cluster-routing-client",
+		Timestamp:         timestamp,
+		GoMaxProcs:        gomaxprocs,
+		Nodes:             cfg.Nodes,
+		WorkersPerNode:    cfg.WorkersPerNode,
+		Queue:             cfg.Queue,
+		Clients:           cfg.Clients,
+		JobsPerClient:     cfg.JobsPerClient,
+		Specs:             len(cfg.Specs),
+		Shapes:            len(cmp.ShapeOwners),
+		Reps:              max(cfg.Reps, 1),
+		ClusterJobs:       cmp.Cluster.Jobs,
+		ClusterNs:         cmp.Cluster.ElapsedNs,
+		ClusterThroughput: cmp.Cluster.ThroughputJobsPerSec,
+		ClusterP50Ns:      cmp.Cluster.LatencyP50Ns,
+		ClusterP99Ns:      cmp.Cluster.LatencyP99Ns,
+		SingleJobs:        cmp.Single.Jobs,
+		SingleNs:          cmp.Single.ElapsedNs,
+		SingleThroughput:  cmp.Single.ThroughputJobsPerSec,
+		SingleP50Ns:       cmp.Single.LatencyP50Ns,
+		SingleP99Ns:       cmp.Single.LatencyP99Ns,
+		Speedup:           cmp.Speedup(),
+		ShapeOwners:       cmp.ShapeOwners,
+		OwnerShapes:       cmp.OwnerShapes,
+		Migrated:          cmp.Migrated,
+		DrainParityOK:     cmp.DrainParityOK,
+		ParityOK:          cmp.ParityOK,
+	}
+}
+
+// WriteJSON writes the record as indented JSON.
+func (r *ClusterBenchRecord) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// OwnerTable renders the shape→owner spread as "node:count" pairs,
+// sorted by node — the one-line balance summary the experiment
+// prints.
+func (c *ClusterComparison) OwnerTable() string {
+	nodes := make([]string, 0, len(c.OwnerShapes))
+	for n := range c.OwnerShapes {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	parts := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		parts = append(parts, fmt.Sprintf("%s:%d", n, c.OwnerShapes[n]))
+	}
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}

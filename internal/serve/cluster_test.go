@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"starmesh/internal/cluster"
+)
+
+func TestSetCluster(t *testing.T) {
+	svc, err := NewService(Config{Workers: 1, Queue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Drain()
+	if _, ok := svc.Cluster(); ok {
+		t.Fatal("fresh service should not be clustered")
+	}
+	m := cluster.Map{Nodes: []cluster.Node{
+		{Name: "n1", URL: "http://a"}, {Name: "n2", URL: "http://b"},
+	}}
+	if err := svc.SetCluster("n3", m); err == nil {
+		t.Fatal("SetCluster must reject a self not in the map")
+	}
+	if err := svc.SetCluster("n1", cluster.Map{}); err == nil {
+		t.Fatal("SetCluster must reject an invalid map")
+	}
+	if err := svc.SetCluster("n1", m); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := svc.Cluster()
+	if !ok || info.Self != "n1" || len(info.Map.Nodes) != 2 {
+		t.Fatalf("Cluster() = %+v, %v", info, ok)
+	}
+}
+
+func TestClusterEndpoint(t *testing.T) {
+	svc, err := NewService(Config{Workers: 1, Queue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Drain()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	code, data := doJSON(t, "GET", ts.URL+"/v1/cluster", "")
+	if code != http.StatusNotFound {
+		t.Fatalf("unclustered GET /v1/cluster = %d: %s", code, data)
+	}
+	m := cluster.Map{Nodes: []cluster.Node{{Name: "n1", URL: ts.URL}}}
+	if err := svc.SetCluster("n1", m); err != nil {
+		t.Fatal(err)
+	}
+	code, data = doJSON(t, "GET", ts.URL+"/v1/cluster", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/cluster = %d: %s", code, data)
+	}
+	var info ClusterInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Self != "n1" || len(info.Map.Nodes) != 1 || info.Map.Nodes[0].URL != ts.URL {
+		t.Fatalf("bad cluster body: %s", data)
+	}
+}
+
+// DrainMigrate on a held-back service (no workers): every queued job
+// comes out in admission order, locally canceled with the migration
+// marker, and admission is closed behind them.
+func TestDrainMigrateExtractsQueuedBacklog(t *testing.T) {
+	svc, err := newService(Config{Workers: 1, Queue: 16}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Drain()
+	var ids []string
+	for i := 0; i < 5; i++ {
+		job, err := svc.Submit(JobSpec{Kind: KindSort, N: 4, Dist: "reversed", Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+	}
+	migrated := svc.DrainMigrate()
+	if len(migrated) != 5 {
+		t.Fatalf("migrated %d jobs, want 5", len(migrated))
+	}
+	for i, j := range migrated {
+		if j.ID != ids[i] {
+			t.Errorf("migrated[%d] = %s, want %s (admission order)", i, j.ID, ids[i])
+		}
+		if j.Status != StatusCanceled || j.Error != MigratedError {
+			t.Errorf("migrated[%d]: status %s error %q", i, j.Status, j.Error)
+		}
+		if j.Spec.Kind != KindSort || j.Spec.Seed != int64(i) {
+			t.Errorf("migrated[%d] lost its spec: %+v", i, j.Spec)
+		}
+		last := j.Trace[len(j.Trace)-1]
+		if last.Event != TraceMigrated {
+			t.Errorf("migrated[%d] trace missing %q event: %+v", i, TraceMigrated, j.Trace)
+		}
+	}
+	if _, err := svc.Submit(JobSpec{Kind: KindSort, N: 4, Dist: "reversed", Seed: 9}); err != ErrDraining {
+		t.Fatalf("submit after drain = %v, want ErrDraining", err)
+	}
+	if again := svc.DrainMigrate(); len(again) != 0 {
+		t.Fatalf("second DrainMigrate returned %d jobs", len(again))
+	}
+	if d := svc.sched.depth(); d != 0 {
+		t.Fatalf("scheduler still holds %d jobs", d)
+	}
+}
+
+func TestDrainEndpoint(t *testing.T) {
+	svc, err := newService(Config{Workers: 1, Queue: 16}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Drain()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	if err := svc.SetCluster("n1", cluster.Map{Nodes: []cluster.Node{{Name: "n1", URL: ts.URL}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(JobSpec{Kind: KindSort, N: 4, Dist: "reversed", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	code, data := doJSON(t, "POST", ts.URL+"/v1/drain", "")
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/drain = %d: %s", code, data)
+	}
+	var resp DrainResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Node != "n1" || len(resp.Migrated) != 1 || resp.Migrated[0].Error != MigratedError {
+		t.Fatalf("bad drain response: %s", data)
+	}
+	select {
+	case <-svc.drainRequested:
+	default:
+		t.Fatal("drain endpoint did not signal ListenAndServe")
+	}
+	// The drain must be health-visible.
+	code, data = doJSON(t, "GET", ts.URL+"/v1/healthz", "")
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(data), "draining") {
+		t.Fatalf("healthz after drain = %d: %s", code, data)
+	}
+}
+
+// A migration must survive a crash as a local cancel: replaying the
+// WAL yields the job terminal with the migration marker, never
+// re-queued (the survivor already owns the resubmitted copy).
+func TestMigrateDurableAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := newService(Config{Workers: 1, Queue: 16, StoreDir: dir}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := svc.Submit(JobSpec{Kind: KindSort, N: 4, Dist: "reversed", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.DrainMigrate(); len(got) != 1 {
+		t.Fatalf("migrated %d jobs, want 1", len(got))
+	}
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	svc2, err := newService(Config{Workers: 1, Queue: 16, StoreDir: dir}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Drain()
+	got, ok := svc2.Job(job.ID)
+	if !ok {
+		t.Fatal("migrated job lost across restart")
+	}
+	if got.Status != StatusCanceled || got.Error != MigratedError {
+		t.Fatalf("recovered as %s (%q), want canceled/migrated", got.Status, got.Error)
+	}
+	if d := svc2.Durability(); d.RecoveredQueued != 0 {
+		t.Fatalf("recovery re-admitted %d jobs, want 0", d.RecoveredQueued)
+	}
+}
+
+func TestMergeStats(t *testing.T) {
+	window := 10 * time.Second
+	per := map[string]Stats{
+		"n1": {
+			Queued: 2, Running: 1, Done: 10, Failed: 1, Canceled: 1,
+			UnitRoutes: 100, Conflicts: 5, WatchDrops: 1,
+			Workers: 1, QueueCap: 64, Pooling: true,
+			ThroughputJobsPerSec: 1.0,
+			LatencyTotalP99Ns:    500,
+			Kinds:                []KindStats{{Kind: "sort", Done: 10, UnitRoutes: 100}},
+			Pools:                []PoolStats{{Shape: "star:4", Idle: 1, Builds: 2, Reuses: 8}},
+			Tenants:              []TenantStats{{Tenant: "acme", Weight: 2, Jobs: 40, Done: 40, Queued: 1}},
+		},
+		"n2": {
+			Queued: 1, Done: 5,
+			UnitRoutes: 50, Workers: 2, QueueCap: 64, Pooling: true, Draining: true,
+			ThroughputJobsPerSec: 0.5,
+			LatencyTotalP99Ns:    900,
+			Kinds:                []KindStats{{Kind: "sort", Done: 3}, {Kind: "sweep", Done: 2}},
+			Pools:                []PoolStats{{Shape: "star:4", Builds: 1, Reuses: 2}, {Shape: "grid:2x2", Builds: 1}},
+			Tenants: []TenantStats{
+				{Tenant: "acme", Weight: 2, Jobs: 10, Done: 10},
+				{Tenant: "beta", Weight: 1, Jobs: 4, Done: 4},
+			},
+		},
+	}
+	got := MergeStats(per, window)
+	if got.Queued != 3 || got.Running != 1 || got.Done != 15 || got.Failed != 1 || got.Canceled != 1 {
+		t.Fatalf("bad status counts: %+v", got)
+	}
+	if got.UnitRoutes != 150 || got.Workers != 3 || got.QueueCap != 128 {
+		t.Fatalf("bad totals: %+v", got)
+	}
+	if !got.Pooling || !got.Draining {
+		t.Fatalf("pooling/draining flags wrong: %+v", got)
+	}
+	if got.ThroughputJobsPerSec != 1.5 {
+		t.Fatalf("throughput = %v", got.ThroughputJobsPerSec)
+	}
+	if got.LatencyTotalP99Ns != 900 {
+		t.Fatalf("merged p99 = %d, want the conservative max 900", got.LatencyTotalP99Ns)
+	}
+	if got.Durability.Store != "cluster" {
+		t.Fatalf("durability = %+v", got.Durability)
+	}
+	if len(got.Kinds) != 2 || got.Kinds[0].Kind != "sort" || got.Kinds[0].Done != 13 || got.Kinds[1].Done != 2 {
+		t.Fatalf("bad kind merge: %+v", got.Kinds)
+	}
+	if len(got.Pools) != 2 || got.Pools[1].Shape != "star:4" || got.Pools[1].Builds != 3 || got.Pools[1].Reuses != 10 {
+		t.Fatalf("bad pool merge: %+v", got.Pools)
+	}
+
+	// Tenant merge: acme = 50 jobs over 10s → 5/s with interval
+	// 5 ± 1.96·√50/10; beta = 0.4/s. The intervals do not overlap, so
+	// the ranks are certain.
+	if len(got.Tenants) != 2 {
+		t.Fatalf("tenant rows: %+v", got.Tenants)
+	}
+	acme, beta := got.Tenants[0], got.Tenants[1]
+	if acme.Tenant != "acme" || acme.Jobs != 50 || acme.Queued != 1 || acme.Weight != 2 {
+		t.Fatalf("acme row: %+v", acme)
+	}
+	if acme.ThroughputJobsPerSec != 5.0 {
+		t.Fatalf("acme throughput = %v", acme.ThroughputJobsPerSec)
+	}
+	if acme.ThroughputLo <= beta.ThroughputHi {
+		t.Fatalf("intervals should separate: acme lo %v vs beta hi %v", acme.ThroughputLo, beta.ThroughputHi)
+	}
+	if acme.Rank != 1 || acme.RankLo != 1 || acme.RankHi != 1 {
+		t.Fatalf("acme rank: %+v", acme)
+	}
+	if beta.Rank != 2 || beta.RankLo != 2 || beta.RankHi != 2 {
+		t.Fatalf("beta rank: %+v", beta)
+	}
+
+	// Overlapping intervals must widen the merged rank bounds.
+	per2 := map[string]Stats{
+		"n1": {Tenants: []TenantStats{{Tenant: "a", Jobs: 5}, {Tenant: "b", Jobs: 4}}},
+	}
+	got2 := MergeStats(per2, window)
+	a := got2.Tenants[0]
+	if a.RankLo != 1 || a.RankHi != 2 {
+		t.Fatalf("overlapping counts should give rank interval [1,2], got [%d,%d]", a.RankLo, a.RankHi)
+	}
+}
+
+func TestMergeStatsEmpty(t *testing.T) {
+	got := MergeStats(nil, time.Minute)
+	if got.Pooling || got.Queued != 0 || len(got.Tenants) != 0 {
+		t.Fatalf("empty merge: %+v", got)
+	}
+}

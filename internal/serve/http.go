@@ -66,6 +66,10 @@ func (s *Service) Handler() http.Handler {
 		handle("GET", "/metrics", s.handleMetrics)
 	}
 	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleList))
+	// Cluster routes are v1-only: they postdate the alias release, so
+	// no unversioned spelling ever existed to keep alive.
+	mux.HandleFunc("GET /v1/cluster", s.instrument("/v1/cluster", s.handleCluster))
+	mux.HandleFunc("POST /v1/drain", s.instrument("/v1/drain", s.handleDrain))
 	// The legacy listing keeps its pre-v1 wire shape — a bare JSON
 	// array, limit 0 = all — so existing consumers survive the alias
 	// release unchanged; only /v1/jobs speaks JobPage.
@@ -387,6 +391,10 @@ func (s *Service) ListenAndServe(ctx context.Context, addr string) error {
 	case err := <-errc:
 		s.Drain()
 		return err
+	case <-s.drainRequested:
+		// POST /v1/drain: same graceful path as cancellation — by now
+		// the handler has already stopped admission and extracted the
+		// queued backlog for migration.
 	case <-ctx.Done():
 	}
 	// Drain-visible order: admission stops and the service drains

@@ -179,6 +179,32 @@ func (w *wfq) remove(tenantName, id string) {
 	}
 }
 
+// drainAll empties every tenant queue at once and returns the ids in
+// admission order — the drain-with-migration extraction. Once a job
+// leaves here no worker can pop it, so the store-side migrate races
+// only workers that popped before the call (and loses to them
+// harmlessly: migrate requires queued). Resubmission in admission
+// order preserves each tenant's FIFO on the receiving nodes.
+func (w *wfq) drainAll() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var all []queuedJob
+	for _, q := range w.queues {
+		all = append(all, q.jobs...)
+		q.jobs = nil
+		q.deficit = 0
+	}
+	w.active = nil
+	w.idx = 0
+	w.size = 0
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	ids := make([]string, len(all))
+	for i, j := range all {
+		ids[i] = j.id
+	}
+	return ids
+}
+
 // closeIntake stops admission: pushes still work only with force,
 // and pop drains what remains, then reports done.
 func (w *wfq) closeIntake() {

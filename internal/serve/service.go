@@ -156,6 +156,17 @@ type Service struct {
 	mu       sync.Mutex // guards draining + the enqueue/close race
 	draining bool
 
+	// clusterInfo is this node's cluster membership (nil when not
+	// clustered; see SetCluster). An atomic pointer because the
+	// harness installs it after the listeners are up, concurrently
+	// with serving.
+	clusterInfo atomic.Pointer[ClusterInfo]
+	// drainRequested nudges ListenAndServe into graceful shutdown
+	// when POST /v1/drain fires (buffered: the signal must not block
+	// the handler, and services driven without ListenAndServe just
+	// never read it).
+	drainRequested chan struct{}
+
 	wg       sync.WaitGroup
 	finishOf sync.Once
 	drained  chan struct{}
@@ -200,12 +211,13 @@ func newService(cfg Config, startWorkers bool) (*Service, error) {
 		// configured depth, exactly as the old channel did, so
 		// re-admission never rejects and new submissions still see
 		// eff.Queue of fresh capacity.
-		sched:      newWFQ(eff.Queue + len(recovered)),
-		tenants:    tenants,
-		start:      time.Now(),
-		baseCtx:    baseCtx,
-		baseCancel: baseCancel,
-		drained:    make(chan struct{}),
+		sched:          newWFQ(eff.Queue + len(recovered)),
+		tenants:        tenants,
+		start:          time.Now(),
+		baseCtx:        baseCtx,
+		baseCancel:     baseCancel,
+		drained:        make(chan struct{}),
+		drainRequested: make(chan struct{}, 1),
 	}
 	s.log = eff.Logger
 	if s.log == nil {
@@ -480,13 +492,13 @@ func (s *Service) Cancel(id string) (Job, error) {
 // Stats aggregates the service view: status counts, latency
 // percentiles, unit-route totals, per-shape pool counters and the
 // per-tenant leaderboard over the default trailing window.
-func (s *Service) Stats() Stats { return s.StatsWindow(defaultTenantWindow) }
+func (s *Service) Stats() Stats { return s.StatsWindow(DefaultTenantWindow) }
 
 // StatsWindow is Stats with the tenant leaderboard computed over the
 // given trailing window (GET /v1/stats?window=30s; ≤0 = default).
 func (s *Service) StatsWindow(window time.Duration) Stats {
 	if window <= 0 {
-		window = defaultTenantWindow
+		window = DefaultTenantWindow
 	}
 	st := s.store.aggregate(time.Since(s.start))
 	st.Workers = s.workers

@@ -57,6 +57,13 @@ type Store interface {
 	// cancel aborts a job (queued: immediately; running: at its next
 	// checkpoint; terminal: ErrTerminal).
 	cancel(id string, now time.Time) (Job, error)
+	// migrate hands a queued job off for drain migration: locally it
+	// becomes canceled with error "migrated" (WAL-logged like any
+	// cancel, so a crash mid-drain recovers it as canceled, never as
+	// a duplicate run), and the returned snapshot carries the Spec
+	// and Tenant the drainer resubmits elsewhere. false means the job
+	// is no longer queued (a worker won the race) and must not move.
+	migrate(id string, now time.Time) (Job, bool)
 	// cancelAllRunning fires every running job's context cancel.
 	cancelAllRunning()
 	// watch subscribes to a job's status transitions.
@@ -332,6 +339,10 @@ func seqOf(id string) int {
 	}
 	return n
 }
+
+// SeqOf exposes a job id's admission sequence — the ordering the
+// cluster client's merged pagination sorts and cursors by.
+func SeqOf(id string) int { return seqOf(id) }
 
 // evict drops the oldest terminal jobs beyond the retention bound.
 // Queued or running jobs are never evicted (their population is
@@ -663,6 +674,37 @@ func (st *store) cancel(id string, now time.Time) (Job, error) {
 	default:
 		return j.snapshot(), fmt.Errorf("%w: job %s is %s", ErrTerminal, id, j.Status)
 	}
+}
+
+// migrate transitions a queued job to locally-terminal canceled with
+// the migration marker, for drain-with-migration. It reuses cancel's
+// aggregates fold and WAL op (the logged snapshot carries the
+// "migrated" error, so replay and live state agree) and publishes to
+// watchers — a local watch stream ends here; the routing client's
+// cluster watcher re-attaches to the resubmitted job.
+func (st *store) migrate(id string, now time.Time) (Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok || j.Status != StatusQueued {
+		return Job{}, false
+	}
+	st.counts[StatusQueued]--
+	j.Status = StatusCanceled
+	j.Finished = now
+	j.Error = MigratedError
+	appendTrace(j, now, TraceMigrated, "queued job handed off at drain")
+	st.foldCanceledQueued(j)
+	if st.logf != nil {
+		st.logf(opCancel, j)
+	}
+	if st.onFinish != nil {
+		st.onFinish(StatusCanceled, j.Tenant, j.Spec.Kind, 0, false)
+	}
+	st.publish(j)
+	snap := j.snapshot()
+	st.evict()
+	return snap, true
 }
 
 // foldCanceledQueued folds a job canceled straight out of the queue

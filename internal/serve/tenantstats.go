@@ -125,9 +125,10 @@ type TenantStats struct {
 	RankHi int `json:"rank_hi"`
 }
 
-// defaultTenantWindow is the /v1/stats leaderboard window when the
-// request does not override it.
-const defaultTenantWindow = 60 * time.Second
+// DefaultTenantWindow is the /v1/stats leaderboard window when the
+// request does not override it (exported: the cluster client uses it
+// when fanning a windowless Stats out across nodes).
+const DefaultTenantWindow = 60 * time.Second
 
 // buildTenantStats turns the window aggregation into the ranked
 // leaderboard. weights and depths come from the scheduler side;
@@ -163,6 +164,18 @@ func buildTenantStats(aggs map[string]*tenantAgg, window time.Duration,
 			rows = append(rows, TenantStats{Tenant: name, Weight: weightOf(name), Queued: depths[name]})
 		}
 	}
+	return RankTenantStats(rows)
+}
+
+// RankTenantStats orders leaderboard rows by point-estimate
+// throughput and assigns each its rank plus the simultaneous rank
+// interval the throughput intervals support (RankLo counts only
+// tenants whose whole interval sits above this one's; RankHi
+// everything not confidently below). Exported for the cluster
+// fan-in: after MergeStats recomputes the Poisson intervals from
+// cluster-wide counts, the rank bounds must be rebuilt from those —
+// per-node ranks do not merge.
+func RankTenantStats(rows []TenantStats) []TenantStats {
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].ThroughputJobsPerSec != rows[j].ThroughputJobsPerSec {
 			return rows[i].ThroughputJobsPerSec > rows[j].ThroughputJobsPerSec

@@ -28,6 +28,11 @@ const (
 	// jobs: everything after admission is forgotten (the re-execution
 	// starts the timeline over) and this event marks the restart.
 	TraceRecovered = "recovered"
+	// TraceMigrated is recorded when a drain hands a queued job off to
+	// a surviving cluster node: locally the job finishes canceled with
+	// Error == MigratedError, and the resubmitted copy re-executes the
+	// same spec (same seed) elsewhere, bit-identically.
+	TraceMigrated = "migrated"
 	// TracePreempted is recorded when a higher-priority submission
 	// preempts this running job at its cancellation checkpoint: the
 	// job goes back to its tenant's queue with the partial stats of
@@ -35,6 +40,11 @@ const (
 	// bit-identical to an uninterrupted run — when its turn returns.
 	TracePreempted = "preempted"
 )
+
+// MigratedError is the Error string of a job locally terminated by
+// drain migration — clients distinguish "this node gave the job to a
+// survivor" from a user cancel by it.
+const MigratedError = "migrated: resubmitted to a surviving node"
 
 // TraceEvent is one span event on a job's timeline.
 type TraceEvent struct {
